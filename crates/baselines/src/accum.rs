@@ -1,0 +1,213 @@
+//! Per-function accumulators for the non-sharing baselines.
+//!
+//! Unlike Desis' operator bundles, each accumulator serves exactly one
+//! aggregation function of one window — which is precisely the redundancy
+//! the paper measures (Figure 9b/9d: number of executed calculations).
+
+use desis_core::aggregate::AggFunction;
+
+/// Incremental state for a single aggregation function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FnAccum {
+    /// Running sum.
+    Sum(f64),
+    /// Running count.
+    Count(u64),
+    /// Running sum + count for the average.
+    Avg(f64, u64),
+    /// Running minimum.
+    Min(f64),
+    /// Running maximum.
+    Max(f64),
+    /// Running product.
+    Prod(f64),
+    /// Running product + count for the geometric mean.
+    Geo(f64, u64),
+    /// All values, for holistic functions.
+    Values(Vec<f64>),
+    /// Running (sum, sum of squares, count) for variance/stddev.
+    Var(f64, f64, u64),
+}
+
+impl FnAccum {
+    /// Fresh accumulator for `function`.
+    pub fn new(function: &AggFunction) -> Self {
+        match function {
+            AggFunction::Sum => FnAccum::Sum(0.0),
+            AggFunction::Count => FnAccum::Count(0),
+            AggFunction::Average => FnAccum::Avg(0.0, 0),
+            AggFunction::Min => FnAccum::Min(f64::INFINITY),
+            AggFunction::Max => FnAccum::Max(f64::NEG_INFINITY),
+            AggFunction::Product => FnAccum::Prod(1.0),
+            AggFunction::GeometricMean => FnAccum::Geo(1.0, 0),
+            AggFunction::Median | AggFunction::Quantile(_) => FnAccum::Values(Vec::new()),
+            AggFunction::Variance | AggFunction::StdDev => FnAccum::Var(0.0, 0.0, 0),
+        }
+    }
+
+    /// Incremental update with one value.
+    #[inline]
+    pub fn update(&mut self, value: f64) {
+        match self {
+            FnAccum::Sum(s) => *s += value,
+            FnAccum::Count(c) => *c += 1,
+            FnAccum::Avg(s, c) => {
+                *s += value;
+                *c += 1;
+            }
+            FnAccum::Min(m) => *m = m.min(value),
+            FnAccum::Max(m) => *m = m.max(value),
+            FnAccum::Prod(p) => *p *= value,
+            FnAccum::Geo(p, c) => {
+                *p *= value;
+                *c += 1;
+            }
+            FnAccum::Values(v) => v.push(value),
+            FnAccum::Var(s, sq, c) => {
+                *s += value;
+                *sq += value * value;
+                *c += 1;
+            }
+        }
+    }
+
+    /// Final value for `function` (must be the function this accumulator
+    /// was created for). Returns `None` for empty windows.
+    pub fn result(&self, function: &AggFunction) -> Option<f64> {
+        match (self, function) {
+            (FnAccum::Sum(s), AggFunction::Sum) => Some(*s),
+            (FnAccum::Count(c), AggFunction::Count) => Some(*c as f64),
+            (FnAccum::Avg(s, c), AggFunction::Average) => (*c > 0).then(|| s / *c as f64),
+            (FnAccum::Min(m), AggFunction::Min) => m.is_finite().then_some(*m),
+            (FnAccum::Max(m), AggFunction::Max) => m.is_finite().then_some(*m),
+            (FnAccum::Prod(p), AggFunction::Product) => Some(*p),
+            (FnAccum::Geo(p, c), AggFunction::GeometricMean) => {
+                (*c > 0).then(|| p.powf(1.0 / *c as f64))
+            }
+            (FnAccum::Values(v), AggFunction::Median) => quantile_of(v.clone(), 0.5),
+            (FnAccum::Values(v), AggFunction::Quantile(q)) => quantile_of(v.clone(), *q),
+            (FnAccum::Var(s, sq, c), AggFunction::Variance) => variance_of(*s, *sq, *c),
+            (FnAccum::Var(s, sq, c), AggFunction::StdDev) => {
+                variance_of(*s, *sq, *c).map(f64::sqrt)
+            }
+            _ => {
+                debug_assert!(false, "accumulator/function mismatch");
+                None
+            }
+        }
+    }
+}
+
+/// Computes one aggregation function directly from raw values — the
+/// CeBuffer way: iterate the whole buffer when the window fires.
+/// Returns `(result, values_touched)`.
+pub fn compute_from_values(function: &AggFunction, values: &[f64]) -> (Option<f64>, u64) {
+    let touched = values.len() as u64;
+    if values.is_empty() {
+        return (None, 0);
+    }
+    let r = match function {
+        AggFunction::Sum => Some(values.iter().sum()),
+        AggFunction::Count => Some(values.len() as f64),
+        AggFunction::Average => Some(values.iter().sum::<f64>() / values.len() as f64),
+        AggFunction::Min => values.iter().copied().reduce(f64::min),
+        AggFunction::Max => values.iter().copied().reduce(f64::max),
+        AggFunction::Product => Some(values.iter().product()),
+        AggFunction::GeometricMean => {
+            Some(values.iter().product::<f64>().powf(1.0 / values.len() as f64))
+        }
+        AggFunction::Median => quantile_of(values.to_vec(), 0.5),
+        AggFunction::Quantile(q) => quantile_of(values.to_vec(), *q),
+        AggFunction::Variance => {
+            let (s, sq) = values.iter().fold((0.0, 0.0), |(s, sq), v| (s + v, sq + v * v));
+            variance_of(s, sq, values.len() as u64)
+        }
+        AggFunction::StdDev => {
+            let (s, sq) = values.iter().fold((0.0, 0.0), |(s, sq), v| (s + v, sq + v * v));
+            variance_of(s, sq, values.len() as u64).map(f64::sqrt)
+        }
+    };
+    (r, touched)
+}
+
+fn variance_of(sum: f64, sum_sq: f64, count: u64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    let mean = sum / count as f64;
+    Some((sum_sq / count as f64 - mean * mean).max(0.0))
+}
+
+fn quantile_of(mut values: Vec<f64>, q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_unstable_by(|a, b| a.total_cmp(b));
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(values[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(values[lo] * (1.0 - frac) + values[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: AggFunction, values: &[f64]) -> Option<f64> {
+        let mut acc = FnAccum::new(&f);
+        for v in values {
+            acc.update(*v);
+        }
+        acc.result(&f)
+    }
+
+    #[test]
+    fn incremental_matches_direct_for_every_function() {
+        let values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.5];
+        for f in [
+            AggFunction::Sum,
+            AggFunction::Count,
+            AggFunction::Average,
+            AggFunction::Min,
+            AggFunction::Max,
+            AggFunction::Product,
+            AggFunction::GeometricMean,
+            AggFunction::Median,
+            AggFunction::Quantile(0.25),
+            AggFunction::Quantile(0.9),
+            AggFunction::Variance,
+            AggFunction::StdDev,
+        ] {
+            let inc = run(f, &values);
+            let (direct, touched) = compute_from_values(&f, &values);
+            assert_eq!(touched, values.len() as u64);
+            match (inc, direct) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{f}: {a} vs {b}"),
+                (a, b) => assert_eq!(a, b, "{f}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_windows_yield_none_except_count() {
+        assert_eq!(run(AggFunction::Average, &[]), None);
+        assert_eq!(run(AggFunction::Min, &[]), None);
+        assert_eq!(run(AggFunction::Median, &[]), None);
+        assert_eq!(run(AggFunction::Count, &[]), Some(0.0));
+        assert_eq!(compute_from_values(&AggFunction::Sum, &[]), (None, 0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        assert_eq!(
+            run(AggFunction::Quantile(0.25), &[1.0, 2.0, 3.0, 4.0]),
+            Some(1.75)
+        );
+        assert_eq!(run(AggFunction::Median, &[2.0, 1.0]), Some(1.5));
+    }
+}

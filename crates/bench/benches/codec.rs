@@ -1,0 +1,92 @@
+//! Codec benchmarks (DESIGN.md ablation 3): binary vs Disco-style string
+//! encoding for event batches and slice partials — the cause of Disco's
+//! extra network overhead in Figure 11b.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use desis_core::aggregate::{AggFunction, OperatorBundle};
+use desis_core::engine::{SealedSlice, SliceData};
+use desis_core::event::Event;
+use desis_net::codec::CodecKind;
+use desis_net::message::Message;
+
+fn event_batch(n: u64) -> Message {
+    Message::Events(
+        (0..n)
+            .map(|i| Event::new(1_688_000_000 + i, (i % 10) as u32, i as f64 * 0.7654321))
+            .collect(),
+    )
+}
+
+fn slice_message(keys: u32, values_per_key: u64) -> Message {
+    let set = AggFunction::Average.operators() | AggFunction::Median.operators();
+    let mut data = SliceData::new(1);
+    for k in 0..keys {
+        let mut bundle = OperatorBundle::new(set);
+        for v in 0..values_per_key {
+            bundle.update(v as f64 * 1.618 + f64::from(k));
+        }
+        bundle.seal();
+        data.per_selection[0].insert(k, bundle);
+    }
+    Message::Slice {
+        group: 0,
+        origin: 1,
+        coverage: 1,
+        partial: SealedSlice {
+            id: 7,
+            start_ts: 1_000,
+            end_ts: 2_000,
+            data,
+            ends: vec![],
+            session_gaps: vec![],
+            low_watermark: 7,
+            low_watermark_ts: 1_000,
+        },
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let msgs = [
+        ("events_512", event_batch(512)),
+        ("slice_10keys", slice_message(10, 100)),
+    ];
+    for codec in [CodecKind::Binary, CodecKind::Text] {
+        let mut group = c.benchmark_group(format!("encode_{codec:?}"));
+        for (name, msg) in &msgs {
+            group.throughput(Throughput::Bytes(codec.encode(msg).len() as u64));
+            group.bench_function(*name, |b| b.iter(|| black_box(codec.encode(msg))));
+        }
+        group.finish();
+    }
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let msgs = [
+        ("events_512", event_batch(512)),
+        ("slice_10keys", slice_message(10, 100)),
+    ];
+    for codec in [CodecKind::Binary, CodecKind::Text] {
+        let mut group = c.benchmark_group(format!("decode_{codec:?}"));
+        for (name, msg) in &msgs {
+            let frame = codec.encode(msg);
+            group.throughput(Throughput::Bytes(frame.len() as u64));
+            group.bench_function(*name, |b| {
+                b.iter(|| black_box(codec.decode(&frame).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_wire_sizes(c: &mut Criterion) {
+    // Not a timing benchmark: report frame-size ratios once via criterion's
+    // reporting by benching a no-op over precomputed sizes.
+    let events = event_batch(512);
+    let binary = CodecKind::Binary.encode(&events).len();
+    let text = CodecKind::Text.encode(&events).len();
+    println!("frame sizes: events_512 binary={binary}B text={text}B");
+    c.bench_function("frame_size_noop", |b| b.iter(|| black_box(binary + text)));
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_wire_sizes);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end engine benchmarks: the Figure 4 workload (tumbling max +
+//! sliding quantile + session median in one query-group) and window
+//! assembly cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use desis_core::aggregate::AggFunction;
+use desis_core::engine::AggregationEngine;
+use desis_core::event::Event;
+use desis_core::prelude::*;
+
+const N: u64 = 100_000;
+
+fn fig4_queries() -> Vec<Query> {
+    vec![
+        Query::new(1, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Max),
+        Query::new(
+            2,
+            WindowSpec::sliding_time(2_000, 500).unwrap(),
+            AggFunction::Quantile(0.9),
+        ),
+        Query::new(3, WindowSpec::session(400).unwrap(), AggFunction::Median),
+    ]
+}
+
+fn events() -> Vec<Event> {
+    (0..N)
+        .map(|i| Event::new(i / 10, (i % 10) as u32, (i % 97) as f64))
+        .collect()
+}
+
+fn bench_fig4_workload(c: &mut Criterion) {
+    let evs = events();
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    group.bench_function("fig4_three_window_types", |b| {
+        b.iter(|| {
+            let mut engine = AggregationEngine::new(fig4_queries()).unwrap();
+            for ev in &evs {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(20_000);
+            black_box(engine.drain_results().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_decomposable_only(c: &mut Criterion) {
+    let evs = events();
+    let queries = vec![
+        Query::new(1, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Average),
+        Query::new(2, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Sum),
+        Query::new(3, WindowSpec::sliding_time(2_000, 500).unwrap(), AggFunction::Min),
+    ];
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    group.bench_function("decomposable_three_queries", |b| {
+        b.iter(|| {
+            let mut engine = AggregationEngine::new(queries.clone()).unwrap();
+            for ev in &evs {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(20_000);
+            black_box(engine.drain_results().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_workload, bench_decomposable_only);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Network ablation (DESIGN.md ablation 2): per-slice partials (Desis)
+//! versus per-window partials (Disco) — wire bytes and merge cost for
+//! overlapping concurrent windows.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desis_core::aggregate::AggFunction;
+use desis_core::engine::{GroupSlicer, QueryAnalyzer, SealedSlice};
+use desis_core::event::Event;
+use desis_core::prelude::*;
+use desis_net::codec::CodecKind;
+use desis_net::merge::PartialAssembler;
+use desis_net::message::Message;
+
+/// Overlapping sliding windows: every slice belongs to several windows.
+fn queries() -> Vec<Query> {
+    (1..=4u64)
+        .map(|i| {
+            Query::new(
+                i,
+                WindowSpec::sliding_time(i * 500, 500).unwrap(),
+                AggFunction::Average,
+            )
+        })
+        .collect()
+}
+
+fn local_slices() -> (Vec<SealedSlice>, desis_core::engine::QueryGroup) {
+    let groups = QueryAnalyzer::default().analyze(queries()).unwrap();
+    let group = groups.into_iter().next().unwrap();
+    let mut slicer = GroupSlicer::new(group.clone());
+    let mut out = Vec::new();
+    for i in 0..100_000u64 {
+        slicer.on_event(&Event::new(i / 10, (i % 10) as u32, i as f64), &mut out);
+    }
+    slicer.on_watermark(20_000, &mut out);
+    (out, group)
+}
+
+fn bench_partial_granularity_bytes(c: &mut Criterion) {
+    let (slices, group) = local_slices();
+    // Per-slice bytes (Desis protocol).
+    let slice_bytes: usize = slices
+        .iter()
+        .map(|s| {
+            CodecKind::Binary
+                .encode(&Message::Slice {
+                    group: 0,
+                    origin: 0,
+                    coverage: 1,
+                    partial: s.clone(),
+                })
+                .len()
+        })
+        .sum();
+    // Per-window bytes (Disco protocol, same binary codec for fairness).
+    let mut assembler = PartialAssembler::new(&group);
+    let mut window_bytes = 0usize;
+    for s in &slices {
+        let partials = assembler.on_slice(s);
+        if !partials.is_empty() {
+            window_bytes += CodecKind::Binary
+                .encode(&Message::WindowPartials {
+                    origin: 0,
+                    coverage: 1,
+                    partials,
+                })
+                .len();
+        }
+    }
+    println!(
+        "wire bytes over {} slices: per-slice={}B per-window={}B ({}x)",
+        slices.len(),
+        slice_bytes,
+        window_bytes,
+        window_bytes as f64 / slice_bytes as f64
+    );
+    c.bench_function("partial_granularity_noop", |b| {
+        b.iter(|| black_box(slice_bytes + window_bytes))
+    });
+}
+
+fn bench_window_partial_assembly(c: &mut Criterion) {
+    let (slices, group) = local_slices();
+    let mut g = c.benchmark_group("partial_assembly");
+    g.sample_size(10);
+    g.bench_function("per_window_assembly", |b| {
+        b.iter(|| {
+            let mut assembler = PartialAssembler::new(&group);
+            let mut n = 0usize;
+            for s in &slices {
+                n += assembler.on_slice(s).len();
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partial_granularity_bytes, bench_window_partial_assembly);
+criterion_main!(benches);

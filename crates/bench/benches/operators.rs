@@ -1,0 +1,120 @@
+//! Operator micro-benchmarks (Table 1 machinery), including the
+//! decomposable-sort vs full-sort ablation for min/max-only groups
+//! (DESIGN.md ablation 5).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use desis_core::aggregate::{AggFunction, OperatorBundle, OperatorKind, OperatorSet, OperatorState};
+
+const N: u64 = 10_000;
+
+fn values() -> Vec<f64> {
+    (0..N).map(|i| ((i * 2_654_435_761) % 1_000) as f64).collect()
+}
+
+fn bench_operator_updates(c: &mut Criterion) {
+    let vals = values();
+    let mut group = c.benchmark_group("operator_update");
+    group.throughput(Throughput::Elements(N));
+    for kind in OperatorKind::ALL {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                let mut state = OperatorState::new(kind);
+                for v in &vals {
+                    state.update(*v);
+                }
+                state.seal();
+                black_box(state);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bundle_sharing(c: &mut Criterion) {
+    let vals = values();
+    let mut group = c.benchmark_group("bundle_update");
+    group.throughput(Throughput::Elements(N));
+    // avg + sum as shared operators (2 ops) vs individually (3 ops).
+    let shared = AggFunction::Average.operators() | AggFunction::Sum.operators();
+    group.bench_function("shared_avg_sum", |b| {
+        b.iter(|| {
+            let mut bundle = OperatorBundle::new(shared);
+            for v in &vals {
+                bundle.update(*v);
+            }
+            black_box(bundle);
+        })
+    });
+    group.bench_function("unshared_avg_plus_sum", |b| {
+        b.iter(|| {
+            let mut avg = OperatorBundle::new(AggFunction::Average.operators());
+            let mut sum = OperatorBundle::new(AggFunction::Sum.operators());
+            for v in &vals {
+                avg.update(*v);
+                sum.update(*v);
+            }
+            black_box((avg, sum));
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: serving min/max from the decomposable sort (keeps extremes)
+/// versus the non-decomposable sort (keeps all values).
+fn bench_sort_ablation(c: &mut Criterion) {
+    let vals = values();
+    let mut group = c.benchmark_group("minmax_sort_ablation");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("decomposable_sort", |b| {
+        b.iter(|| {
+            let mut bundle =
+                OperatorBundle::new(OperatorSet::single(OperatorKind::DecomposableSort));
+            for v in &vals {
+                bundle.update(*v);
+            }
+            bundle.seal();
+            black_box(bundle.finalize(&AggFunction::Max));
+        })
+    });
+    group.bench_function("non_decomposable_sort", |b| {
+        b.iter(|| {
+            let mut bundle =
+                OperatorBundle::new(OperatorSet::single(OperatorKind::NonDecomposableSort));
+            for v in &vals {
+                bundle.update(*v);
+            }
+            bundle.seal();
+            black_box(bundle.finalize(&AggFunction::Max));
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let vals = values();
+    let set = AggFunction::Average.operators() | AggFunction::Median.operators();
+    let mut a = OperatorBundle::new(set);
+    let mut b2 = OperatorBundle::new(set);
+    for v in &vals {
+        a.update(*v);
+        b2.update(*v + 0.5);
+    }
+    a.seal();
+    b2.seal();
+    c.bench_function("bundle_merge_sorted_runs", |b| {
+        b.iter(|| {
+            let mut merged = a.clone();
+            merged.merge(black_box(&b2));
+            black_box(merged);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_operator_updates,
+    bench_bundle_sharing,
+    bench_sort_ablation,
+    bench_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Sharing ablation (DESIGN.md ablation 1): operator-level sharing
+//! (Desis) vs per-function sharing (DeSW/Scotty) vs no sharing (DeBucket)
+//! on the Figure 9a workload (average + sum query mix).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use desis_baselines::SystemKind;
+use desis_core::aggregate::AggFunction;
+use desis_core::event::Event;
+use desis_core::query::Query;
+use desis_core::time::SECOND;
+use desis_core::window::WindowSpec;
+
+const N: u64 = 100_000;
+
+fn events() -> Vec<Event> {
+    (0..N)
+        .map(|i| Event::new(i / 100, (i % 10) as u32, (i % 97) as f64))
+        .collect()
+}
+
+fn queries(n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            let f = if i % 2 == 0 {
+                AggFunction::Average
+            } else {
+                AggFunction::Sum
+            };
+            Query::new(i as u64 + 1, WindowSpec::tumbling_time(SECOND).unwrap(), f)
+        })
+        .collect()
+}
+
+fn bench_sharing_levels(c: &mut Criterion) {
+    let evs = events();
+    let mut group = c.benchmark_group("sharing_ablation_avg_sum");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for (label, system, n_queries) in [
+        ("desis_operator_sharing", SystemKind::Desis, 100),
+        ("desw_per_function", SystemKind::DeSw, 100),
+        ("scotty_per_function", SystemKind::Scotty, 100),
+        ("debucket_no_sharing", SystemKind::DeBucket, 20),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &system, |b, &sys| {
+            b.iter(|| {
+                let mut p = sys.build(queries(n_queries)).unwrap();
+                for ev in &evs {
+                    p.on_event(ev);
+                }
+                black_box(p.metrics().calculations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing_levels);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Slicing benchmarks: the in-advance punctuation calculation keeps the
+//! per-event cost flat in the number of concurrent windows (DESIGN.md
+//! ablation 4 — the per-event-check alternative is the DeBucket baseline,
+//! which assigns every event to every active window).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use desis_baselines::{DeBucket, Processor};
+use desis_core::aggregate::AggFunction;
+use desis_core::engine::{GroupSlicer, QueryAnalyzer};
+use desis_core::event::Event;
+use desis_gen::spread_tumbling_queries;
+
+const N: u64 = 100_000;
+
+fn events() -> Vec<Event> {
+    (0..N)
+        .map(|i| Event::new(i, (i % 10) as u32, (i % 97) as f64))
+        .collect()
+}
+
+fn bench_slicer_vs_window_count(c: &mut Criterion) {
+    let evs = events();
+    let mut group = c.benchmark_group("slicer_concurrent_windows");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for windows in [1usize, 10, 100, 1_000] {
+        let queries = spread_tumbling_queries(windows, 10, AggFunction::Average);
+        let groups = QueryAnalyzer::default().analyze(queries).unwrap();
+        assert_eq!(groups.len(), 1);
+        let template = groups.into_iter().next().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("in_advance_puncts", windows),
+            &windows,
+            |b, _| {
+                b.iter(|| {
+                    let mut slicer = GroupSlicer::new(template.clone());
+                    let mut out = Vec::new();
+                    for ev in &evs {
+                        slicer.on_event(ev, &mut out);
+                        out.clear();
+                    }
+                    black_box(slicer.metrics().slices)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_per_event_window_checks(c: &mut Criterion) {
+    let evs = events();
+    let mut group = c.benchmark_group("per_event_window_assignment");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for windows in [1usize, 10, 100] {
+        let queries = spread_tumbling_queries(windows, 10, AggFunction::Average);
+        group.bench_with_input(
+            BenchmarkId::new("debucket", windows),
+            &windows,
+            |b, _| {
+                b.iter(|| {
+                    let mut p = DeBucket::debucket(queries.clone());
+                    for ev in &evs {
+                        p.on_event(ev);
+                    }
+                    black_box(p.drain_results().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slicer_vs_window_count, bench_per_event_window_checks);
+criterion_main!(benches);

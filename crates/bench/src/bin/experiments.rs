@@ -1,0 +1,129 @@
+//! Reproduces the Desis paper's evaluation figures.
+//!
+//! ```text
+//! experiments [--scale quick|full] [--csv <dir>] <figure-id>... | all | list
+//! ```
+//!
+//! Each figure prints the series the paper plots (one row per x-value,
+//! one column per system). With `--csv <dir>`, a `<figure-id>.csv` file is
+//! written per figure.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use desis_bench::experiments::all_figures;
+use desis_bench::measure::Scale;
+
+/// Prints Table 1 (function -> operator lowering) straight from the code.
+fn print_table1() {
+    use desis_core::aggregate::AggFunction;
+    println!("== table1: Relationship between aggregation functions and operators ==");
+    println!("{:<16} {}", "function", "operators");
+    for func in [
+        AggFunction::Sum,
+        AggFunction::Count,
+        AggFunction::Average,
+        AggFunction::Product,
+        AggFunction::GeometricMean,
+        AggFunction::Max,
+        AggFunction::Min,
+        AggFunction::Median,
+        AggFunction::Quantile(0.9),
+        AggFunction::Variance,
+        AggFunction::StdDev,
+    ] {
+        let ops: Vec<String> = func
+            .operators()
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect();
+        println!("{:<16} {}", func.to_string(), ops.join(", "));
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut csv_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = it.next().unwrap_or_default();
+                scale = Scale::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scale {value:?} (expected quick|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    let registry = all_figures();
+    if wanted.iter().any(|w| w == "list") {
+        println!("table1");
+        for (id, _) in &registry {
+            println!("{id}");
+        }
+        return;
+    }
+    if wanted.iter().any(|w| w == "table1" || w == "all") {
+        print_table1();
+        wanted.retain(|w| w != "table1");
+        if wanted.is_empty() {
+            return;
+        }
+    }
+    if wanted.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let run_all = wanted.iter().any(|w| w == "all");
+    let selected: Vec<_> = registry
+        .iter()
+        .filter(|(id, _)| run_all || wanted.iter().any(|w| w == id))
+        .collect();
+    if !run_all {
+        for w in &wanted {
+            if !registry.iter().any(|(id, _)| id == w) {
+                eprintln!("unknown figure {w:?}; try `experiments list`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for (id, generator) in selected {
+        let started = Instant::now();
+        let figure = generator(scale);
+        print!("{}", figure.render());
+        println!("   [{:.1}s]\n", started.elapsed().as_secs_f64());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id}.csv");
+            let mut file = std::fs::File::create(&path).expect("create csv");
+            file.write_all(figure.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments [--scale quick|full] [--csv <dir>] <figure-id>... | all | list\n\
+         reproduces the Desis (EDBT 2023) evaluation figures; see EXPERIMENTS.md"
+    );
+}

@@ -1,0 +1,180 @@
+//! Figure/series containers: each experiment returns a [`Figure`] holding
+//! the same series the paper plots, printable as an aligned table and
+//! exportable as CSV.
+
+use std::fmt::Write as _;
+
+/// One line/series of a figure (one system, usually).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (system name).
+    pub name: String,
+    /// `(x, y)` points; x-values match [`Figure::x_label`] units.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y-value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+}
+
+/// A reproduced figure: id, axis labels, and one series per system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Paper figure id, e.g. `"fig6b"`.
+    pub id: String,
+    /// Human title, e.g. `"Throughput of concurrent windows"`.
+    pub title: String,
+    /// X-axis label and unit.
+    pub x_label: String,
+    /// Y-axis label and unit.
+    pub y_label: String,
+    /// Series, in legend order.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Returns the series with the given name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// All distinct x-values across series, sorted.
+    fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Renders an aligned text table (one row per x-value, one column per
+    /// series) like the paper's plots read.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {}: {} ==", self.id, self.title);
+        let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
+        let mut header = format!("{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(header, " {:>14}", s.name);
+        }
+        let _ = writeln!(out, "{header}");
+        for x in self.x_values() {
+            let mut row = format!("{x:>14.4}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(row, " {y:>14.4}");
+                    }
+                    None => {
+                        let _ = write!(row, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// CSV export: `x,<series1>,<series2>,...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = self.x_label.clone();
+        for s in &self.series {
+            let _ = write!(header, ",{}", s.name);
+        }
+        let _ = writeln!(out, "{header}");
+        for x in self.x_values() {
+            let mut row = format!("{x}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(row, ",{y}");
+                    }
+                    None => row.push(','),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("figX", "Test", "n", "events/s");
+        let mut a = Series::new("Desis");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("CeBuffer");
+        b.push(1.0, 5.0);
+        f.series.push(a);
+        f.series.push(b);
+        f
+    }
+
+    #[test]
+    fn render_includes_all_points() {
+        let text = sample().render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("Desis"));
+        assert!(text.contains("20.0000"));
+        assert!(text.contains('-'), "missing point placeholder");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,Desis,CeBuffer");
+        assert_eq!(lines[1], "1,10,5");
+        assert_eq!(lines[2], "2,20,");
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert_eq!(f.series("Desis").unwrap().y_at(2.0), Some(20.0));
+        assert!(f.series("nope").is_none());
+    }
+}

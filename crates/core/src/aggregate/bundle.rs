@@ -1,0 +1,384 @@
+//! Bundles of operator states — the per-(selection, key) intermediate
+//! result of one slice.
+//!
+//! A bundle holds at most one state per [`OperatorKind`]; every aggregation
+//! function of the query-group is *finalized* from the bundle, so an
+//! operator needed by five functions is still updated once per event.
+
+use crate::aggregate::function::AggFunction;
+use crate::aggregate::operator::{OperatorKind, OperatorSet, OperatorState};
+
+/// Per-slice intermediate results: one [`OperatorState`] per operator kind
+/// required by the query-group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorBundle {
+    states: [Option<OperatorState>; 6],
+}
+
+impl OperatorBundle {
+    /// Creates a bundle with fresh states for every operator in `set`.
+    pub fn new(set: OperatorSet) -> Self {
+        let mut states = [None, None, None, None, None, None];
+        for kind in set.iter() {
+            states[kind as usize] = Some(OperatorState::new(kind));
+        }
+        Self { states }
+    }
+
+    /// The set of operators present in this bundle.
+    pub fn operator_set(&self) -> OperatorSet {
+        self.states
+            .iter()
+            .flatten()
+            .map(OperatorState::kind)
+            .collect()
+    }
+
+    /// Incrementally folds one event value into every operator.
+    /// Returns the number of operator executions performed (the paper's
+    /// "number of calculations" metric, Figure 9).
+    #[inline]
+    pub fn update(&mut self, value: f64) -> u64 {
+        let mut calcs = 0;
+        for state in self.states.iter_mut().flatten() {
+            state.update(value);
+            calcs += 1;
+        }
+        calcs
+    }
+
+    /// Seals the bundle when its slice terminates (final sort of the
+    /// non-decomposable sort operator).
+    pub fn seal(&mut self) {
+        for state in self.states.iter_mut().flatten() {
+            state.seal();
+        }
+    }
+
+    /// Merges another bundle (a partial result of a different slice or of
+    /// a child node) into this one. Operators absent from either side are
+    /// left as-is/ignored respectively: window assembly merges bundles
+    /// that were created from the same query-group and therefore agree.
+    pub fn merge(&mut self, other: &OperatorBundle) {
+        for (mine, theirs) in self.states.iter_mut().zip(other.states.iter()) {
+            match (mine.as_mut(), theirs) {
+                (Some(a), Some(b)) => a.merge(b),
+                (None, Some(b)) => *mine = Some(b.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Borrows the state for `kind`, if present.
+    #[inline]
+    pub fn get(&self, kind: OperatorKind) -> Option<&OperatorState> {
+        self.states[kind as usize].as_ref()
+    }
+
+    /// Installs a ready-made operator state into its slot (replacing any
+    /// existing state of the same kind). Used by wire deserialization.
+    pub fn adopt(&mut self, state: OperatorState) {
+        let slot = state.kind() as usize;
+        self.states[slot] = Some(state);
+    }
+
+    /// The total number of scalar values held (for network accounting).
+    pub fn payload_len(&self) -> usize {
+        self.states
+            .iter()
+            .flatten()
+            .map(OperatorState::payload_len)
+            .sum()
+    }
+
+    /// Number of events folded into this bundle, if a counting operator is
+    /// present (`Count` or the non-decomposable sort).
+    pub fn event_count(&self) -> Option<u64> {
+        if let Some(OperatorState::Count(c)) = self.get(OperatorKind::Count) {
+            return Some(*c);
+        }
+        if let Some(OperatorState::NSort { values, .. }) =
+            self.get(OperatorKind::NonDecomposableSort)
+        {
+            return Some(values.len() as u64);
+        }
+        None
+    }
+
+    /// Computes the final result of `func` from the bundle.
+    ///
+    /// Returns `None` when the bundle saw no events (empty windows produce
+    /// no result, matching the paper's systems) or when a required operator
+    /// is missing (a query-group construction bug, asserted in debug).
+    ///
+    /// `min`/`max` prefer the decomposable sort but fall back to the
+    /// non-decomposable sort when the group subsumed it (Figure 9g).
+    pub fn finalize(&self, func: &AggFunction) -> Option<f64> {
+        match func {
+            AggFunction::Sum => match self.get(OperatorKind::Sum)? {
+                OperatorState::Sum(s) => self.nonempty().then_some(*s),
+                _ => None,
+            },
+            AggFunction::Count => match self.get(OperatorKind::Count)? {
+                OperatorState::Count(c) => Some(*c as f64),
+                _ => None,
+            },
+            AggFunction::Average => {
+                let s = match self.get(OperatorKind::Sum)? {
+                    OperatorState::Sum(s) => *s,
+                    _ => return None,
+                };
+                let c = match self.get(OperatorKind::Count)? {
+                    OperatorState::Count(c) => *c,
+                    _ => return None,
+                };
+                (c > 0).then(|| s / c as f64)
+            }
+            AggFunction::Product => match self.get(OperatorKind::Mult)? {
+                OperatorState::Mult(m) => self.nonempty().then_some(*m),
+                _ => None,
+            },
+            AggFunction::GeometricMean => {
+                let m = match self.get(OperatorKind::Mult)? {
+                    OperatorState::Mult(m) => *m,
+                    _ => return None,
+                };
+                let c = match self.get(OperatorKind::Count)? {
+                    OperatorState::Count(c) => *c,
+                    _ => return None,
+                };
+                (c > 0).then(|| m.powf(1.0 / c as f64))
+            }
+            AggFunction::Min => self.extremes().map(|(min, _)| min),
+            AggFunction::Max => self.extremes().map(|(_, max)| max),
+            AggFunction::Median => self.quantile_from_sorted(0.5),
+            AggFunction::Quantile(q) => self.quantile_from_sorted(*q),
+            AggFunction::Variance => self.variance(),
+            AggFunction::StdDev => self.variance().map(f64::sqrt),
+        }
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let sq = match self.get(OperatorKind::SumSquares)? {
+            OperatorState::SumSq(v) => *v,
+            _ => return None,
+        };
+        let s = match self.get(OperatorKind::Sum)? {
+            OperatorState::Sum(v) => *v,
+            _ => return None,
+        };
+        let c = match self.get(OperatorKind::Count)? {
+            OperatorState::Count(c) => *c,
+            _ => return None,
+        };
+        if c == 0 {
+            return None;
+        }
+        let mean = s / c as f64;
+        // Clamp tiny negative rounding residue.
+        Some((sq / c as f64 - mean * mean).max(0.0))
+    }
+
+    fn nonempty(&self) -> bool {
+        match self.event_count() {
+            Some(c) => c > 0,
+            // Without a counting operator we cannot distinguish an empty
+            // slice; treat identity-valued sums conservatively as present.
+            None => true,
+        }
+    }
+
+    fn extremes(&self) -> Option<(f64, f64)> {
+        if let Some(OperatorState::DSort(extremes)) = self.get(OperatorKind::DecomposableSort) {
+            return *extremes;
+        }
+        // Subsumed by the non-decomposable sort (Figure 9g).
+        if let Some(OperatorState::NSort { values, sorted }) =
+            self.get(OperatorKind::NonDecomposableSort)
+        {
+            debug_assert!(*sorted, "finalize called on unsealed bundle");
+            return match (values.first(), values.last()) {
+                (Some(min), Some(max)) => Some((*min, *max)),
+                _ => None,
+            };
+        }
+        None
+    }
+
+    fn quantile_from_sorted(&self, q: f64) -> Option<f64> {
+        let values = match self.get(OperatorKind::NonDecomposableSort)? {
+            OperatorState::NSort { values, sorted } => {
+                debug_assert!(*sorted, "finalize called on unsealed bundle");
+                values
+            }
+            _ => return None,
+        };
+        if values.is_empty() {
+            return None;
+        }
+        // Linear interpolation between closest ranks (type-7 quantile,
+        // the default of R/NumPy).
+        let pos = q * (values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            Some(values[lo])
+        } else {
+            let frac = pos - lo as f64;
+            Some(values[lo] * (1.0 - frac) + values[hi] * frac)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle_for(funcs: &[AggFunction]) -> OperatorBundle {
+        let set = funcs
+            .iter()
+            .map(AggFunction::operators)
+            .fold(OperatorSet::EMPTY, |acc, s| acc | s)
+            .subsume_sorts();
+        OperatorBundle::new(set)
+    }
+
+    #[test]
+    fn avg_and_sum_share_two_operators() {
+        let mut b = bundle_for(&[AggFunction::Average, AggFunction::Sum]);
+        assert_eq!(b.operator_set().len(), 2);
+        let calcs = b.update(10.0) + b.update(20.0);
+        // Two operators (sum, count) per event, not three.
+        assert_eq!(calcs, 4);
+        b.seal();
+        assert_eq!(b.finalize(&AggFunction::Sum), Some(30.0));
+        assert_eq!(b.finalize(&AggFunction::Average), Some(15.0));
+    }
+
+    #[test]
+    fn quantile_and_max_share_one_operator() {
+        let mut b = bundle_for(&[AggFunction::Quantile(0.5), AggFunction::Max]);
+        assert_eq!(b.operator_set().len(), 1, "NSort subsumes DSort");
+        for v in [3.0, 1.0, 2.0] {
+            b.update(v);
+        }
+        b.seal();
+        assert_eq!(b.finalize(&AggFunction::Max), Some(3.0));
+        assert_eq!(b.finalize(&AggFunction::Min), Some(1.0));
+        assert_eq!(b.finalize(&AggFunction::Quantile(0.5)), Some(2.0));
+        assert_eq!(b.finalize(&AggFunction::Median), Some(2.0));
+    }
+
+    #[test]
+    fn min_max_prefer_decomposable_sort() {
+        let mut b = bundle_for(&[AggFunction::Min, AggFunction::Max]);
+        assert_eq!(b.operator_set().len(), 1);
+        assert!(b.operator_set().contains(OperatorKind::DecomposableSort));
+        for v in [5.0, -1.0, 3.0] {
+            b.update(v);
+        }
+        b.seal();
+        assert_eq!(b.finalize(&AggFunction::Min), Some(-1.0));
+        assert_eq!(b.finalize(&AggFunction::Max), Some(5.0));
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut b = bundle_for(&[AggFunction::GeometricMean]);
+        for v in [2.0, 8.0] {
+            b.update(v);
+        }
+        b.seal();
+        let g = b.finalize(&AggFunction::GeometricMean).unwrap();
+        assert!((g - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product() {
+        let mut b = bundle_for(&[AggFunction::Product]);
+        for v in [2.0, 3.0, 4.0] {
+            b.update(v);
+        }
+        b.seal();
+        assert_eq!(b.finalize(&AggFunction::Product), Some(24.0));
+    }
+
+    #[test]
+    fn empty_bundle_yields_no_results() {
+        let mut b = bundle_for(&[
+            AggFunction::Average,
+            AggFunction::Median,
+            AggFunction::Min,
+            AggFunction::Product,
+        ]);
+        b.seal();
+        assert_eq!(b.finalize(&AggFunction::Average), None);
+        assert_eq!(b.finalize(&AggFunction::Median), None);
+        assert_eq!(b.finalize(&AggFunction::Min), None);
+        assert_eq!(b.finalize(&AggFunction::Max), None);
+        // Count of an empty window is a legitimate 0.
+        assert_eq!(b.finalize(&AggFunction::Count), Some(0.0));
+    }
+
+    #[test]
+    fn merge_combines_partial_results() {
+        let funcs = [AggFunction::Average, AggFunction::Median];
+        let mut a = bundle_for(&funcs);
+        for v in [1.0, 2.0] {
+            a.update(v);
+        }
+        a.seal();
+        let mut b = bundle_for(&funcs);
+        for v in [3.0, 4.0] {
+            b.update(v);
+        }
+        b.seal();
+        a.merge(&b);
+        assert_eq!(a.finalize(&AggFunction::Average), Some(2.5));
+        assert_eq!(a.finalize(&AggFunction::Median), Some(2.5));
+        assert_eq!(a.event_count(), Some(4));
+    }
+
+    #[test]
+    fn merge_into_missing_state_adopts_it() {
+        let mut a = OperatorBundle::new(OperatorSet::EMPTY);
+        let mut b = bundle_for(&[AggFunction::Sum, AggFunction::Count]);
+        b.update(5.0);
+        a.merge(&b);
+        assert_eq!(a.finalize(&AggFunction::Sum), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let mut b = bundle_for(&[AggFunction::Quantile(0.25)]);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            b.update(v);
+        }
+        b.seal();
+        // pos = 0.25 * 3 = 0.75 -> 1.0 * 0.25 + 2.0 * 0.75 = 1.75
+        assert_eq!(b.finalize(&AggFunction::Quantile(0.25)), Some(1.75));
+        assert_eq!(b.finalize(&AggFunction::Median), Some(2.5));
+    }
+
+    #[test]
+    fn median_single_value() {
+        let mut b = bundle_for(&[AggFunction::Median]);
+        b.update(42.0);
+        b.seal();
+        assert_eq!(b.finalize(&AggFunction::Median), Some(42.0));
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut b = bundle_for(&[AggFunction::Average]);
+        b.update(1.0);
+        b.update(2.0);
+        assert_eq!(b.payload_len(), 2); // sum + count scalars
+
+        let mut n = bundle_for(&[AggFunction::Median]);
+        n.update(1.0);
+        n.update(2.0);
+        n.update(3.0);
+        assert_eq!(n.payload_len(), 3); // all kept values
+    }
+}

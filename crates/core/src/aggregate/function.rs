@@ -1,0 +1,176 @@
+//! Aggregation functions (paper Section 2.2) and their lowering to
+//! shareable operators (Table 1).
+
+use crate::aggregate::operator::{OperatorKind, OperatorSet};
+use crate::error::DesisError;
+
+/// A windowed aggregation function.
+///
+/// Functions are classified as *decomposable* (partial results can be
+/// merged: sum, count, average, product, geometric mean, min, max) or
+/// *non-decomposable* / holistic (median, quantile), following Gray et
+/// al. and Jesus et al. as summarized in Section 2.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggFunction {
+    /// Sum of values.
+    Sum,
+    /// Number of events.
+    Count,
+    /// Arithmetic mean (= sum / count).
+    Average,
+    /// Product of values.
+    Product,
+    /// Geometric mean (= product^(1/count)).
+    GeometricMean,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Median value (the 0.5 quantile, linearly interpolated).
+    Median,
+    /// Arbitrary quantile in the open interval (0, 1), linearly
+    /// interpolated between neighbouring order statistics.
+    Quantile(f64),
+    /// Population variance (= sum-of-squares/count - mean^2).
+    Variance,
+    /// Population standard deviation (= sqrt of variance).
+    StdDev,
+}
+
+impl AggFunction {
+    /// Validates the function definition (quantile levels must lie in
+    /// the open interval `(0, 1)`).
+    pub fn validate(&self) -> Result<(), DesisError> {
+        if let AggFunction::Quantile(q) = *self {
+            if !(q > 0.0 && q < 1.0) {
+                return Err(DesisError::InvalidQuantile(q));
+            }
+        }
+        Ok(())
+    }
+
+    /// The operators this function is broken down into (Table 1).
+    ///
+    /// | Function        | Operators             |
+    /// |-----------------|-----------------------|
+    /// | sum             | sum                   |
+    /// | count           | count                 |
+    /// | average         | sum, count            |
+    /// | product         | multiplication        |
+    /// | geometric mean  | multiplication, count |
+    /// | max, min        | decomposable sort     |
+    /// | median, quantile| non-decomposable sort |
+    pub fn operators(&self) -> OperatorSet {
+        match self {
+            AggFunction::Sum => OperatorSet::single(OperatorKind::Sum),
+            AggFunction::Count => OperatorSet::single(OperatorKind::Count),
+            AggFunction::Average => {
+                OperatorSet::single(OperatorKind::Sum).with(OperatorKind::Count)
+            }
+            AggFunction::Product => OperatorSet::single(OperatorKind::Mult),
+            AggFunction::GeometricMean => {
+                OperatorSet::single(OperatorKind::Mult).with(OperatorKind::Count)
+            }
+            AggFunction::Min | AggFunction::Max => {
+                OperatorSet::single(OperatorKind::DecomposableSort)
+            }
+            AggFunction::Median | AggFunction::Quantile(_) => {
+                OperatorSet::single(OperatorKind::NonDecomposableSort)
+            }
+            AggFunction::Variance | AggFunction::StdDev => {
+                OperatorSet::single(OperatorKind::SumSquares)
+                    .with(OperatorKind::Sum)
+                    .with(OperatorKind::Count)
+            }
+        }
+    }
+
+    /// Whether partial results of this function can be merged across
+    /// sub-streams (Section 2.2). Median and quantiles are holistic.
+    #[inline]
+    pub fn is_decomposable(&self) -> bool {
+        !matches!(self, AggFunction::Median | AggFunction::Quantile(_))
+    }
+}
+
+impl std::fmt::Display for AggFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggFunction::Sum => write!(f, "sum"),
+            AggFunction::Count => write!(f, "count"),
+            AggFunction::Average => write!(f, "average"),
+            AggFunction::Product => write!(f, "product"),
+            AggFunction::GeometricMean => write!(f, "geomean"),
+            AggFunction::Min => write!(f, "min"),
+            AggFunction::Max => write!(f, "max"),
+            AggFunction::Median => write!(f, "median"),
+            AggFunction::Quantile(q) => write!(f, "quantile({q})"),
+            AggFunction::Variance => write!(f, "variance"),
+            AggFunction::StdDev => write!(f, "stddev"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_lowering() {
+        use OperatorKind::*;
+        let cases: &[(AggFunction, &[OperatorKind])] = &[
+            (AggFunction::Sum, &[Sum]),
+            (AggFunction::Count, &[Count]),
+            (AggFunction::Average, &[Sum, Count]),
+            (AggFunction::Product, &[Mult]),
+            (AggFunction::GeometricMean, &[Mult, Count]),
+            (AggFunction::Max, &[DecomposableSort]),
+            (AggFunction::Min, &[DecomposableSort]),
+            (AggFunction::Median, &[NonDecomposableSort]),
+            (AggFunction::Quantile(0.9), &[NonDecomposableSort]),
+            (AggFunction::Variance, &[Sum, Count, SumSquares]),
+            (AggFunction::StdDev, &[Sum, Count, SumSquares]),
+        ];
+        for (func, ops) in cases {
+            let set = func.operators();
+            assert_eq!(set.len(), ops.len(), "{func}");
+            for op in *ops {
+                assert!(set.contains(*op), "{func} should need {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn average_and_sum_share_the_sum_operator() {
+        // Paper Section 4.2.1: avg + sum run 2 operators, not 3.
+        let shared = AggFunction::Average.operators() | AggFunction::Sum.operators();
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn quantile_validation() {
+        assert!(AggFunction::Quantile(0.5).validate().is_ok());
+        assert!(AggFunction::Quantile(0.0).validate().is_err());
+        assert!(AggFunction::Quantile(1.0).validate().is_err());
+        assert!(AggFunction::Quantile(-0.1).validate().is_err());
+        assert!(AggFunction::Median.validate().is_ok());
+    }
+
+    #[test]
+    fn variance_shares_sum_and_count_with_average() {
+        // avg + variance -> sum, count, sum-of-squares: 3 operators, not 5.
+        let shared = AggFunction::Average.operators() | AggFunction::Variance.operators();
+        assert_eq!(shared.len(), 3);
+        assert!(AggFunction::Variance.is_decomposable());
+        assert!(AggFunction::StdDev.is_decomposable());
+    }
+
+    #[test]
+    fn decomposability() {
+        assert!(AggFunction::Sum.is_decomposable());
+        assert!(AggFunction::Average.is_decomposable());
+        assert!(AggFunction::Min.is_decomposable());
+        assert!(!AggFunction::Median.is_decomposable());
+        assert!(!AggFunction::Quantile(0.25).is_decomposable());
+    }
+}

@@ -1,0 +1,560 @@
+//! A small textual query language — the paper's *user interface*
+//! component (Section 3.1), which "provides APIs for users to invoke
+//! commands and pass queries into Desis".
+//!
+//! ```text
+//! SELECT avg, max WHERE key = 3 WINDOW TUMBLING 10s
+//! SELECT quantile(0.95) WHERE value > 80 WINDOW SLIDING 10s EVERY 2s
+//! SELECT median WINDOW SESSION 500ms
+//! SELECT sum WINDOW MARKER 2
+//! SELECT count WINDOW TUMBLING 1000 EVENTS
+//! ```
+//!
+//! Grammar (keywords are case-insensitive):
+//!
+//! ```text
+//! query    := SELECT functions [WHERE predicate] WINDOW window
+//! functions:= function ("," function)*
+//! function := sum | count | avg | average | min | max | median | product
+//!           | geomean | variance | stddev | quantile "(" level ")"
+//! predicate:= KEY "=" integer
+//!           | VALUE ">" number | VALUE "<" number
+//!           | VALUE BETWEEN number AND number
+//! window   := TUMBLING extent
+//!           | SLIDING extent EVERY extent
+//!           | SESSION duration
+//!           | MARKER integer
+//! extent   := duration | integer EVENTS
+//! duration := number ("ms" | "s" | "m")
+//! ```
+
+use crate::aggregate::AggFunction;
+use crate::error::DesisError;
+use crate::event::Key;
+use crate::predicate::Predicate;
+use crate::query::{Query, QueryId};
+use crate::time::DurationMs;
+use crate::window::WindowSpec;
+
+/// Parses one query. `id` becomes the query's id.
+pub fn parse_query(id: QueryId, input: &str) -> Result<Query, DesisError> {
+    Parser::new(input)?.query(id)
+}
+
+/// Formats a query back into DSL text; `parse_query` round-trips it.
+pub fn to_dsl(query: &Query) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("SELECT ");
+    for (i, f) in query.functions.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match f {
+            AggFunction::Sum => out.push_str("sum"),
+            AggFunction::Count => out.push_str("count"),
+            AggFunction::Average => out.push_str("avg"),
+            AggFunction::Min => out.push_str("min"),
+            AggFunction::Max => out.push_str("max"),
+            AggFunction::Median => out.push_str("median"),
+            AggFunction::Product => out.push_str("product"),
+            AggFunction::GeometricMean => out.push_str("geomean"),
+            AggFunction::Variance => out.push_str("variance"),
+            AggFunction::StdDev => out.push_str("stddev"),
+            AggFunction::Quantile(q) => {
+                let _ = write!(out, "quantile({q:?})");
+            }
+        }
+    }
+    match query.predicate {
+        Predicate::True => {}
+        Predicate::KeyEquals(k) => {
+            let _ = write!(out, " WHERE key = {k}");
+        }
+        Predicate::ValueAbove(x) => {
+            let _ = write!(out, " WHERE value > {x:?}");
+        }
+        Predicate::ValueBelow(x) => {
+            let _ = write!(out, " WHERE value < {x:?}");
+        }
+        Predicate::ValueBetween(lo, hi) => {
+            let _ = write!(out, " WHERE value BETWEEN {lo:?} AND {hi:?}");
+        }
+    }
+    out.push_str(" WINDOW ");
+    use crate::window::{Measure, WindowKind};
+    match (query.window.kind, query.window.measure) {
+        (WindowKind::Tumbling { length }, Measure::Time) => {
+            let _ = write!(out, "TUMBLING {length}ms");
+        }
+        (WindowKind::Tumbling { length }, Measure::Count) => {
+            let _ = write!(out, "TUMBLING {length} EVENTS");
+        }
+        (WindowKind::Sliding { length, step }, Measure::Time) => {
+            let _ = write!(out, "SLIDING {length}ms EVERY {step}ms");
+        }
+        (WindowKind::Sliding { length, step }, Measure::Count) => {
+            let _ = write!(out, "SLIDING {length} EVENTS EVERY {step} EVENTS");
+        }
+        (WindowKind::Session { gap }, _) => {
+            let _ = write!(out, "SESSION {gap}ms");
+        }
+        (WindowKind::UserDefined { channel }, _) => {
+            let _ = write!(out, "MARKER {channel}");
+        }
+    }
+    out
+}
+
+/// Parses a batch of queries separated by `;` or newlines; ids are
+/// assigned sequentially starting at `first_id`.
+pub fn parse_queries(first_id: QueryId, input: &str) -> Result<Vec<Query>, DesisError> {
+    input
+        .split([';', '\n'])
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with("--"))
+        .enumerate()
+        .map(|(i, line)| parse_query(first_id + i as QueryId, line))
+        .collect()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Number(f64),
+    Comma,
+    LParen,
+    RParen,
+    Eq,
+    Gt,
+    Lt,
+}
+
+fn err(msg: impl Into<String>) -> DesisError {
+    DesisError::InvalidQuery(msg.into())
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, DesisError> {
+        let mut tokens = Vec::new();
+        let mut chars = input.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                ',' => {
+                    chars.next();
+                    tokens.push(Token::Comma);
+                }
+                '(' => {
+                    chars.next();
+                    tokens.push(Token::LParen);
+                }
+                ')' => {
+                    chars.next();
+                    tokens.push(Token::RParen);
+                }
+                '=' => {
+                    chars.next();
+                    tokens.push(Token::Eq);
+                }
+                '>' => {
+                    chars.next();
+                    tokens.push(Token::Gt);
+                }
+                '<' => {
+                    chars.next();
+                    tokens.push(Token::Lt);
+                }
+                c if c.is_ascii_digit() || c == '.' || c == '-' => {
+                    let mut text = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || c == '.' || c == '-' {
+                            text.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    // A unit suffix glued to the number ("10s", "500ms")
+                    // becomes the next word token.
+                    let value: f64 = text
+                        .parse()
+                        .map_err(|_| err(format!("bad number {text:?}")))?;
+                    tokens.push(Token::Number(value));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut text = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            text.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token::Word(text.to_ascii_lowercase()));
+                }
+                other => return Err(err(format!("unexpected character {other:?}"))),
+            }
+        }
+        Ok(Self { tokens, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), DesisError> {
+        match self.next() {
+            Some(Token::Word(w)) if w == word => Ok(()),
+            other => Err(err(format!("expected {word:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, DesisError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(err(format!("expected a number, found {other:?}"))),
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, DesisError> {
+        let n = self.number()?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(err(format!("expected a non-negative integer, found {n}")));
+        }
+        Ok(n as u64)
+    }
+
+    fn query(&mut self, id: QueryId) -> Result<Query, DesisError> {
+        self.expect_word("select")?;
+        let mut functions = vec![self.function()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next();
+            functions.push(self.function()?);
+        }
+        let predicate = if self.eat_word("where") {
+            self.predicate()?
+        } else {
+            Predicate::True
+        };
+        self.expect_word("window")?;
+        let window = self.window()?;
+        if let Some(extra) = self.peek() {
+            return Err(err(format!("trailing input starting at {extra:?}")));
+        }
+        let query = Query::with_functions(id, window, functions).filtered(predicate);
+        query.validate()?;
+        Ok(query)
+    }
+
+    fn function(&mut self) -> Result<AggFunction, DesisError> {
+        let name = match self.next() {
+            Some(Token::Word(w)) => w,
+            other => Err(err(format!("expected a function name, found {other:?}")))?,
+        };
+        Ok(match name.as_str() {
+            "sum" => AggFunction::Sum,
+            "count" => AggFunction::Count,
+            "avg" | "average" | "mean" => AggFunction::Average,
+            "min" => AggFunction::Min,
+            "max" => AggFunction::Max,
+            "median" => AggFunction::Median,
+            "product" => AggFunction::Product,
+            "geomean" | "geometric_mean" => AggFunction::GeometricMean,
+            "variance" | "var" => AggFunction::Variance,
+            "stddev" | "std" => AggFunction::StdDev,
+            "quantile" | "percentile" => {
+                match self.next() {
+                    Some(Token::LParen) => {}
+                    other => return Err(err(format!("expected '(', found {other:?}"))),
+                }
+                let mut level = self.number()?;
+                if name == "percentile" {
+                    level /= 100.0;
+                }
+                match self.next() {
+                    Some(Token::RParen) => {}
+                    other => return Err(err(format!("expected ')', found {other:?}"))),
+                }
+                AggFunction::Quantile(level)
+            }
+            other => return Err(err(format!("unknown aggregation function {other:?}"))),
+        })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, DesisError> {
+        match self.next() {
+            Some(Token::Word(w)) if w == "key" => match self.next() {
+                Some(Token::Eq) => Ok(Predicate::KeyEquals(self.integer()? as Key)),
+                other => Err(err(format!("expected '=', found {other:?}"))),
+            },
+            Some(Token::Word(w)) if w == "value" => match self.next() {
+                Some(Token::Gt) => Ok(Predicate::ValueAbove(self.number()?)),
+                Some(Token::Lt) => Ok(Predicate::ValueBelow(self.number()?)),
+                Some(Token::Word(w)) if w == "between" => {
+                    let lo = self.number()?;
+                    self.expect_word("and")?;
+                    let hi = self.number()?;
+                    if lo > hi {
+                        return Err(err(format!("empty BETWEEN range {lo}..{hi}")));
+                    }
+                    Ok(Predicate::ValueBetween(lo, hi))
+                }
+                other => Err(err(format!(
+                    "expected '>', '<' or BETWEEN, found {other:?}"
+                ))),
+            },
+            other => Err(err(format!("expected KEY or VALUE, found {other:?}"))),
+        }
+    }
+
+    /// An extent: a duration (time measure) or `<n> EVENTS` (count
+    /// measure).
+    fn extent(&mut self) -> Result<(u64, bool), DesisError> {
+        let n = self.number()?;
+        match self.peek().cloned() {
+            Some(Token::Word(w)) if w == "events" => {
+                self.next();
+                if n < 1.0 || n.fract() != 0.0 {
+                    return Err(err(format!("bad event count {n}")));
+                }
+                Ok((n as u64, true))
+            }
+            Some(Token::Word(unit)) if matches!(unit.as_str(), "ms" | "s" | "m") => {
+                self.next();
+                Ok((to_ms(n, &unit)?, false))
+            }
+            other => Err(err(format!(
+                "expected a unit (ms/s/m) or EVENTS, found {other:?}"
+            ))),
+        }
+    }
+
+    fn duration(&mut self) -> Result<DurationMs, DesisError> {
+        let (value, is_count) = self.extent()?;
+        if is_count {
+            return Err(err("expected a duration, found an event count"));
+        }
+        Ok(value)
+    }
+
+    fn window(&mut self) -> Result<WindowSpec, DesisError> {
+        let kind = match self.next() {
+            Some(Token::Word(w)) => w,
+            other => return Err(err(format!("expected a window type, found {other:?}"))),
+        };
+        match kind.as_str() {
+            "tumbling" => {
+                let (length, is_count) = self.extent()?;
+                if is_count {
+                    WindowSpec::tumbling_count(length)
+                } else {
+                    WindowSpec::tumbling_time(length)
+                }
+            }
+            "sliding" => {
+                let (length, count_len) = self.extent()?;
+                self.expect_word("every")?;
+                let (step, count_step) = self.extent()?;
+                if count_len != count_step {
+                    return Err(err("sliding length and step must use the same measure"));
+                }
+                if count_len {
+                    WindowSpec::sliding_count(length, step)
+                } else {
+                    WindowSpec::sliding_time(length, step)
+                }
+            }
+            "session" => {
+                self.eat_word("gap");
+                WindowSpec::session(self.duration()?)
+            }
+            "marker" => Ok(WindowSpec::user_defined(self.integer()? as u32)),
+            other => Err(err(format!("unknown window type {other:?}"))),
+        }
+    }
+}
+
+fn to_ms(value: f64, unit: &str) -> Result<DurationMs, DesisError> {
+    let factor = match unit {
+        "ms" => 1.0,
+        "s" => 1_000.0,
+        "m" => 60_000.0,
+        _ => return Err(err(format!("unknown time unit {unit:?}"))),
+    };
+    let ms = value * factor;
+    if ms < 1.0 || ms.fract() != 0.0 {
+        return Err(err(format!(
+            "duration {value}{unit} is not a positive whole number of ms"
+        )));
+    }
+    Ok(ms as DurationMs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{Measure, WindowKind};
+
+    #[test]
+    fn parses_the_readme_examples() {
+        let q = parse_query(1, "SELECT avg, max WHERE key = 3 WINDOW TUMBLING 10s").unwrap();
+        assert_eq!(q.functions, vec![AggFunction::Average, AggFunction::Max]);
+        assert_eq!(q.predicate, Predicate::KeyEquals(3));
+        assert_eq!(q.window, WindowSpec::tumbling_time(10_000).unwrap());
+
+        let q = parse_query(
+            2,
+            "SELECT quantile(0.95) WHERE value > 80 WINDOW SLIDING 10s EVERY 2s",
+        )
+        .unwrap();
+        assert_eq!(q.functions, vec![AggFunction::Quantile(0.95)]);
+        assert_eq!(q.predicate, Predicate::ValueAbove(80.0));
+        assert_eq!(q.window, WindowSpec::sliding_time(10_000, 2_000).unwrap());
+
+        let q = parse_query(3, "SELECT median WINDOW SESSION 500ms").unwrap();
+        assert_eq!(q.window, WindowSpec::session(500).unwrap());
+
+        let q = parse_query(4, "SELECT sum WINDOW MARKER 2").unwrap();
+        assert_eq!(q.window, WindowSpec::user_defined(2));
+
+        let q = parse_query(5, "SELECT count WINDOW TUMBLING 1000 EVENTS").unwrap();
+        assert_eq!(q.window.measure, Measure::Count);
+        assert_eq!(q.window.kind, WindowKind::Tumbling { length: 1_000 });
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let a = parse_query(1, "select AVG window tumbling 1s").unwrap();
+        let b = parse_query(1, "SELECT avg WINDOW TUMBLING 1000ms").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_gap_keyword_is_optional() {
+        assert_eq!(
+            parse_query(1, "SELECT sum WINDOW SESSION GAP 2s").unwrap(),
+            parse_query(1, "SELECT sum WINDOW SESSION 2s").unwrap()
+        );
+    }
+
+    #[test]
+    fn percentile_sugar() {
+        let q = parse_query(1, "SELECT percentile(95) WINDOW TUMBLING 1s").unwrap();
+        assert_eq!(q.functions, vec![AggFunction::Quantile(0.95)]);
+    }
+
+    #[test]
+    fn between_predicate() {
+        let q = parse_query(
+            1,
+            "SELECT variance WHERE value BETWEEN 1.5 AND 2.5 WINDOW TUMBLING 1s",
+        )
+        .unwrap();
+        assert_eq!(q.predicate, Predicate::ValueBetween(1.5, 2.5));
+        assert_eq!(q.functions, vec![AggFunction::Variance]);
+    }
+
+    #[test]
+    fn sliding_count_windows() {
+        let q = parse_query(1, "SELECT sum WINDOW SLIDING 100 EVENTS EVERY 40 EVENTS").unwrap();
+        assert_eq!(q.window, WindowSpec::sliding_count(100, 40).unwrap());
+    }
+
+    #[test]
+    fn batch_parsing_assigns_sequential_ids() {
+        let batch = "
+            SELECT avg WINDOW TUMBLING 1s;
+            -- a comment line
+            SELECT max WHERE key = 2 WINDOW SESSION 300ms
+            SELECT median WINDOW TUMBLING 500 EVENTS
+        ";
+        let queries = parse_queries(10, batch).unwrap();
+        assert_eq!(queries.len(), 3);
+        assert_eq!(
+            queries.iter().map(|q| q.id).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "SELECT WINDOW TUMBLING 1s",
+            "SELECT avg",
+            "SELECT avg WINDOW",
+            "SELECT avg WINDOW TUMBLING",
+            "SELECT avg WINDOW TUMBLING 1x",
+            "SELECT avg WINDOW SLIDING 1s",
+            "SELECT avg WINDOW SLIDING 1s EVERY 10 EVENTS",
+            "SELECT bogus WINDOW TUMBLING 1s",
+            "SELECT quantile(2.0) WINDOW TUMBLING 1s",
+            "SELECT avg WHERE speed > 1 WINDOW TUMBLING 1s",
+            "SELECT avg WHERE value BETWEEN 5 AND 1 WINDOW TUMBLING 1s",
+            "SELECT avg WINDOW TUMBLING 1s EXTRA",
+            "SELECT avg WINDOW SLIDING 1s EVERY 2s", // step > length
+            "SELECT avg WINDOW TUMBLING 0.5 EVENTS",
+        ] {
+            assert!(parse_query(1, bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn to_dsl_round_trips() {
+        for text in [
+            "SELECT avg, max WHERE key = 3 WINDOW TUMBLING 10s",
+            "SELECT quantile(0.95) WHERE value > 80.5 WINDOW SLIDING 10s EVERY 2s",
+            "SELECT median WHERE value BETWEEN 1.25 AND 9.75 WINDOW SESSION 500ms",
+            "SELECT variance WINDOW MARKER 2",
+            "SELECT count WINDOW SLIDING 1000 EVENTS EVERY 100 EVENTS",
+        ] {
+            let q = parse_query(7, text).unwrap();
+            let reparsed = parse_query(7, &to_dsl(&q)).unwrap();
+            assert_eq!(q, reparsed, "{text}");
+        }
+    }
+
+    #[test]
+    fn parsed_queries_run_in_the_engine() {
+        use crate::engine::AggregationEngine;
+        use crate::event::Event;
+        let queries = parse_queries(
+            1,
+            "SELECT avg, stddev WINDOW TUMBLING 1s; SELECT max WHERE value > 0 WINDOW SLIDING 2s EVERY 1s",
+        )
+        .unwrap();
+        let mut engine = AggregationEngine::new(queries).unwrap();
+        for ts in 0..5_000u64 {
+            engine.on_event(&Event::new(ts, 0, (ts % 7) as f64 - 3.0));
+        }
+        engine.on_watermark(10_000);
+        let results = engine.drain_results();
+        assert!(results.iter().any(|r| r.query == 1));
+        assert!(results.iter().any(|r| r.query == 2));
+    }
+}

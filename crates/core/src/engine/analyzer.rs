@@ -1,0 +1,337 @@
+//! The query analyzer (paper Section 3.1, Section 4.2.3, Section 5.2).
+//!
+//! The analyzer assigns queries to query-groups. How aggressively partial
+//! results may be shared is controlled by a [`SharingPolicy`], which lets
+//! the same engine double as the paper's `DeSW` baseline (sharing only
+//! within the same function set and measure) — see Section 6.1.1.
+
+use crate::engine::group::{GroupId, QueryGroup, SelectionId};
+use crate::error::DesisError;
+use crate::predicate::{Overlap, Predicate};
+use crate::query::Query;
+use crate::window::Measure;
+
+/// How widely partial results may be shared across queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingPolicy {
+    /// Desis: share across window types, measures, and aggregation
+    /// functions (operator-level sharing).
+    #[default]
+    Full,
+    /// DeSW / Scotty-style: share only between queries with the same set
+    /// of aggregation functions *and* the same window measure.
+    PerFunctionAndMeasure,
+    /// Scotty-style: share only between queries with the same set of
+    /// aggregation functions (any measure).
+    PerFunction,
+    /// No sharing: one query-group per query (DeBucket-style grouping).
+    None,
+}
+
+/// Where the analyzed queries will run, which affects grouping:
+/// in a decentralized deployment, count-measured windows and
+/// non-decomposable functions are only terminated on the root (Section
+/// 5.2), so they must not share groups with decentrally-aggregated
+/// queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Deployment {
+    /// Single-node / root-only processing: everything may share one group.
+    #[default]
+    Centralized,
+    /// Multi-node processing: split decomposable time-measured queries
+    /// from root-only (count-based / non-decomposable) queries.
+    Decentralized,
+}
+
+/// The query analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct QueryAnalyzer {
+    /// Sharing policy to apply.
+    pub policy: SharingPolicy,
+    /// Deployment the groups will run in.
+    pub deployment: Deployment,
+}
+
+/// Per-deployment sharing class of a query (Section 5.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ShareClass {
+    /// Decomposable, time-measured: decentralized aggregation.
+    Decentralized,
+    /// Processed on the root: count-based windows and/or non-decomposable
+    /// functions may share one group there.
+    RootOnly,
+}
+
+impl QueryAnalyzer {
+    /// Creates an analyzer with the given policy and deployment.
+    pub fn new(policy: SharingPolicy, deployment: Deployment) -> Self {
+        Self { policy, deployment }
+    }
+
+    /// Groups `queries` into query-groups.
+    ///
+    /// Queries are validated; duplicate query ids are rejected. The
+    /// grouping is greedy and order-dependent (a query joins the first
+    /// group it is compatible with), matching the incremental add-query
+    /// path of the running system (Section 3.2).
+    pub fn analyze(&self, queries: Vec<Query>) -> Result<Vec<QueryGroup>, DesisError> {
+        let mut seen_ids = std::collections::HashSet::new();
+        for q in &queries {
+            q.validate()?;
+            if !seen_ids.insert(q.id) {
+                return Err(DesisError::InvalidQuery(format!(
+                    "duplicate query id {}",
+                    q.id
+                )));
+            }
+        }
+
+        // Draft groups: member (query, selection) pairs + predicate list.
+        struct Draft {
+            members: Vec<(Query, SelectionId)>,
+            predicates: Vec<Predicate>,
+            class: ShareClass,
+            share_key: Option<ShareKey>,
+        }
+        // Key for restricted sharing policies.
+        #[derive(PartialEq)]
+        struct ShareKey {
+            functions: Vec<crate::aggregate::AggFunction>,
+            measure: Option<Measure>,
+        }
+
+        let mut drafts: Vec<Draft> = Vec::new();
+        for q in queries {
+            let class = match self.deployment {
+                Deployment::Centralized => ShareClass::Decentralized,
+                Deployment::Decentralized => {
+                    if q.is_decomposable() && q.window.measure == Measure::Time {
+                        ShareClass::Decentralized
+                    } else {
+                        ShareClass::RootOnly
+                    }
+                }
+            };
+            let share_key = match self.policy {
+                SharingPolicy::Full => None,
+                SharingPolicy::PerFunctionAndMeasure => {
+                    let mut functions = q.functions.clone();
+                    functions.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+                    Some(ShareKey {
+                        functions,
+                        measure: Some(q.window.measure),
+                    })
+                }
+                SharingPolicy::PerFunction => {
+                    let mut functions = q.functions.clone();
+                    functions.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+                    Some(ShareKey {
+                        functions,
+                        measure: None,
+                    })
+                }
+                SharingPolicy::None => None,
+            };
+
+            let target = if self.policy == SharingPolicy::None {
+                None
+            } else {
+                drafts.iter_mut().find(|d| {
+                    d.class == class
+                        && d.share_key == share_key
+                        && d.predicates.iter().all(|p| p.compatible(&q.predicate))
+                })
+            };
+            match target {
+                Some(d) => {
+                    let sel = d
+                        .predicates
+                        .iter()
+                        .position(|p| p.overlap(&q.predicate) == Overlap::Equal)
+                        .unwrap_or_else(|| {
+                            d.predicates.push(q.predicate);
+                            d.predicates.len() - 1
+                        });
+                    d.members.push((q, sel as SelectionId));
+                }
+                None => {
+                    drafts.push(Draft {
+                        predicates: vec![q.predicate],
+                        members: vec![(q, 0)],
+                        class,
+                        share_key,
+                    });
+                }
+            }
+        }
+
+        Ok(drafts
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| QueryGroup::build(i as GroupId, d.members, d.predicates))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunction;
+    use crate::engine::group::GroupExecution;
+    use crate::window::WindowSpec;
+
+    fn tumbling(id: u64, f: AggFunction) -> Query {
+        Query::new(id, WindowSpec::tumbling_time(1000).unwrap(), f)
+    }
+
+    #[test]
+    fn full_policy_merges_different_functions_and_types() {
+        // Figure 4: tumbling max, sliding quantile, session median share a
+        // single query-group.
+        let queries = vec![
+            Query::new(
+                1,
+                WindowSpec::tumbling_time(1000).unwrap(),
+                AggFunction::Max,
+            ),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(2000, 500).unwrap(),
+                AggFunction::Quantile(0.9),
+            ),
+            Query::new(3, WindowSpec::session(400).unwrap(), AggFunction::Median),
+        ];
+        let groups = QueryAnalyzer::default().analyze(queries).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].selections[0].operators.len(), 1); // one NSort
+    }
+
+    #[test]
+    fn per_function_policy_splits_functions() {
+        let queries = vec![
+            tumbling(1, AggFunction::Average),
+            tumbling(2, AggFunction::Sum),
+            tumbling(3, AggFunction::Average),
+        ];
+        let groups = QueryAnalyzer::new(SharingPolicy::PerFunction, Deployment::Centralized)
+            .analyze(queries)
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn per_function_measure_policy_also_splits_measures() {
+        let queries = vec![
+            tumbling(1, AggFunction::Sum),
+            Query::new(
+                2,
+                WindowSpec::tumbling_count(100).unwrap(),
+                AggFunction::Sum,
+            ),
+        ];
+        let pf = QueryAnalyzer::new(SharingPolicy::PerFunction, Deployment::Centralized)
+            .analyze(queries.clone())
+            .unwrap();
+        assert_eq!(pf.len(), 1);
+        let pfm =
+            QueryAnalyzer::new(SharingPolicy::PerFunctionAndMeasure, Deployment::Centralized)
+                .analyze(queries)
+                .unwrap();
+        assert_eq!(pfm.len(), 2);
+    }
+
+    #[test]
+    fn none_policy_isolates_every_query() {
+        let queries = vec![
+            tumbling(1, AggFunction::Sum),
+            tumbling(2, AggFunction::Sum),
+            tumbling(3, AggFunction::Sum),
+        ];
+        let groups = QueryAnalyzer::new(SharingPolicy::None, Deployment::Centralized)
+            .analyze(queries)
+            .unwrap();
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn decentralized_splits_count_and_holistic_from_decomposable() {
+        let queries = vec![
+            tumbling(1, AggFunction::Average),
+            tumbling(2, AggFunction::Median),
+            Query::new(
+                3,
+                WindowSpec::tumbling_count(100).unwrap(),
+                AggFunction::Sum,
+            ),
+        ];
+        let groups = QueryAnalyzer::new(SharingPolicy::Full, Deployment::Decentralized)
+            .analyze(queries)
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        let decentral = groups
+            .iter()
+            .find(|g| g.execution == GroupExecution::Decentralized)
+            .unwrap();
+        assert_eq!(decentral.queries.len(), 1);
+        // Median + count-based sum share the root-only group (Section 5.2).
+        let root = groups
+            .iter()
+            .find(|g| g.execution != GroupExecution::Decentralized)
+            .unwrap();
+        assert_eq!(root.queries.len(), 2);
+        // Count member forces raw forwarding for the whole group.
+        assert_eq!(root.execution, GroupExecution::RootRaw);
+    }
+
+    #[test]
+    fn centralized_shares_count_and_time(){
+        let queries = vec![
+            tumbling(1, AggFunction::Sum),
+            Query::new(
+                2,
+                WindowSpec::tumbling_count(100).unwrap(),
+                AggFunction::Sum,
+            ),
+        ];
+        let groups = QueryAnalyzer::default().analyze(queries).unwrap();
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_predicates_share_a_group_with_separate_selections() {
+        let q1 = tumbling(1, AggFunction::Sum).filtered(Predicate::ValueAbove(80.0));
+        let q2 = tumbling(2, AggFunction::Average).filtered(Predicate::ValueBelow(25.0));
+        let groups = QueryAnalyzer::default().analyze(vec![q1, q2]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].selections.len(), 2);
+    }
+
+    #[test]
+    fn equal_predicates_share_a_selection() {
+        let q1 = tumbling(1, AggFunction::Sum).filtered(Predicate::KeyEquals(3));
+        let q2 = tumbling(2, AggFunction::Count).filtered(Predicate::KeyEquals(3));
+        let groups = QueryAnalyzer::default().analyze(vec![q1, q2]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].selections.len(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_forces_separate_groups() {
+        let q1 = tumbling(1, AggFunction::Sum).filtered(Predicate::ValueAbove(10.0));
+        let q2 = tumbling(2, AggFunction::Sum).filtered(Predicate::ValueBelow(20.0));
+        let groups = QueryAnalyzer::default().analyze(vec![q1, q2]).unwrap();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let queries = vec![tumbling(1, AggFunction::Sum), tumbling(1, AggFunction::Sum)];
+        assert!(QueryAnalyzer::default().analyze(queries).is_err());
+    }
+
+    #[test]
+    fn invalid_query_rejected() {
+        let q = Query::with_functions(1, WindowSpec::tumbling_time(10).unwrap(), vec![]);
+        assert!(QueryAnalyzer::default().analyze(vec![q]).is_err());
+    }
+}

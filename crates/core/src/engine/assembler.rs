@@ -1,0 +1,371 @@
+//! Window assembly from slice partials (paper Section 4.3).
+//!
+//! The assembler keeps the list of sealed-slice partial results. Whenever
+//! a slice carries an end punctuation, it merges the partial results of
+//! the window's slice range (for the terminated query's selection only),
+//! finalizes each of the query's aggregation functions per key, and emits
+//! [`QueryResult`]s. Partial results no longer referenced by any active
+//! window are garbage collected using the slicer's low watermark.
+
+use std::collections::VecDeque;
+
+use rustc_hash::FxHashMap;
+
+use crate::aggregate::{AggFunction, OperatorBundle};
+use crate::engine::group::{QueryGroup, SelectionId};
+use crate::engine::slice::{SealedSlice, SliceId, WindowEnd};
+use crate::event::Key;
+use crate::query::{QueryId, QueryResult};
+
+/// Slice partial retained by the assembler.
+#[derive(Debug, Clone)]
+struct StoredSlice {
+    id: SliceId,
+    data: crate::engine::slice::SliceData,
+}
+
+/// Per-query info the assembler needs to finalize windows.
+#[derive(Debug, Clone)]
+struct QueryInfo {
+    selection: SelectionId,
+    functions: Vec<AggFunction>,
+}
+
+/// Assembles window results from sealed slices of one query-group.
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    queries: FxHashMap<QueryId, QueryInfo>,
+    slices: VecDeque<StoredSlice>,
+    /// Number of results emitted (paper: result materialization dominates
+    /// beyond 10k queries, Figure 13a).
+    results_emitted: u64,
+}
+
+impl Assembler {
+    /// Creates an assembler for `group`.
+    pub fn new(group: &QueryGroup) -> Self {
+        let queries = group
+            .queries
+            .iter()
+            .map(|cq| {
+                (
+                    cq.query.id,
+                    QueryInfo {
+                        selection: cq.selection,
+                        functions: cq.query.functions.clone(),
+                    },
+                )
+            })
+            .collect();
+        Self {
+            queries,
+            slices: VecDeque::new(),
+            results_emitted: 0,
+        }
+    }
+
+    /// Number of slice partials currently retained.
+    pub fn retained_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total results emitted so far.
+    pub fn results_emitted(&self) -> u64 {
+        self.results_emitted
+    }
+
+    /// Stops finalizing windows for `query` (runtime removal, Section
+    /// 3.2). Returns `false` if the query is unknown.
+    pub fn remove_query(&mut self, query: QueryId) -> bool {
+        self.queries.remove(&query).is_some()
+    }
+
+    /// Ingests a sealed slice: stores its partials, assembles every window
+    /// it terminates, then garbage-collects unreachable partials.
+    ///
+    /// Windows of different queries frequently cover the *same* slice
+    /// range (e.g. a thousand equal-length tumbling windows with different
+    /// functions, Figure 9c); their merged partials are computed once per
+    /// distinct `(selection, range)` and shared across queries.
+    pub fn on_slice(&mut self, slice: SealedSlice, out: &mut Vec<QueryResult>) {
+        let low = slice.low_watermark;
+        let ends = slice.ends.clone();
+        self.slices.push_back(StoredSlice {
+            id: slice.id,
+            data: slice.data,
+        });
+        let mut merge_cache: FxHashMap<
+            (SelectionId, SliceId, SliceId),
+            FxHashMap<Key, OperatorBundle>,
+        > = FxHashMap::default();
+        for end in &ends {
+            self.assemble_cached(end, &mut merge_cache, out);
+        }
+        self.gc(low);
+    }
+
+    /// Merges the partial results of `end`'s slice range and finalizes the
+    /// query's functions per key.
+    pub fn assemble(&mut self, end: &WindowEnd, out: &mut Vec<QueryResult>) {
+        let mut cache = FxHashMap::default();
+        self.assemble_cached(end, &mut cache, out);
+    }
+
+    fn assemble_cached(
+        &mut self,
+        end: &WindowEnd,
+        merge_cache: &mut FxHashMap<
+            (SelectionId, SliceId, SliceId),
+            FxHashMap<Key, OperatorBundle>,
+        >,
+        out: &mut Vec<QueryResult>,
+    ) {
+        // Unknown ids are tolerated: in-flight ends of queries removed at
+        // runtime (Section 3.2) may still arrive.
+        let Some(info) = self.queries.get(&end.query).cloned() else {
+            return;
+        };
+        let sel = info.selection as usize;
+        let cache_key = (info.selection, end.first_slice, end.last_slice);
+        if let std::collections::hash_map::Entry::Vacant(e) = merge_cache.entry(cache_key) {
+            let mut merged: FxHashMap<Key, OperatorBundle> = FxHashMap::default();
+            for stored in &self.slices {
+                if stored.id < end.first_slice || stored.id > end.last_slice {
+                    continue;
+                }
+                for (key, bundle) in &stored.data.per_selection[sel] {
+                    match merged.get_mut(key) {
+                        Some(b) => b.merge(bundle),
+                        None => {
+                            merged.insert(*key, bundle.clone());
+                        }
+                    }
+                }
+            }
+            e.insert(merged);
+        }
+        let merged = merge_cache.get(&cache_key).expect("just inserted");
+        for (key, bundle) in merged {
+            let values: Vec<Option<f64>> =
+                info.functions.iter().map(|f| bundle.finalize(f)).collect();
+            out.push(QueryResult {
+                query: end.query,
+                key: *key,
+                window_start: end.start_ts,
+                window_end: end.end_ts,
+                values,
+            });
+            self.results_emitted += 1;
+        }
+    }
+
+    /// Drops slice partials older than `low` — partials that no longer
+    /// belong to any active window (Section 4.3: "if there are any partial
+    /// results that do not belong to any window, the aggregation engine
+    /// will delete them").
+    pub fn gc(&mut self, low: SliceId) {
+        while let Some(front) = self.slices.front() {
+            if front.id < low {
+                self.slices.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyzer::QueryAnalyzer;
+    use crate::time::Timestamp;
+    use crate::engine::slicer::GroupSlicer;
+    use crate::event::Event;
+    use crate::query::Query;
+    use crate::window::WindowSpec;
+
+    /// End-to-end slicer + assembler over one group.
+    fn run(queries: Vec<Query>, events: &[Event], final_wm: Timestamp) -> Vec<QueryResult> {
+        let mut groups = QueryAnalyzer::default().analyze(queries).unwrap();
+        assert_eq!(groups.len(), 1);
+        let group = groups.remove(0);
+        let mut slicer = GroupSlicer::new(group.clone());
+        let mut assembler = Assembler::new(&group);
+        let mut slices = Vec::new();
+        let mut results = Vec::new();
+        for ev in events {
+            slicer.on_event(ev, &mut slices);
+            for s in slices.drain(..) {
+                assembler.on_slice(s, &mut results);
+            }
+        }
+        slicer.on_watermark(final_wm, &mut slices);
+        for s in slices.drain(..) {
+            assembler.on_slice(s, &mut results);
+        }
+        results
+    }
+
+    #[test]
+    fn tumbling_average_per_key() {
+        let q = Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Average,
+        );
+        let events = vec![
+            Event::new(0, 1, 10.0),
+            Event::new(10, 1, 20.0),
+            Event::new(20, 2, 100.0),
+            Event::new(110, 1, 42.0),
+        ];
+        let mut results = run(vec![q], &events, 200);
+        results.sort_by_key(|r| (r.window_start, r.key));
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].key, 1);
+        assert_eq!(results[0].values, vec![Some(15.0)]);
+        assert_eq!(results[1].key, 2);
+        assert_eq!(results[1].values, vec![Some(100.0)]);
+        assert_eq!(results[2].window_start, 100);
+        assert_eq!(results[2].values, vec![Some(42.0)]);
+    }
+
+    #[test]
+    fn sliding_windows_reuse_slice_partials() {
+        let q = Query::new(
+            1,
+            WindowSpec::sliding_time(100, 50).unwrap(),
+            AggFunction::Sum,
+        );
+        let events = vec![
+            Event::new(0, 0, 1.0),
+            Event::new(60, 0, 2.0),
+            Event::new(120, 0, 4.0),
+        ];
+        let mut results = run(vec![q], &events, 300);
+        results.sort_by_key(|r| r.window_start);
+        // Windows: [0,100)=3, [50,150)=6, [100,200)=4, [150,250)=0(empty).
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].values, vec![Some(3.0)]);
+        assert_eq!(results[1].values, vec![Some(6.0)]);
+        assert_eq!(results[2].values, vec![Some(4.0)]);
+    }
+
+    #[test]
+    fn figure4_workload_shares_one_sort() {
+        // Qa tumbling max, Qb sliding quantile, Qc session median (Fig. 4).
+        let qa = Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Max);
+        let qb = Query::new(
+            2,
+            WindowSpec::sliding_time(100, 50).unwrap(),
+            AggFunction::Quantile(0.5),
+        );
+        let qc = Query::new(3, WindowSpec::session(80).unwrap(), AggFunction::Median);
+        let events = vec![
+            Event::new(0, 0, 1.0),
+            Event::new(20, 0, 5.0),
+            Event::new(40, 0, 3.0),
+            Event::new(60, 0, 2.0),
+            Event::new(80, 0, 4.0),
+        ];
+        let results = run(vec![qa, qb, qc], &events, 1000);
+        let max0 = results
+            .iter()
+            .find(|r| r.query == 1 && r.window_start == 0)
+            .unwrap();
+        assert_eq!(max0.values, vec![Some(5.0)]);
+        let med_sliding = results
+            .iter()
+            .find(|r| r.query == 2 && r.window_start == 0)
+            .unwrap();
+        assert_eq!(med_sliding.values, vec![Some(3.0)]);
+        // Session [0, 160): all five events, median 3.
+        let session = results.iter().find(|r| r.query == 3).unwrap();
+        assert_eq!(session.window_start, 0);
+        assert_eq!(session.window_end, 160);
+        assert_eq!(session.values, vec![Some(3.0)]);
+    }
+
+    #[test]
+    fn empty_windows_emit_nothing() {
+        let q = Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Sum);
+        let events = vec![Event::new(0, 0, 1.0), Event::new(450, 0, 2.0)];
+        let results = run(vec![q], &events, 500);
+        // Windows [100,200)..[300,400) are empty.
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn gc_drops_unreachable_partials() {
+        let q = Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Sum);
+        let mut groups = QueryAnalyzer::default().analyze(vec![q]).unwrap();
+        let group = groups.remove(0);
+        let mut slicer = GroupSlicer::new(group.clone());
+        let mut assembler = Assembler::new(&group);
+        let mut slices = Vec::new();
+        let mut results = Vec::new();
+        for ts in (0..10_000).step_by(10) {
+            slicer.on_event(&Event::new(ts, 0, 1.0), &mut slices);
+            for s in slices.drain(..) {
+                assembler.on_slice(s, &mut results);
+            }
+        }
+        // Tumbling windows never need more than the current slice.
+        assert!(assembler.retained_slices() <= 1);
+        assert_eq!(assembler.results_emitted(), results.len() as u64);
+    }
+
+    #[test]
+    fn multi_function_query_emits_all_values() {
+        let q = Query::with_functions(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            vec![AggFunction::Min, AggFunction::Max, AggFunction::Average],
+        );
+        let events = vec![
+            Event::new(0, 0, 1.0),
+            Event::new(10, 0, 9.0),
+            Event::new(20, 0, 5.0),
+        ];
+        let results = run(vec![q], &events, 100);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].values, vec![Some(1.0), Some(9.0), Some(5.0)]);
+    }
+
+    #[test]
+    fn disjoint_selections_produce_individual_results() {
+        use crate::predicate::Predicate;
+        let fast = Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Count)
+            .filtered(Predicate::ValueAbove(80.0));
+        let slow = Query::new(2, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Count)
+            .filtered(Predicate::ValueBelow(25.0));
+        let events = vec![
+            Event::new(0, 0, 90.0),
+            Event::new(10, 0, 10.0),
+            Event::new(20, 0, 50.0), // matches neither
+            Event::new(30, 0, 95.0),
+        ];
+        let results = run(vec![fast, slow], &events, 100);
+        let fast_r = results.iter().find(|r| r.query == 1).unwrap();
+        let slow_r = results.iter().find(|r| r.query == 2).unwrap();
+        assert_eq!(fast_r.values, vec![Some(2.0)]);
+        assert_eq!(slow_r.values, vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn count_window_results() {
+        let q = Query::new(
+            1,
+            WindowSpec::tumbling_count(3).unwrap(),
+            AggFunction::Average,
+        );
+        let events: Vec<Event> = (0..9)
+            .map(|i| Event::new(i as u64, 0, (i + 1) as f64))
+            .collect();
+        let results = run(vec![q], &events, 100);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].values, vec![Some(2.0)]); // avg(1,2,3)
+        assert_eq!(results[1].values, vec![Some(5.0)]); // avg(4,5,6)
+        assert_eq!(results[2].values, vec![Some(8.0)]); // avg(7,8,9)
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types for the Desis engine.
+
+use std::fmt;
+
+/// Errors produced by query validation and engine operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesisError {
+    /// A window specification was internally inconsistent.
+    InvalidWindow(&'static str),
+    /// A query was rejected by the query analyzer.
+    InvalidQuery(String),
+    /// A query id was not known to the engine.
+    UnknownQuery(u64),
+    /// A quantile level outside `(0, 1)` was requested.
+    InvalidQuantile(f64),
+    /// The engine was asked to do something unsupported in its current
+    /// deployment role (e.g. terminate count windows on a local node).
+    UnsupportedInRole(&'static str),
+}
+
+impl fmt::Display for DesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesisError::InvalidWindow(msg) => write!(f, "invalid window: {msg}"),
+            DesisError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            DesisError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            DesisError::InvalidQuantile(q) => {
+                write!(f, "quantile level {q} outside the open interval (0, 1)")
+            }
+            DesisError::UnsupportedInRole(msg) => {
+                write!(f, "unsupported in this node role: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DesisError::InvalidQuantile(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = DesisError::UnknownQuery(42);
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Stream events.
+//!
+//! Events follow the four-field layout of the paper's data generator
+//! (Section 6.1.2): a timestamp, a key, a value, and an optional
+//! *user-defined event* marker that delimits user-defined windows
+//! (e.g. "trip started" / "trip ended" for a per-trip maximum-speed query).
+
+use crate::time::Timestamp;
+
+/// Key identifying the logical sub-stream an event belongs to
+/// (e.g. speed / temperature / humidity readings, or a sensor id).
+pub type Key = u32;
+
+/// Identifies one family of user-defined windows. Markers on channel `c`
+/// only affect user-defined window queries listening on channel `c`.
+pub type MarkerChannel = u32;
+
+/// Which boundary a user-defined marker event denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkerKind {
+    /// Opens a new user-defined window on the channel.
+    Start,
+    /// Closes the currently open user-defined window on the channel.
+    End,
+}
+
+/// A user-defined window boundary carried by an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Marker {
+    /// The user-defined window family this marker belongs to.
+    pub channel: MarkerChannel,
+    /// Whether the marker opens or closes a window.
+    pub kind: MarkerKind,
+}
+
+/// A single stream event.
+///
+/// `Event` is `Copy` and 32 bytes so that hot paths move it in registers
+/// and vectors of events stay cache friendly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Event-time timestamp (milliseconds since stream epoch).
+    pub ts: Timestamp,
+    /// Sub-stream key.
+    pub key: Key,
+    /// Measured value to aggregate.
+    pub value: f64,
+    /// Optional user-defined window boundary.
+    pub marker: Option<Marker>,
+}
+
+impl Event {
+    /// Creates a plain data event with no marker.
+    #[inline]
+    pub fn new(ts: Timestamp, key: Key, value: f64) -> Self {
+        Self {
+            ts,
+            key,
+            value,
+            marker: None,
+        }
+    }
+
+    /// Creates an event that also carries a user-defined window marker.
+    #[inline]
+    pub fn with_marker(ts: Timestamp, key: Key, value: f64, marker: Marker) -> Self {
+        Self {
+            ts,
+            key,
+            value,
+            marker: Some(marker),
+        }
+    }
+
+    /// Returns the marker if this event opens a user-defined window on
+    /// `channel`.
+    #[inline]
+    pub fn starts_channel(&self, channel: MarkerChannel) -> bool {
+        matches!(
+            self.marker,
+            Some(Marker { channel: c, kind: MarkerKind::Start }) if c == channel
+        )
+    }
+
+    /// Returns the marker if this event closes a user-defined window on
+    /// `channel`.
+    #[inline]
+    pub fn ends_channel(&self, channel: MarkerChannel) -> bool {
+        matches!(
+            self.marker,
+            Some(Marker { channel: c, kind: MarkerKind::End }) if c == channel
+        )
+    }
+}
+
+/// A watermark: a promise that no further event with `ts <= watermark`
+/// will arrive on this stream. Watermarks flush session and user-defined
+/// windows that would otherwise wait forever (Section 5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Watermark(pub Timestamp);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_is_small() {
+        // Hot-path type: keep it within two cache-line quarters.
+        assert!(std::mem::size_of::<Event>() <= 32);
+    }
+
+    #[test]
+    fn marker_channel_matching() {
+        let start = Event::with_marker(
+            5,
+            1,
+            2.0,
+            Marker {
+                channel: 7,
+                kind: MarkerKind::Start,
+            },
+        );
+        assert!(start.starts_channel(7));
+        assert!(!start.starts_channel(8));
+        assert!(!start.ends_channel(7));
+
+        let end = Event::with_marker(
+            9,
+            1,
+            2.0,
+            Marker {
+                channel: 7,
+                kind: MarkerKind::End,
+            },
+        );
+        assert!(end.ends_channel(7));
+        assert!(!end.starts_channel(7));
+    }
+
+    #[test]
+    fn plain_event_matches_no_channel() {
+        let ev = Event::new(1, 2, 3.0);
+        assert!(!ev.starts_channel(0));
+        assert!(!ev.ends_channel(0));
+    }
+}

@@ -1,0 +1,89 @@
+//! # desis-core
+//!
+//! From-scratch Rust implementation of the **Desis** aggregation engine
+//! ("Desis: Efficient Window Aggregation in Decentralized Networks",
+//! EDBT 2023).
+//!
+//! Desis processes many concurrent windowed aggregation queries over one
+//! event stream while sharing partial results between windows that differ
+//! in **window type** (tumbling / sliding / session / user-defined),
+//! **window measure** (time / count), and — unlike slicing systems such as
+//! Scotty — **aggregation function**:
+//!
+//! 1. The [query analyzer](engine::QueryAnalyzer) puts queries whose
+//!    selection predicates are identical or disjoint into *query-groups*
+//!    (Section 4.2.3).
+//! 2. Aggregation functions are lowered to shareable
+//!    [*operators*](aggregate::OperatorKind) (Table 1): `average` becomes
+//!    `sum`+`count`, `max`/`min` become a decomposable sort,
+//!    `median`/`quantile` a non-decomposable sort, and so on.
+//! 3. The [stream slicer](engine::GroupSlicer) cuts the stream at every
+//!    window punctuation and folds each event *once* into the union of
+//!    operators of its query-group (Section 4.1).
+//! 4. The [assembler](engine::Assembler) merges slice partials into final
+//!    per-window, per-key results when end punctuations fire (Section 4.3).
+//!
+//! Slices carry auto-incrementing ids, end-punctuation marks, and session
+//! gaps, which is exactly the interface the decentralized substrate
+//! (`desis-net`) uses to aggregate across local → intermediate → root
+//! nodes (Section 5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use desis_core::prelude::*;
+//!
+//! // Three queries with different window types and functions — one
+//! // query-group, every event processed once.
+//! let queries = vec![
+//!     Query::new(1, WindowSpec::tumbling_time(1_000)?, AggFunction::Max),
+//!     Query::new(2, WindowSpec::sliding_time(2_000, 500)?, AggFunction::Quantile(0.9)),
+//!     Query::new(3, WindowSpec::session(400)?, AggFunction::Median),
+//! ];
+//! let mut engine = AggregationEngine::new(queries)?;
+//! assert_eq!(engine.group_count(), 1);
+//!
+//! for ts in 0..5_000u64 {
+//!     engine.on_event(&Event::new(ts, (ts % 10) as u32, (ts % 97) as f64));
+//! }
+//! engine.on_watermark(10_000);
+//! for result in engine.drain_results() {
+//!     println!("query {} key {} [{}, {}) -> {:?}",
+//!         result.query, result.key, result.window_start,
+//!         result.window_end, result.values);
+//! }
+//! # Ok::<(), desis_core::DesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod dsl;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod metrics;
+pub mod predicate;
+pub mod query;
+pub mod time;
+pub mod window;
+
+pub use error::DesisError;
+
+/// Convenience re-exports of the most common types.
+pub mod prelude {
+    pub use crate::aggregate::{AggFunction, OperatorBundle, OperatorKind, OperatorSet};
+    pub use crate::dsl::{parse_queries, parse_query, to_dsl};
+    pub use crate::engine::{
+        AggregationEngine, Assembler, Deployment, GroupExecution, GroupSlicer, QueryAnalyzer,
+        QueryGroup, ReorderBuffer, SealedSlice, SharingPolicy, SliceId, WindowEnd,
+    };
+    pub use crate::error::DesisError;
+    pub use crate::event::{Event, Key, Marker, MarkerKind, Watermark};
+    pub use crate::metrics::EngineMetrics;
+    pub use crate::predicate::Predicate;
+    pub use crate::query::{Query, QueryId, QueryResult};
+    pub use crate::time::{DurationMs, Timestamp, MINUTE, SECOND};
+    pub use crate::window::{Measure, WindowKind, WindowSpec};
+}

@@ -1,0 +1,71 @@
+//! Engine metrics.
+//!
+//! These counters back the paper's evaluation metrics: the number of
+//! executed operator calculations (Figure 9b/9d/9f), the number of slices
+//! produced (Figure 8b/8d), events processed, and results emitted.
+
+/// Plain (non-atomic) counters owned by a single-threaded engine instance.
+/// Decentralized deployments aggregate one `EngineMetrics` per node.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Events ingested.
+    pub events: u64,
+    /// Incremental operator executions ("calculations", Figure 9).
+    pub calculations: u64,
+    /// Slices sealed (Figure 8b/8d counts slices per minute).
+    pub slices: u64,
+    /// Final window results emitted (one per query per key per window).
+    pub results: u64,
+    /// Windows terminated.
+    pub windows_closed: u64,
+}
+
+impl EngineMetrics {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = EngineMetrics::default();
+    }
+
+    /// Adds another metrics snapshot into this one (for summing across
+    /// nodes of a cluster).
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.events += other.events;
+        self.calculations += other.calculations;
+        self.slices += other.slices;
+        self.results += other.results;
+        self.windows_closed += other.windows_closed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = EngineMetrics {
+            events: 1,
+            calculations: 2,
+            slices: 3,
+            results: 4,
+            windows_closed: 5,
+        };
+        let b = a.clone();
+        a.absorb(&b);
+        assert_eq!(a.events, 2);
+        assert_eq!(a.calculations, 4);
+        assert_eq!(a.slices, 6);
+        assert_eq!(a.results, 8);
+        assert_eq!(a.windows_closed, 10);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut a = EngineMetrics {
+            events: 1,
+            ..Default::default()
+        };
+        a.reset();
+        assert_eq!(a, EngineMetrics::default());
+    }
+}

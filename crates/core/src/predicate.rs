@@ -1,0 +1,219 @@
+//! Selection predicates and their overlap analysis (paper Section 4.2.3).
+//!
+//! Queries carry selection predicates such as `WHERE speed > 80` or
+//! `WHERE key = 3`. The query analyzer places queries into the same
+//! query-group when their predicates are *identical* or *disjoint* —
+//! in both cases every event is still evaluated exactly once per slice,
+//! because disjoint selections maintain independent partial results.
+//! Queries with *partially overlapping* predicates go to different
+//! query-groups, because a shared slice could not attribute events
+//! unambiguously.
+
+use crate::event::{Event, Key};
+
+/// A selection predicate over event key and value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// Accepts every event.
+    True,
+    /// `WHERE key = k`.
+    KeyEquals(Key),
+    /// `WHERE value > x` (strict).
+    ValueAbove(f64),
+    /// `WHERE value < x` (strict).
+    ValueBelow(f64),
+    /// `WHERE lo <= value <= hi` (inclusive both ends).
+    ValueBetween(f64, f64),
+}
+
+/// Relationship between two predicates, used for query-group formation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overlap {
+    /// Same set of events: results can be shared directly.
+    Equal,
+    /// No event satisfies both: both can live in one query-group with
+    /// independent per-selection partial results.
+    Disjoint,
+    /// Some but not all events overlap: the queries must go to different
+    /// query-groups.
+    Partial,
+}
+
+impl Predicate {
+    /// Evaluates the predicate against an event.
+    #[inline]
+    pub fn matches(&self, ev: &Event) -> bool {
+        match *self {
+            Predicate::True => true,
+            Predicate::KeyEquals(k) => ev.key == k,
+            Predicate::ValueAbove(x) => ev.value > x,
+            Predicate::ValueBelow(x) => ev.value < x,
+            Predicate::ValueBetween(lo, hi) => ev.value >= lo && ev.value <= hi,
+        }
+    }
+
+    /// Classifies the overlap between two predicates.
+    ///
+    /// The analysis is conservative: when equality or disjointness cannot be
+    /// proven it returns [`Overlap::Partial`], which only costs sharing
+    /// opportunity, never correctness.
+    pub fn overlap(&self, other: &Predicate) -> Overlap {
+        use Predicate::*;
+        if self == other {
+            return Overlap::Equal;
+        }
+        match (*self, *other) {
+            // `True` overlaps everything that is satisfiable.
+            (True, _) | (_, True) => Overlap::Partial,
+            // Distinct keys are disjoint; same key was caught by equality.
+            (KeyEquals(a), KeyEquals(b)) => {
+                debug_assert_ne!(a, b);
+                Overlap::Disjoint
+            }
+            // Key predicates and value predicates always partially overlap:
+            // the key's sub-stream may contain values on either side.
+            (KeyEquals(_), _) | (_, KeyEquals(_)) => Overlap::Partial,
+            (ValueAbove(a), ValueBelow(b)) | (ValueBelow(b), ValueAbove(a)) => {
+                // {v > a} and {v < b} are disjoint iff b <= a... values in
+                // (a, inf) vs (-inf, b): disjoint when b <= a (no v has
+                // v > a && v < b).
+                if b <= a {
+                    Overlap::Disjoint
+                } else {
+                    Overlap::Partial
+                }
+            }
+            (ValueAbove(_), ValueAbove(_)) | (ValueBelow(_), ValueBelow(_)) => Overlap::Partial,
+            (ValueBetween(lo, hi), ValueAbove(a)) | (ValueAbove(a), ValueBetween(lo, hi)) => {
+                if hi <= a {
+                    Overlap::Disjoint
+                } else {
+                    let _ = lo;
+                    Overlap::Partial
+                }
+            }
+            (ValueBetween(lo, hi), ValueBelow(b)) | (ValueBelow(b), ValueBetween(lo, hi)) => {
+                if lo >= b {
+                    Overlap::Disjoint
+                } else {
+                    let _ = hi;
+                    Overlap::Partial
+                }
+            }
+            (ValueBetween(lo1, hi1), ValueBetween(lo2, hi2)) => {
+                if hi1 < lo2 || hi2 < lo1 {
+                    Overlap::Disjoint
+                } else {
+                    Overlap::Partial
+                }
+            }
+        }
+    }
+
+    /// Whether this predicate can share a query-group with `other`
+    /// (identical or disjoint selections — Section 4.2.3).
+    #[inline]
+    pub fn compatible(&self, other: &Predicate) -> bool {
+        self.overlap(other) != Overlap::Partial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(key: Key, value: f64) -> Event {
+        Event::new(0, key, value)
+    }
+
+    #[test]
+    fn matches_semantics() {
+        assert!(Predicate::True.matches(&ev(0, 0.0)));
+        assert!(Predicate::KeyEquals(3).matches(&ev(3, 1.0)));
+        assert!(!Predicate::KeyEquals(3).matches(&ev(4, 1.0)));
+        assert!(Predicate::ValueAbove(80.0).matches(&ev(0, 80.5)));
+        assert!(!Predicate::ValueAbove(80.0).matches(&ev(0, 80.0)));
+        assert!(Predicate::ValueBelow(25.0).matches(&ev(0, 24.9)));
+        assert!(!Predicate::ValueBelow(25.0).matches(&ev(0, 25.0)));
+        assert!(Predicate::ValueBetween(1.0, 2.0).matches(&ev(0, 1.0)));
+        assert!(Predicate::ValueBetween(1.0, 2.0).matches(&ev(0, 2.0)));
+        assert!(!Predicate::ValueBetween(1.0, 2.0).matches(&ev(0, 2.1)));
+    }
+
+    #[test]
+    fn identical_predicates_are_equal() {
+        assert_eq!(
+            Predicate::KeyEquals(1).overlap(&Predicate::KeyEquals(1)),
+            Overlap::Equal
+        );
+        assert_eq!(Predicate::True.overlap(&Predicate::True), Overlap::Equal);
+    }
+
+    #[test]
+    fn distinct_keys_are_disjoint() {
+        assert_eq!(
+            Predicate::KeyEquals(1).overlap(&Predicate::KeyEquals(2)),
+            Overlap::Disjoint
+        );
+    }
+
+    #[test]
+    fn paper_example_speed_predicates_are_disjoint() {
+        // WHERE speed > 80 and WHERE speed < 25 (Section 4.2.3).
+        let fast = Predicate::ValueAbove(80.0);
+        let slow = Predicate::ValueBelow(25.0);
+        assert_eq!(fast.overlap(&slow), Overlap::Disjoint);
+        assert!(fast.compatible(&slow));
+    }
+
+    #[test]
+    fn overlapping_ranges_are_partial() {
+        let a = Predicate::ValueAbove(10.0);
+        let b = Predicate::ValueBelow(20.0);
+        assert_eq!(a.overlap(&b), Overlap::Partial);
+        assert!(!a.compatible(&b));
+    }
+
+    #[test]
+    fn true_vs_selective_is_partial() {
+        assert_eq!(
+            Predicate::True.overlap(&Predicate::KeyEquals(1)),
+            Overlap::Partial
+        );
+    }
+
+    #[test]
+    fn between_overlaps() {
+        let mid = Predicate::ValueBetween(10.0, 20.0);
+        assert_eq!(mid.overlap(&Predicate::ValueAbove(20.0)), Overlap::Disjoint);
+        assert_eq!(mid.overlap(&Predicate::ValueAbove(15.0)), Overlap::Partial);
+        assert_eq!(mid.overlap(&Predicate::ValueBelow(10.0)), Overlap::Disjoint);
+        assert_eq!(mid.overlap(&Predicate::ValueBelow(12.0)), Overlap::Partial);
+        assert_eq!(
+            mid.overlap(&Predicate::ValueBetween(21.0, 30.0)),
+            Overlap::Disjoint
+        );
+        assert_eq!(
+            mid.overlap(&Predicate::ValueBetween(20.0, 30.0)),
+            Overlap::Partial
+        );
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let preds = [
+            Predicate::True,
+            Predicate::KeyEquals(1),
+            Predicate::KeyEquals(2),
+            Predicate::ValueAbove(10.0),
+            Predicate::ValueBelow(5.0),
+            Predicate::ValueBetween(1.0, 4.0),
+        ];
+        for a in &preds {
+            for b in &preds {
+                assert_eq!(a.overlap(b), b.overlap(a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

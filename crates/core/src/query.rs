@@ -1,0 +1,143 @@
+//! Continuous queries.
+//!
+//! A query pairs a selection predicate with a window definition and one or
+//! more aggregation functions (the paper's Figure 9e/9f workload computes
+//! two functions per window). Results are grouped by event key, mirroring
+//! the paper's "10 distinct keys" workloads.
+
+use crate::aggregate::{AggFunction, OperatorSet};
+use crate::error::DesisError;
+use crate::predicate::Predicate;
+use crate::window::WindowSpec;
+
+/// Unique query identifier (assigned by the user or the query analyzer).
+pub type QueryId = u64;
+
+/// A continuous windowed aggregation query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Unique id; results are tagged with it.
+    pub id: QueryId,
+    /// Selection predicate applied to every event.
+    pub predicate: Predicate,
+    /// Window definition.
+    pub window: WindowSpec,
+    /// Aggregation functions computed per window (at least one).
+    pub functions: Vec<AggFunction>,
+}
+
+impl Query {
+    /// Creates a single-function query.
+    pub fn new(id: QueryId, window: WindowSpec, function: AggFunction) -> Self {
+        Self {
+            id,
+            predicate: Predicate::True,
+            window,
+            functions: vec![function],
+        }
+    }
+
+    /// Creates a multi-function query.
+    pub fn with_functions(id: QueryId, window: WindowSpec, functions: Vec<AggFunction>) -> Self {
+        Self {
+            id,
+            predicate: Predicate::True,
+            window,
+            functions,
+        }
+    }
+
+    /// Sets the selection predicate.
+    #[must_use]
+    pub fn filtered(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Validates the query definition.
+    pub fn validate(&self) -> Result<(), DesisError> {
+        if self.functions.is_empty() {
+            return Err(DesisError::InvalidQuery(format!(
+                "query {} has no aggregation functions",
+                self.id
+            )));
+        }
+        for f in &self.functions {
+            f.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Union of the operators required by all functions of this query.
+    pub fn operator_set(&self) -> OperatorSet {
+        self.functions
+            .iter()
+            .map(AggFunction::operators)
+            .fold(OperatorSet::EMPTY, |acc, s| acc | s)
+    }
+
+    /// Whether every function of the query is decomposable (Section 2.2),
+    /// which decides whether the query can be aggregated decentrally
+    /// (Section 5.1) or must ship events to the root (Section 5.2).
+    pub fn is_decomposable(&self) -> bool {
+        self.functions.iter().all(AggFunction::is_decomposable)
+    }
+}
+
+/// The result of one window of one query for one key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The query that produced this result.
+    pub query: QueryId,
+    /// Event key this result aggregates over.
+    pub key: crate::event::Key,
+    /// Window start (event time, ms) — informational.
+    pub window_start: crate::time::Timestamp,
+    /// Window end (event time, ms) — informational.
+    pub window_end: crate::time::Timestamp,
+    /// One value per function of the query, in declaration order.
+    /// `None` entries mean the window was empty for that function.
+    pub values: Vec<Option<f64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let w = WindowSpec::tumbling_time(1000).unwrap();
+        assert!(Query::new(1, w, AggFunction::Sum).validate().is_ok());
+        assert!(Query::with_functions(1, w, vec![]).validate().is_err());
+        assert!(
+            Query::new(1, w, AggFunction::Quantile(2.0))
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn operator_set_union() {
+        let w = WindowSpec::tumbling_time(1000).unwrap();
+        let q = Query::with_functions(1, w, vec![AggFunction::Average, AggFunction::Max]);
+        assert_eq!(q.operator_set().len(), 3); // sum, count, dsort
+    }
+
+    #[test]
+    fn decomposability() {
+        let w = WindowSpec::tumbling_time(1000).unwrap();
+        assert!(Query::new(1, w, AggFunction::Average).is_decomposable());
+        assert!(!Query::new(1, w, AggFunction::Median).is_decomposable());
+        assert!(
+            !Query::with_functions(1, w, vec![AggFunction::Sum, AggFunction::Quantile(0.9)])
+                .is_decomposable()
+        );
+    }
+
+    #[test]
+    fn filtered_builder() {
+        let w = WindowSpec::tumbling_time(1000).unwrap();
+        let q = Query::new(1, w, AggFunction::Sum).filtered(Predicate::KeyEquals(5));
+        assert_eq!(q.predicate, Predicate::KeyEquals(5));
+    }
+}

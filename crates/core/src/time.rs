@@ -1,0 +1,95 @@
+//! Logical time for the Desis engine.
+//!
+//! All windowing in Desis is *event-time* driven: windows open and close
+//! based on the timestamps carried by events, never on the wall clock. This
+//! makes every component deterministic and testable while matching the
+//! semantics of the paper's generators, which stamp each event at creation.
+//!
+//! Timestamps are milliseconds since an arbitrary per-stream epoch. `u64`
+//! milliseconds cover ~584 million years, which is enough for any stream.
+
+/// Event-time instant in milliseconds since the stream epoch.
+pub type Timestamp = u64;
+
+/// Event-time duration in milliseconds.
+pub type DurationMs = u64;
+
+/// Number of events, for count-measured windows.
+pub type EventCount = u64;
+
+/// Milliseconds in one second, for readable window specs.
+pub const SECOND: DurationMs = 1_000;
+
+/// Milliseconds in one minute.
+pub const MINUTE: DurationMs = 60 * SECOND;
+
+/// Returns the smallest multiple of `step` that is strictly greater than
+/// `ts`. This is how fixed-size time windows compute their next punctuation
+/// *in advance*: the engine caches the result and compares each incoming
+/// event against it with a single branch instead of re-deriving window
+/// boundaries per event (Section 6.2.1 of the paper).
+#[inline]
+pub fn next_multiple_after(ts: Timestamp, step: DurationMs) -> Timestamp {
+    debug_assert!(step > 0, "window step must be positive");
+    (ts / step + 1) * step
+}
+
+/// Returns the smallest value of the form `k * step + offset` (k >= 0) that
+/// is strictly greater than `ts`, or `offset` itself if `ts < offset`.
+///
+/// Sliding windows of length `l` and step `s` end at times `k * s + l`;
+/// those end punctuations form an arithmetic progression with offset
+/// `l % s` once the stream has warmed up, but the very first windows end
+/// earlier, so we compute the progression exactly.
+#[inline]
+pub fn next_progression_after(ts: Timestamp, step: DurationMs, offset: DurationMs) -> Timestamp {
+    debug_assert!(step > 0, "window step must be positive");
+    if ts < offset {
+        return offset;
+    }
+    let base = ts - offset;
+    (base / step + 1) * step + offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_multiple_is_strictly_after() {
+        assert_eq!(next_multiple_after(0, 10), 10);
+        assert_eq!(next_multiple_after(9, 10), 10);
+        assert_eq!(next_multiple_after(10, 10), 20);
+        assert_eq!(next_multiple_after(11, 10), 20);
+    }
+
+    #[test]
+    fn next_multiple_step_one() {
+        assert_eq!(next_multiple_after(41, 1), 42);
+    }
+
+    #[test]
+    fn progression_before_offset_returns_offset() {
+        // Sliding length 25, step 10: ends at 25, 35, 45, ...
+        assert_eq!(next_progression_after(0, 10, 25), 25);
+        assert_eq!(next_progression_after(24, 10, 25), 25);
+    }
+
+    #[test]
+    fn progression_after_offset() {
+        assert_eq!(next_progression_after(25, 10, 25), 35);
+        assert_eq!(next_progression_after(26, 10, 25), 35);
+        assert_eq!(next_progression_after(44, 10, 25), 45);
+        assert_eq!(next_progression_after(45, 10, 25), 55);
+    }
+
+    #[test]
+    fn progression_zero_offset_matches_multiple() {
+        for ts in [0u64, 1, 9, 10, 99, 100, 101] {
+            assert_eq!(
+                next_progression_after(ts, 10, 0),
+                next_multiple_after(ts, 10)
+            );
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Synthetic data-stream generator (paper Section 6.1.2).
+//!
+//! The paper replays the DEBS 2013 soccer-sensor dataset, reading from
+//! different offsets to simulate distinct decentralized streams. We do not
+//! have the dataset, so we synthesize streams with the same four-field
+//! layout (`time`, `key`, `value`, `event`) and the same configuration
+//! knobs: key distribution, value model, user-defined-event frequency, and
+//! activity bursts with session gaps. Streams are deterministic per seed;
+//! different "read offsets" are modelled by different seeds per node.
+
+use desis_core::event::{Event, Key, Marker, MarkerChannel, MarkerKind};
+use desis_core::time::{DurationMs, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution of event keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Keys drawn uniformly from `0..keys`.
+    Uniform,
+    /// Zipf-like skew with the given exponent (> 0); key 0 is hottest.
+    Zipf(f64),
+    /// Keys assigned round-robin (deterministic, used by tests).
+    RoundRobin,
+}
+
+/// How event values evolve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueModel {
+    /// Independent uniform draws from `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Per-key bounded random walk in `[lo, hi]` with the given step —
+    /// closer to the sensor readings of the DEBS dataset.
+    Walk {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Maximum per-event step.
+        step: f64,
+    },
+}
+
+/// User-defined marker emission: alternating start/end markers on a
+/// channel (e.g. trip start / trip end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerConfig {
+    /// Channel the markers are emitted on.
+    pub channel: MarkerChannel,
+    /// Event-time between a start marker and the matching end marker.
+    pub window_ms: DurationMs,
+    /// Event-time between an end marker and the next start marker.
+    pub pause_ms: DurationMs,
+}
+
+/// Activity bursts separated by silent gaps, to exercise session windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstConfig {
+    /// Length of each activity burst.
+    pub burst_ms: DurationMs,
+    /// Silent gap after each burst.
+    pub gap_ms: DurationMs,
+}
+
+/// Data-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataGenConfig {
+    /// Number of distinct keys.
+    pub keys: Key,
+    /// Key distribution.
+    pub key_distribution: KeyDistribution,
+    /// Value model.
+    pub values: ValueModel,
+    /// Events per second of *event time* (controls timestamp spacing).
+    pub events_per_second: u64,
+    /// Optional user-defined window markers.
+    pub markers: Option<MarkerConfig>,
+    /// Optional burst/gap activity pattern.
+    pub bursts: Option<BurstConfig>,
+    /// Event-time offset of the first event.
+    pub start_ts: Timestamp,
+    /// RNG seed (streams are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        Self {
+            keys: 10,
+            key_distribution: KeyDistribution::Uniform,
+            values: ValueModel::Uniform { lo: 0.0, hi: 100.0 },
+            events_per_second: 1_000,
+            markers: None,
+            bursts: None,
+            start_ts: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// Marker emission phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MarkerPhase {
+    /// Next marker opens a window at the given timestamp.
+    StartDue(Timestamp),
+    /// Next marker closes the window at the given timestamp.
+    EndDue(Timestamp),
+}
+
+/// Deterministic synthetic event stream.
+///
+/// Implements [`Iterator`]; timestamps are non-decreasing, which is the
+/// ordering contract of the Desis slicer.
+#[derive(Debug, Clone)]
+pub struct DataGenerator {
+    cfg: DataGenConfig,
+    rng: SmallRng,
+    produced: u64,
+    walk_state: Vec<f64>,
+    marker_phase: Option<MarkerPhase>,
+    zipf_cdf: Vec<f64>,
+}
+
+impl DataGenerator {
+    /// Creates a generator from its configuration.
+    pub fn new(cfg: DataGenConfig) -> Self {
+        assert!(cfg.keys > 0, "need at least one key");
+        assert!(cfg.events_per_second > 0, "need a positive event rate");
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let walk_state = match cfg.values {
+            ValueModel::Walk { lo, hi, .. } => {
+                vec![(lo + hi) / 2.0; cfg.keys as usize]
+            }
+            ValueModel::Uniform { .. } => Vec::new(),
+        };
+        let marker_phase = cfg
+            .markers
+            .map(|m| MarkerPhase::StartDue(cfg.start_ts + m.pause_ms));
+        let zipf_cdf = match cfg.key_distribution {
+            KeyDistribution::Zipf(s) => {
+                let mut weights: Vec<f64> =
+                    (1..=cfg.keys).map(|k| 1.0 / (k as f64).powf(s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                weights
+            }
+            _ => Vec::new(),
+        };
+        Self {
+            cfg,
+            rng,
+            produced: 0,
+            walk_state,
+            marker_phase,
+            zipf_cdf,
+        }
+    }
+
+    /// The event-time timestamp of the `i`-th event (before burst
+    /// adjustment).
+    fn raw_ts(&self, i: u64) -> Timestamp {
+        self.cfg.start_ts + i * 1_000 / self.cfg.events_per_second
+    }
+
+    /// Maps a raw timestamp into the burst pattern: event time within
+    /// bursts advances normally; gap time is skipped over.
+    fn burst_ts(&self, raw: Timestamp) -> Timestamp {
+        match self.cfg.bursts {
+            None => raw,
+            Some(b) => {
+                let rel = raw - self.cfg.start_ts;
+                let cycle = b.burst_ms + b.gap_ms;
+                let full = rel / b.burst_ms;
+                let within = rel % b.burst_ms;
+                self.cfg.start_ts + full * cycle + within
+            }
+        }
+    }
+
+    fn next_key(&mut self) -> Key {
+        match self.cfg.key_distribution {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.cfg.keys),
+            KeyDistribution::RoundRobin => (self.produced % self.cfg.keys as u64) as Key,
+            KeyDistribution::Zipf(_) => {
+                let u: f64 = self.rng.gen();
+                match self.zipf_cdf.iter().position(|&c| u <= c) {
+                    Some(k) => k as Key,
+                    None => self.cfg.keys - 1,
+                }
+            }
+        }
+    }
+
+    fn next_value(&mut self, key: Key) -> f64 {
+        match self.cfg.values {
+            ValueModel::Uniform { lo, hi } => self.rng.gen_range(lo..hi),
+            ValueModel::Walk { lo, hi, step } => {
+                let state = &mut self.walk_state[key as usize];
+                let delta = self.rng.gen_range(-step..step);
+                *state = (*state + delta).clamp(lo, hi);
+                *state
+            }
+        }
+    }
+
+    fn next_marker(&mut self, ts: Timestamp) -> Option<Marker> {
+        let cfg = self.cfg.markers?;
+        match self.marker_phase? {
+            MarkerPhase::StartDue(due) if ts >= due => {
+                self.marker_phase = Some(MarkerPhase::EndDue(ts + cfg.window_ms));
+                Some(Marker {
+                    channel: cfg.channel,
+                    kind: MarkerKind::Start,
+                })
+            }
+            MarkerPhase::EndDue(due) if ts >= due => {
+                self.marker_phase = Some(MarkerPhase::StartDue(ts + cfg.pause_ms));
+                Some(Marker {
+                    channel: cfg.channel,
+                    kind: MarkerKind::End,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of events produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl Iterator for DataGenerator {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        let ts = self.burst_ts(self.raw_ts(self.produced));
+        let key = self.next_key();
+        let value = self.next_value(key);
+        let marker = self.next_marker(ts);
+        self.produced += 1;
+        Some(match marker {
+            Some(m) => Event::with_marker(ts, key, value, m),
+            None => Event::new(ts, key, value),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take(cfg: DataGenConfig, n: usize) -> Vec<Event> {
+        DataGenerator::new(cfg).take(n).collect()
+    }
+
+    #[test]
+    fn timestamps_are_non_decreasing() {
+        let events = take(DataGenConfig::default(), 10_000);
+        for pair in events.windows(2) {
+            assert!(pair[0].ts <= pair[1].ts);
+        }
+    }
+
+    #[test]
+    fn rate_controls_spacing() {
+        let cfg = DataGenConfig {
+            events_per_second: 100,
+            ..Default::default()
+        };
+        let events = take(cfg, 201);
+        // 100 events per second -> the 200th event is at 2_000 ms.
+        assert_eq!(events[200].ts, 2_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = take(DataGenConfig::default(), 1_000);
+        let b = take(DataGenConfig::default(), 1_000);
+        assert_eq!(a, b);
+        let c = take(
+            DataGenConfig {
+                seed: 7,
+                ..Default::default()
+            },
+            1_000,
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipf(1.1),
+            KeyDistribution::RoundRobin,
+        ] {
+            let cfg = DataGenConfig {
+                keys: 7,
+                key_distribution: dist,
+                ..Default::default()
+            };
+            assert!(take(cfg, 5_000).iter().all(|e| e.key < 7));
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_keys() {
+        let cfg = DataGenConfig {
+            keys: 10,
+            key_distribution: KeyDistribution::Zipf(1.5),
+            ..Default::default()
+        };
+        let events = take(cfg, 20_000);
+        let k0 = events.iter().filter(|e| e.key == 0).count();
+        let k9 = events.iter().filter(|e| e.key == 9).count();
+        assert!(k0 > 5 * k9.max(1), "zipf skew missing: {k0} vs {k9}");
+    }
+
+    #[test]
+    fn walk_values_bounded() {
+        let cfg = DataGenConfig {
+            values: ValueModel::Walk {
+                lo: -5.0,
+                hi: 5.0,
+                step: 1.0,
+            },
+            ..Default::default()
+        };
+        assert!(take(cfg, 10_000)
+            .iter()
+            .all(|e| e.value >= -5.0 && e.value <= 5.0));
+    }
+
+    #[test]
+    fn markers_alternate_start_end() {
+        let cfg = DataGenConfig {
+            events_per_second: 1_000,
+            markers: Some(MarkerConfig {
+                channel: 3,
+                window_ms: 100,
+                pause_ms: 50,
+            }),
+            ..Default::default()
+        };
+        let events = take(cfg, 5_000);
+        let markers: Vec<MarkerKind> = events
+            .iter()
+            .filter_map(|e| e.marker.map(|m| m.kind))
+            .collect();
+        assert!(markers.len() >= 10);
+        for (i, kind) in markers.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                MarkerKind::Start
+            } else {
+                MarkerKind::End
+            };
+            assert_eq!(*kind, expected, "marker {i}");
+        }
+    }
+
+    #[test]
+    fn bursts_create_gaps() {
+        let cfg = DataGenConfig {
+            events_per_second: 1_000,
+            bursts: Some(BurstConfig {
+                burst_ms: 100,
+                gap_ms: 400,
+            }),
+            ..Default::default()
+        };
+        let events = take(cfg, 1_000);
+        let max_delta = events
+            .windows(2)
+            .map(|p| p[1].ts - p[0].ts)
+            .max()
+            .unwrap();
+        // Every ~100 events there is a 400 ms silence.
+        assert!(max_delta >= 400, "no gap found (max delta {max_delta})");
+    }
+
+    #[test]
+    fn start_ts_offsets_stream() {
+        let cfg = DataGenConfig {
+            start_ts: 5_000,
+            ..Default::default()
+        };
+        assert!(take(cfg, 10).iter().all(|e| e.ts >= 5_000));
+    }
+}

@@ -1,0 +1,27 @@
+//! # desis-gen
+//!
+//! Deterministic workload generators for the Desis reproduction (paper
+//! Section 6.1.2): a synthetic data-stream generator with the DEBS-2013
+//! field layout (`time`, `key`, `value`, `event` marker) and a random
+//! query generator over window types, measures, lengths, functions, and
+//! key predicates.
+//!
+//! In decentralized experiments, one [`DataGenerator`] (distinct seed) is
+//! attached per local node — modelling the paper's "read from different
+//! positions in the dataset".
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod data;
+mod dataset;
+mod query;
+
+pub use data::{
+    BurstConfig, DataGenConfig, DataGenerator, KeyDistribution, MarkerConfig, ValueModel,
+};
+pub use dataset::{write_dataset, Dataset, Replayer};
+pub use query::{
+    spread_quantile_queries, spread_tumbling_queries, QueryGenConfig, QueryGenerator,
+    WindowTypeWeights,
+};

@@ -1,0 +1,338 @@
+//! Random query generator (paper Section 6.1.2).
+//!
+//! "Our query generator can provide arbitrary queries with different keys,
+//! window types, aggregation functions, window measures, and window sizes"
+//! — configured with weights per window type, a function pool, a window
+//! length range, and the number of distinct keys to filter on.
+
+use desis_core::aggregate::AggFunction;
+use desis_core::event::Key;
+use desis_core::predicate::Predicate;
+use desis_core::query::{Query, QueryId};
+use desis_core::time::DurationMs;
+use desis_core::window::WindowSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights of window types in the generated mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowTypeWeights {
+    /// Time-measured tumbling windows.
+    pub tumbling: f64,
+    /// Time-measured sliding windows (step = length / 2).
+    pub sliding: f64,
+    /// Session windows (gap drawn from the length range / 10).
+    pub session: f64,
+    /// User-defined windows on channel 0.
+    pub user_defined: f64,
+    /// Count-measured tumbling windows.
+    pub count_tumbling: f64,
+}
+
+impl WindowTypeWeights {
+    /// Only time-tumbling windows.
+    pub fn tumbling_only() -> Self {
+        Self {
+            tumbling: 1.0,
+            sliding: 0.0,
+            session: 0.0,
+            user_defined: 0.0,
+            count_tumbling: 0.0,
+        }
+    }
+
+    /// The paper's Figure 8c mix: half tumbling, half user-defined.
+    pub fn half_user_defined() -> Self {
+        Self {
+            tumbling: 1.0,
+            sliding: 0.0,
+            session: 0.0,
+            user_defined: 1.0,
+            count_tumbling: 0.0,
+        }
+    }
+
+    /// A broad mix over all window types (Figure 13a's "random queries").
+    pub fn mixed() -> Self {
+        Self {
+            tumbling: 3.0,
+            sliding: 3.0,
+            session: 1.0,
+            user_defined: 1.0,
+            count_tumbling: 2.0,
+        }
+    }
+}
+
+/// Query-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryGenConfig {
+    /// How many queries to produce.
+    pub queries: usize,
+    /// Window type mix.
+    pub window_types: WindowTypeWeights,
+    /// Window lengths drawn uniformly from this range (ms for time
+    /// measure; scaled to events for count measure).
+    pub length_range: (DurationMs, DurationMs),
+    /// Count-window lengths drawn uniformly from this range (events).
+    pub count_length_range: (u64, u64),
+    /// Pool of aggregation functions to draw from.
+    pub functions: Vec<AggFunction>,
+    /// Number of functions per query (Figure 9e/9f uses 2).
+    pub functions_per_query: usize,
+    /// When `> 0`, each query filters on one of this many distinct keys;
+    /// when `0`, queries select every event.
+    pub predicate_keys: Key,
+    /// First query id to assign.
+    pub first_id: QueryId,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        Self {
+            queries: 10,
+            window_types: WindowTypeWeights::tumbling_only(),
+            length_range: (1_000, 10_000),
+            count_length_range: (1_000, 100_000),
+            functions: vec![AggFunction::Average],
+            functions_per_query: 1,
+            predicate_keys: 0,
+            first_id: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// Random query generator.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    cfg: QueryGenConfig,
+    rng: SmallRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator from its configuration.
+    pub fn new(cfg: QueryGenConfig) -> Self {
+        assert!(!cfg.functions.is_empty(), "function pool must not be empty");
+        assert!(cfg.functions_per_query >= 1);
+        assert!(cfg.length_range.0 > 0 && cfg.length_range.0 <= cfg.length_range.1);
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Self { cfg, rng }
+    }
+
+    /// Generates the configured number of queries.
+    pub fn generate(&mut self) -> Vec<Query> {
+        (0..self.cfg.queries).map(|i| self.generate_one(i)).collect()
+    }
+
+    fn generate_one(&mut self, i: usize) -> Query {
+        let id = self.cfg.first_id + i as QueryId;
+        let window = self.pick_window();
+        let functions = self.pick_functions();
+        let mut q = Query::with_functions(id, window, functions);
+        if self.cfg.predicate_keys > 0 {
+            let key = self.rng.gen_range(0..self.cfg.predicate_keys);
+            q = q.filtered(Predicate::KeyEquals(key));
+        }
+        q
+    }
+
+    fn pick_window(&mut self) -> WindowSpec {
+        let w = self.cfg.window_types;
+        let total = w.tumbling + w.sliding + w.session + w.user_defined + w.count_tumbling;
+        assert!(total > 0.0, "window type weights must not all be zero");
+        let mut x = self.rng.gen_range(0.0..total);
+        let (lo, hi) = self.cfg.length_range;
+        let length = self.rng.gen_range(lo..=hi);
+        if x < w.tumbling {
+            return WindowSpec::tumbling_time(length).expect("valid length");
+        }
+        x -= w.tumbling;
+        if x < w.sliding {
+            let step = (length / 2).max(1);
+            return WindowSpec::sliding_time(length, step).expect("valid length/step");
+        }
+        x -= w.sliding;
+        if x < w.session {
+            let gap = (length / 10).max(1);
+            return WindowSpec::session(gap).expect("valid gap");
+        }
+        x -= w.session;
+        if x < w.user_defined {
+            return WindowSpec::user_defined(0);
+        }
+        let (clo, chi) = self.cfg.count_length_range;
+        let count_len = self.rng.gen_range(clo..=chi).max(1);
+        WindowSpec::tumbling_count(count_len).expect("valid count length")
+    }
+
+    fn pick_functions(&mut self) -> Vec<AggFunction> {
+        (0..self.cfg.functions_per_query)
+            .map(|_| {
+                let idx = self.rng.gen_range(0..self.cfg.functions.len());
+                self.cfg.functions[idx]
+            })
+            .collect()
+    }
+}
+
+/// Convenience: `n` tumbling-window queries with lengths spread uniformly
+/// over `1..=max_len_s` seconds, all computing `function` — the workload of
+/// Figures 6b and 8a.
+pub fn spread_tumbling_queries(n: usize, max_len_s: u64, function: AggFunction) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            let len_s = 1 + (i as u64) % max_len_s;
+            Query::new(
+                i as QueryId + 1,
+                WindowSpec::tumbling_time(len_s * 1_000).expect("valid length"),
+                function,
+            )
+        })
+        .collect()
+}
+
+/// Convenience: `n` queries with distinct quantile levels spread over
+/// permille levels 1..=999 (Figure 9c's "quantile values distributed from
+/// 1 to 1000").
+pub fn spread_quantile_queries(n: usize, window_ms: DurationMs) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            let level = (1 + i % 999) as f64 / 1_000.0;
+            Query::new(
+                i as QueryId + 1,
+                WindowSpec::tumbling_time(window_ms).expect("valid length"),
+                AggFunction::Quantile(level),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desis_core::window::{Measure, WindowKind};
+
+    #[test]
+    fn generates_requested_count_with_sequential_ids() {
+        let mut g = QueryGenerator::new(QueryGenConfig {
+            queries: 25,
+            first_id: 100,
+            ..Default::default()
+        });
+        let qs = g.generate();
+        assert_eq!(qs.len(), 25);
+        assert_eq!(qs[0].id, 100);
+        assert_eq!(qs[24].id, 124);
+        assert!(qs.iter().all(|q| q.validate().is_ok()));
+    }
+
+    #[test]
+    fn lengths_respect_range() {
+        let mut g = QueryGenerator::new(QueryGenConfig {
+            queries: 100,
+            length_range: (2_000, 3_000),
+            ..Default::default()
+        });
+        for q in g.generate() {
+            match q.window.kind {
+                WindowKind::Tumbling { length } => {
+                    assert!((2_000..=3_000).contains(&length));
+                }
+                other => panic!("unexpected window kind {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_weights_produce_every_type() {
+        let mut g = QueryGenerator::new(QueryGenConfig {
+            queries: 400,
+            window_types: WindowTypeWeights::mixed(),
+            ..Default::default()
+        });
+        let qs = g.generate();
+        let mut tumbling = 0;
+        let mut sliding = 0;
+        let mut session = 0;
+        let mut ud = 0;
+        let mut count = 0;
+        for q in &qs {
+            match (q.window.kind, q.window.measure) {
+                (WindowKind::Tumbling { .. }, Measure::Time) => tumbling += 1,
+                (WindowKind::Tumbling { .. }, Measure::Count) => count += 1,
+                (WindowKind::Sliding { .. }, _) => sliding += 1,
+                (WindowKind::Session { .. }, _) => session += 1,
+                (WindowKind::UserDefined { .. }, _) => ud += 1,
+            }
+        }
+        assert!(tumbling > 0 && sliding > 0 && session > 0 && ud > 0 && count > 0);
+    }
+
+    #[test]
+    fn predicate_keys_bound_filters() {
+        let mut g = QueryGenerator::new(QueryGenConfig {
+            queries: 50,
+            predicate_keys: 5,
+            ..Default::default()
+        });
+        for q in g.generate() {
+            match q.predicate {
+                Predicate::KeyEquals(k) => assert!(k < 5),
+                other => panic!("expected key predicate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_function_queries() {
+        let mut g = QueryGenerator::new(QueryGenConfig {
+            queries: 10,
+            functions: vec![AggFunction::Sum, AggFunction::Max],
+            functions_per_query: 2,
+            ..Default::default()
+        });
+        assert!(g.generate().iter().all(|q| q.functions.len() == 2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = QueryGenConfig {
+            queries: 30,
+            window_types: WindowTypeWeights::mixed(),
+            ..Default::default()
+        };
+        let a = QueryGenerator::new(cfg.clone()).generate();
+        let b = QueryGenerator::new(cfg).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spread_tumbling_covers_lengths() {
+        let qs = spread_tumbling_queries(20, 10, AggFunction::Average);
+        let lengths: std::collections::HashSet<u64> = qs
+            .iter()
+            .map(|q| match q.window.kind {
+                WindowKind::Tumbling { length } => length,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lengths.len(), 10); // 1..=10 s
+    }
+
+    #[test]
+    fn spread_quantiles_are_distinct_and_valid() {
+        let qs = spread_quantile_queries(100, 1_000);
+        assert!(qs.iter().all(|q| q.validate().is_ok()));
+        let levels: std::collections::HashSet<u64> = qs
+            .iter()
+            .map(|q| match q.functions[0] {
+                AggFunction::Quantile(l) => (l * 1000.0) as u64,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(levels.len(), 100);
+    }
+}

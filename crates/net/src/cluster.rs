@@ -1,0 +1,1152 @@
+//! Cluster simulation: one OS thread per node, channel links with real
+//! serialization, per-node byte accounting, and event-time latency
+//! sampling (paper Section 6.1).
+//!
+//! The cluster runs to completion over finite per-local event feeds and
+//! returns a [`ClusterReport`] with the measurements the paper's
+//! decentralized experiments plot: throughput, per-node network bytes,
+//! and event-time latency.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::Select;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+use desis_core::error::DesisError;
+use desis_core::event::Event;
+use desis_core::metrics::EngineMetrics;
+use desis_core::query::{Query, QueryResult};
+use desis_core::time::{DurationMs, Timestamp};
+use desis_core::window::WindowKind;
+
+use crate::codec::CodecKind;
+use crate::link::{link, LinkReceiver, LinkSender, LinkStats};
+use crate::message::Message;
+use crate::node::{analyze_for, DistributedSystem, IntermediateWorker, LocalWorker, RootWorker};
+use crate::topology::{NodeId, NodeRole, Topology};
+
+/// A runtime reconfiguration command (Section 3.2), applied when event
+/// time passes the scheduled instant.
+#[derive(Debug, Clone)]
+pub enum ClusterCommand {
+    /// Installs a new query on every node.
+    AddQuery(Query),
+    /// Removes a running query; `immediate` drops its open windows,
+    /// otherwise they drain ("wait for the last window to end").
+    RemoveQuery {
+        /// The query to remove.
+        id: desis_core::query::QueryId,
+        /// Drop open windows instead of draining them.
+        immediate: bool,
+    },
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// System under test.
+    pub system: DistributedSystem,
+    /// The query workload (installed on the root, pushed down as window
+    /// attributes — Section 5.1.3).
+    pub queries: Vec<Query>,
+    /// Node tree.
+    pub topology: Topology,
+    /// Raw-event batch size for forwarding links.
+    pub batch_size: usize,
+    /// Link queue capacity in messages (bounded channels give
+    /// backpressure, i.e. sustainable throughput).
+    pub channel_capacity: usize,
+    /// Optional per-link bandwidth cap in bytes/second (the Raspberry Pi
+    /// experiment, Figure 13).
+    pub bandwidth: Option<u64>,
+    /// Locals emit a watermark every this much event time.
+    pub watermark_every: DurationMs,
+    /// Extra event time appended at end-of-stream to fire pending
+    /// windows; `None` derives it from the largest window.
+    pub flush_horizon: Option<DurationMs>,
+    /// Wire format override; `None` picks the system's default (text for
+    /// Disco, binary otherwise — Section 6.4.1).
+    pub codec: Option<CodecKind>,
+    /// Scheduled runtime reconfigurations: `(event time, command)`
+    /// (Section 3.2). Only supported for [`DistributedSystem::Desis`].
+    pub script: Vec<(Timestamp, ClusterCommand)>,
+    /// Record one latency sample every N events per local.
+    pub latency_sample_every: u64,
+    /// When set, locals pace ingestion so one unit of event time takes
+    /// one unit of wall time (divided by this speed-up factor). The paper
+    /// measures latency at a sustainable rate rather than at saturation.
+    pub pace_speedup: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// A configuration with the paper-ish defaults.
+    pub fn new(system: DistributedSystem, queries: Vec<Query>, topology: Topology) -> Self {
+        Self {
+            system,
+            queries,
+            topology,
+            batch_size: 512,
+            channel_capacity: 256,
+            bandwidth: None,
+            watermark_every: 1_000,
+            flush_horizon: None,
+            codec: None,
+            script: Vec::new(),
+            latency_sample_every: 256,
+            pace_speedup: None,
+        }
+    }
+
+    fn effective_codec(&self) -> CodecKind {
+        self.codec.unwrap_or(match self.system {
+            DistributedSystem::Disco => CodecKind::Text,
+            _ => CodecKind::Binary,
+        })
+    }
+
+    fn effective_flush_horizon(&self) -> DurationMs {
+        self.flush_horizon.unwrap_or_else(|| {
+            let mut horizon = self.watermark_every;
+            let added = self.script.iter().filter_map(|(_, c)| match c {
+                ClusterCommand::AddQuery(q) => Some(q),
+                ClusterCommand::RemoveQuery { .. } => None,
+            });
+            for q in self.queries.iter().chain(added) {
+                let h = match q.window.kind {
+                    WindowKind::Tumbling { length } | WindowKind::Sliding { length, .. } => {
+                        match q.window.measure {
+                            desis_core::window::Measure::Time => length,
+                            desis_core::window::Measure::Count => 0,
+                        }
+                    }
+                    WindowKind::Session { gap } => gap,
+                    WindowKind::UserDefined { .. } => 0,
+                };
+                horizon = horizon.max(h + 1);
+            }
+            horizon + self.watermark_every
+        })
+    }
+}
+
+/// Wall-clock samples of event-time progress, shared by locals (writers)
+/// and the measurement of result latency (reader).
+#[derive(Debug, Default)]
+pub struct LatencyTable {
+    samples: Mutex<BTreeMap<Timestamp, Instant>>,
+    /// When ingestion is paced, generation time is analytic:
+    /// `(first_ts, wall start, speedup)`.
+    pace: Mutex<Option<(Timestamp, Instant, f64)>>,
+}
+
+impl LatencyTable {
+    /// Records that event time `ts` was generated "now" (first writer
+    /// wins, so the sample reflects the earliest stream reaching `ts`).
+    pub fn record(&self, ts: Timestamp) {
+        self.samples.lock().entry(ts).or_insert_with(Instant::now);
+    }
+
+    /// Registers a paced run: event time `first_ts` maps to `start`, and
+    /// event time advances at `speedup` × wall time.
+    pub fn record_pace(&self, first_ts: Timestamp, start: Instant, speedup: f64) {
+        let mut pace = self.pace.lock();
+        if pace.is_none() {
+            *pace = Some((first_ts, start, speedup));
+        }
+    }
+
+    /// Wall-clock instant at which event time first advanced to `>= ts`.
+    pub fn lookup(&self, ts: Timestamp) -> Option<Instant> {
+        if let Some((first_ts, start, speedup)) = *self.pace.lock() {
+            let delta = ts.saturating_sub(first_ts) as f64 / 1e3 / speedup;
+            return Some(start + Duration::from_secs_f64(delta));
+        }
+        self.samples.lock().range(ts..).next().map(|(_, i)| *i)
+    }
+}
+
+/// Measurements of one cluster run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Final query results collected at the root.
+    pub results: Vec<QueryResult>,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Total events ingested across locals.
+    pub events: u64,
+    /// Uplink bytes sent per node (local and intermediate nodes have
+    /// uplinks; the root has none).
+    pub bytes_by_node: FxHashMap<NodeId, u64>,
+    /// Engine metrics summed over local nodes.
+    pub local_metrics: EngineMetrics,
+    /// Event-time latency samples (ms) of emitted results.
+    pub latencies_ms: Vec<f64>,
+    /// Raw events the root had to process itself.
+    pub root_raw_events: u64,
+    /// Direct children of the root that disconnected without flushing
+    /// (crashed / removed nodes, Section 3.2).
+    pub lost_children: Vec<NodeId>,
+    /// The topology, for per-role breakdowns.
+    pub topology: Topology,
+}
+
+impl ClusterReport {
+    /// Events per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Total bytes over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_node.values().sum()
+    }
+
+    /// Bytes sent by nodes of one role.
+    pub fn bytes_for_role(&self, role: NodeRole) -> u64 {
+        self.bytes_by_node
+            .iter()
+            .filter(|(node, _)| self.topology.role(**node) == role)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Mean latency in milliseconds (`None` without samples).
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.latencies_ms.is_empty() {
+            return None;
+        }
+        Some(self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64)
+    }
+
+    /// Latency percentile in milliseconds (`q` in 0..=1).
+    pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
+        if self.latencies_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+/// Pumps messages from `children` until every channel disconnects.
+/// A compiled runtime command.
+#[derive(Debug, Clone)]
+enum CompiledCommand {
+    Add(Arc<desis_core::engine::QueryGroup>),
+    Remove {
+        id: desis_core::query::QueryId,
+        #[allow(dead_code)]
+        immediate: bool,
+        /// Watermark at which the root drops the query (past the drain
+        /// horizon for non-immediate removals).
+        root_at: Timestamp,
+    },
+}
+
+/// Pumps messages from children until every channel disconnects.
+///
+/// Basic node fault tolerance (Section 3.2): a child that disconnects
+/// without sending `Flush` — a crashed or removed node — is flushed on its
+/// behalf so mergers waiting for its contributions do not stall; the lost
+/// node ids are returned so the run can report them ("Desis will remove
+/// this node from the cluster and inform users").
+fn pump_children(
+    receivers: &[(NodeId, LinkReceiver)],
+    mut handler: impl FnMut(NodeId, Message),
+) -> Vec<NodeId> {
+    let mut sel = Select::new();
+    for (_, r) in receivers {
+        sel.recv(r.raw());
+    }
+    let mut flushed = vec![false; receivers.len()];
+    let mut lost = Vec::new();
+    let mut open = receivers.len();
+    while open > 0 {
+        let op = sel.select();
+        let idx = op.index();
+        let (child, receiver) = &receivers[idx];
+        match op.recv(receiver.raw()) {
+            Ok(frame) => {
+                let msg = receiver.decode(&frame).expect("peer sent valid frame");
+                if matches!(msg, Message::Flush) {
+                    flushed[idx] = true;
+                }
+                handler(*child, msg);
+            }
+            Err(_) => {
+                sel.remove(idx);
+                open -= 1;
+                if !flushed[idx] {
+                    lost.push(*child);
+                    handler(*child, Message::Flush);
+                }
+            }
+        }
+    }
+    lost
+}
+
+/// Runs a cluster over one finite event feed per local node.
+///
+/// `feeds.len()` must equal the number of local nodes in the topology;
+/// feeds are assigned to locals in ascending node-id order.
+pub fn run_cluster(
+    cfg: ClusterConfig,
+    feeds: Vec<Vec<Event>>,
+) -> Result<ClusterReport, DesisError> {
+    let locals = cfg.topology.nodes_with_role(NodeRole::Local);
+    assert_eq!(
+        feeds.len(),
+        locals.len(),
+        "one event feed per local node required"
+    );
+    let groups = Arc::new(analyze_for(cfg.system, cfg.queries.clone())?);
+    // Compile the runtime script: added queries get fresh group ids that
+    // locals and root agree on; removals record when the root may drop
+    // the query's finalization info (after the drain horizon unless
+    // immediate).
+    if !cfg.script.is_empty() && cfg.system != DistributedSystem::Desis {
+        return Err(DesisError::UnsupportedInRole(
+            "runtime query scripts require the Desis system",
+        ));
+    }
+    let mut compiled: Vec<(Timestamp, CompiledCommand)> = Vec::new();
+    {
+        let mut next_gid = groups.len() as desis_core::engine::GroupId;
+        let window_of = |id: desis_core::query::QueryId| -> DurationMs {
+            let all = cfg
+                .queries
+                .iter()
+                .chain(cfg.script.iter().filter_map(|(_, c)| match c {
+                    ClusterCommand::AddQuery(q) => Some(q),
+                    ClusterCommand::RemoveQuery { .. } => None,
+                }));
+            for q in all {
+                if q.id == id {
+                    return match q.window.kind {
+                        WindowKind::Tumbling { length } | WindowKind::Sliding { length, .. } => {
+                            length
+                        }
+                        WindowKind::Session { gap } => gap,
+                        WindowKind::UserDefined { .. } => 0,
+                    };
+                }
+            }
+            0
+        };
+        for (ts, cmd) in &cfg.script {
+            match cmd {
+                ClusterCommand::AddQuery(q) => {
+                    let mut gs = analyze_for(cfg.system, vec![q.clone()])?;
+                    let mut g = gs.remove(0);
+                    g.id = next_gid;
+                    next_gid += 1;
+                    compiled.push((*ts, CompiledCommand::Add(Arc::new(g))));
+                }
+                ClusterCommand::RemoveQuery { id, immediate } => {
+                    let horizon = if *immediate { 0 } else { window_of(*id) + 1 };
+                    compiled.push((
+                        *ts,
+                        CompiledCommand::Remove {
+                            id: *id,
+                            immediate: *immediate,
+                            root_at: ts + horizon,
+                        },
+                    ));
+                }
+            }
+        }
+        compiled.sort_by_key(|(ts, _)| *ts);
+    }
+    let compiled = Arc::new(compiled);
+    let codec = cfg.effective_codec();
+    let horizon = cfg.effective_flush_horizon();
+    let topology = cfg.topology.clone();
+    let n_leaves = locals.len();
+
+    // Create the uplink of every non-root node.
+    let mut senders: FxHashMap<NodeId, LinkSender> = FxHashMap::default();
+    let mut stats: Vec<(NodeId, Arc<LinkStats>)> = Vec::new();
+    let mut receivers_by_parent: FxHashMap<NodeId, Vec<(NodeId, LinkReceiver)>> =
+        FxHashMap::default();
+    for node in 0..topology.len() as NodeId {
+        if let Some(parent) = topology.parent(node) {
+            let (tx, rx, st) = link(codec, cfg.channel_capacity, cfg.bandwidth);
+            senders.insert(node, tx);
+            stats.push((node, st));
+            receivers_by_parent.entry(parent).or_default().push((node, rx));
+        }
+    }
+
+    let latency_table = Arc::new(LatencyTable::default());
+    let local_metrics = Arc::new(Mutex::new(EngineMetrics::default()));
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        // Local nodes.
+        let mut feed_iter = feeds.into_iter();
+        for &node in &locals {
+            let feed = feed_iter.next().expect("checked length");
+            let mut uplink = senders.remove(&node).expect("local has a parent");
+            let groups = Arc::clone(&groups);
+            let table = Arc::clone(&latency_table);
+            let metrics_sink = Arc::clone(&local_metrics);
+            let system = cfg.system;
+            let batch_size = cfg.batch_size;
+            let watermark_every = cfg.watermark_every;
+            let sample_every = cfg.latency_sample_every.max(1);
+            let pace = cfg.pace_speedup;
+            let script = Arc::clone(&compiled);
+            scope.spawn(move || {
+                let mut worker =
+                    LocalWorker::new(node, system, &groups, batch_size, watermark_every);
+                let mut since_sample = 0u64;
+                let mut script_idx = 0usize;
+                let pace_start = Instant::now();
+                let mut first_ts: Option<Timestamp> = None;
+                for ev in feed {
+                    while let Some((at, cmd)) = script.get(script_idx) {
+                        if ev.ts < *at {
+                            break;
+                        }
+                        match cmd {
+                            CompiledCommand::Add(group) => worker.add_group(group),
+                            CompiledCommand::Remove { id, immediate, .. } => {
+                                worker.remove_query(*id, *immediate);
+                            }
+                        }
+                        script_idx += 1;
+                    }
+                    if let Some(speedup) = pace {
+                        let base = match first_ts {
+                            Some(base) => base,
+                            None => {
+                                first_ts = Some(ev.ts);
+                                table.record_pace(ev.ts, pace_start, speedup);
+                                ev.ts
+                            }
+                        };
+                        let due = (ev.ts - base) as f64 / 1e3 / speedup;
+                        let elapsed = pace_start.elapsed().as_secs_f64();
+                        if due > elapsed {
+                            std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+                        }
+                    }
+                    if since_sample == 0 {
+                        table.record(ev.ts);
+                    }
+                    since_sample = (since_sample + 1) % sample_every;
+                    if !worker.on_event(&ev, &mut uplink) {
+                        break;
+                    }
+                }
+                let _ = worker.finish(horizon, &mut uplink);
+                metrics_sink.lock().absorb(&worker.metrics());
+                // Dropping the uplink disconnects the parent.
+            });
+        }
+
+        // Intermediate nodes.
+        for node in topology.nodes_with_role(NodeRole::Intermediate) {
+            let receivers = receivers_by_parent
+                .remove(&node)
+                .expect("validated: intermediates have children");
+            let mut uplink = senders.remove(&node).expect("intermediate has a parent");
+            let groups = Arc::clone(&groups);
+            let system = cfg.system;
+            let coverage = topology.leaves_below(node).len() as u32;
+            let child_ids: Vec<NodeId> = receivers.iter().map(|(c, _)| *c).collect();
+            scope.spawn(move || {
+                let mut worker =
+                    IntermediateWorker::new(node, system, &groups, coverage, child_ids);
+                let _lost = pump_children(&receivers, |child, msg| {
+                    let _ = worker.on_message(child, msg, &mut uplink);
+                });
+            });
+        }
+
+        // Root node (run on the scope's own thread side: spawn too, then
+        // join implicitly at scope end).
+        let root = topology.root();
+        let receivers = receivers_by_parent
+            .remove(&root)
+            .expect("root has children");
+        let groups_root = Arc::clone(&groups);
+        let queries = cfg.queries.clone();
+        let system = cfg.system;
+        let child_ids: Vec<NodeId> = receivers.iter().map(|(c, _)| *c).collect();
+        let script = Arc::clone(&compiled);
+        let root_handle = scope.spawn(move || {
+            let mut worker =
+                RootWorker::new(system, &groups_root, &queries, n_leaves, child_ids);
+            // Added groups are registered up front so their partials are
+            // never dropped; removals apply once the watermark passes.
+            for (_, cmd) in script.iter() {
+                if let CompiledCommand::Add(group) = cmd {
+                    worker.add_group(system, group, n_leaves);
+                }
+            }
+            let mut pending_removals: Vec<(Timestamp, desis_core::query::QueryId)> = script
+                .iter()
+                .filter_map(|(_, cmd)| match cmd {
+                    CompiledCommand::Remove { id, root_at, .. } => Some((*root_at, *id)),
+                    CompiledCommand::Add(_) => None,
+                })
+                .collect();
+            pending_removals.sort_unstable();
+            let mut stamped: Vec<(QueryResult, Instant)> = Vec::new();
+            let lost = pump_children(&receivers, |child, msg| {
+                worker.on_message(child, msg);
+                while let Some((at, id)) = pending_removals.first().copied() {
+                    if worker.watermark() < at {
+                        break;
+                    }
+                    worker.remove_query(id);
+                    pending_removals.remove(0);
+                }
+                let now = Instant::now();
+                for r in worker.drain_results() {
+                    stamped.push((r, now));
+                }
+            });
+            (stamped, worker.raw_events_processed(), lost)
+        });
+
+        let (stamped, root_raw_events, lost_children) = root_handle.join().expect("root thread");
+        let wall = started.elapsed();
+
+        let mut latencies_ms = Vec::with_capacity(stamped.len());
+        let mut results = Vec::with_capacity(stamped.len());
+        for (result, emitted) in stamped {
+            if let Some(generated) = latency_table.lookup(result.window_end) {
+                if emitted > generated {
+                    latencies_ms.push(emitted.duration_since(generated).as_secs_f64() * 1e3);
+                }
+            }
+            results.push(result);
+        }
+
+        let bytes_by_node = stats
+            .iter()
+            .map(|(node, st)| (*node, st.bytes()))
+            .collect();
+        let local_metrics = local_metrics.lock().clone();
+        Ok(ClusterReport {
+            results,
+            wall,
+            events: local_metrics.events,
+            bytes_by_node,
+            local_metrics,
+            latencies_ms,
+            root_raw_events,
+            lost_children,
+            topology,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desis_baselines::SystemKind;
+    use desis_core::aggregate::AggFunction;
+    use desis_core::window::WindowSpec;
+
+    fn avg_query(len: DurationMs) -> Query {
+        Query::new(1, WindowSpec::tumbling_time(len).unwrap(), AggFunction::Average)
+    }
+
+    fn feed(n: u64, key_mod: u32, offset: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new(i * 10 + offset, (i % key_mod as u64) as u32, i as f64))
+            .collect()
+    }
+
+    fn sorted(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
+        results.sort_by(|a, b| {
+            (a.query, a.window_start, a.window_end, a.key).cmp(&(
+                b.query,
+                b.window_start,
+                b.window_end,
+                b.key,
+            ))
+        });
+        results
+    }
+
+    /// Reference: single engine over the time-merged streams.
+    fn reference(queries: Vec<Query>, feeds: &[Vec<Event>], horizon: DurationMs) -> Vec<QueryResult> {
+        let mut all: Vec<Event> = feeds.iter().flatten().copied().collect();
+        all.sort_by_key(|e| e.ts);
+        let mut engine = desis_core::engine::AggregationEngine::new(queries).unwrap();
+        let mut last = 0;
+        for ev in &all {
+            engine.on_event(ev);
+            last = ev.ts;
+        }
+        engine.on_watermark(last + horizon);
+        sorted(engine.drain_results())
+    }
+
+    #[test]
+    fn desis_three_tier_matches_single_node() {
+        let queries = vec![
+            avg_query(500),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(1_000, 500).unwrap(),
+                AggFunction::Max,
+            ),
+        ];
+        let feeds = vec![feed(500, 3, 0), feed(500, 3, 5)];
+        let cfg = ClusterConfig::new(
+            DistributedSystem::Desis,
+            queries.clone(),
+            Topology::three_tier(1, 2),
+        );
+        let report = run_cluster(cfg, feeds.clone()).unwrap();
+        assert_eq!(report.events, 1_000);
+        assert_eq!(
+            sorted(report.results),
+            reference(queries, &feeds, 2_000)
+        );
+    }
+
+    #[test]
+    fn centralized_scotty_matches_single_node() {
+        let queries = vec![avg_query(500)];
+        let feeds = vec![feed(300, 2, 0), feed(300, 2, 3)];
+        let cfg = ClusterConfig::new(
+            DistributedSystem::Centralized(SystemKind::Scotty),
+            queries.clone(),
+            Topology::three_tier(1, 2),
+        );
+        let report = run_cluster(cfg, feeds.clone()).unwrap();
+        assert_eq!(
+            sorted(report.results.clone()),
+            reference(queries, &feeds, 2_000)
+        );
+        // All events crossed both the local and intermediate uplinks.
+        let local_bytes = report.bytes_for_role(NodeRole::Local);
+        let inter_bytes = report.bytes_for_role(NodeRole::Intermediate);
+        assert!(local_bytes > 0 && inter_bytes > 0);
+    }
+
+    #[test]
+    fn desis_saves_network_traffic_vs_centralized() {
+        let queries = vec![avg_query(1_000)];
+        // Dense streams: ~5000 events per 1 s window, as in the paper's
+        // high-rate workloads.
+        let dense = |offset: u64| -> Vec<Event> {
+            (0..10_000u64)
+                .map(|i| Event::new(i / 5 + offset, (i % 10) as u32, i as f64 * 0.730001))
+                .collect()
+        };
+        let feeds = vec![dense(0), dense(1)];
+        let topo = Topology::three_tier(1, 2);
+        let desis = run_cluster(
+            ClusterConfig::new(DistributedSystem::Desis, queries.clone(), topo.clone()),
+            feeds.clone(),
+        )
+        .unwrap();
+        let central = run_cluster(
+            ClusterConfig::new(
+                DistributedSystem::Centralized(SystemKind::Scotty),
+                queries,
+                topo,
+            ),
+            feeds,
+        )
+        .unwrap();
+        // The headline Figure 11a claim: partial results save ~99%.
+        assert!(
+            desis.total_bytes() * 20 < central.total_bytes(),
+            "desis {} vs central {}",
+            desis.total_bytes(),
+            central.total_bytes()
+        );
+    }
+
+    #[test]
+    fn disco_matches_desis_results_on_decomposable_windows() {
+        let queries = vec![
+            avg_query(500),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(1_000, 250).unwrap(),
+                AggFunction::Average,
+            ),
+        ];
+        let feeds = vec![feed(1_000, 5, 0), feed(1_000, 5, 5)];
+        let topo = Topology::three_tier(1, 2);
+        let desis = run_cluster(
+            ClusterConfig::new(DistributedSystem::Desis, queries.clone(), topo.clone()),
+            feeds.clone(),
+        )
+        .unwrap();
+        let disco = run_cluster(
+            ClusterConfig::new(DistributedSystem::Disco, queries.clone(), topo),
+            feeds.clone(),
+        )
+        .unwrap();
+        assert_eq!(sorted(desis.results.clone()), sorted(disco.results.clone()));
+    }
+
+    #[test]
+    fn desis_bytes_stay_constant_with_concurrent_windows_unlike_disco() {
+        // Figure 11d: Desis ships slices, so adding overlapping windows
+        // barely changes its traffic; Disco ships per-window partials, so
+        // its traffic grows with the number of concurrent windows.
+        let one = vec![avg_query(500)];
+        let many: Vec<Query> = (1..=6)
+            .map(|i| {
+                Query::new(
+                    i,
+                    WindowSpec::sliding_time(i * 500, 500).unwrap(),
+                    AggFunction::Average,
+                )
+            })
+            .collect();
+        let feeds = || vec![feed(2_000, 1, 0), feed(2_000, 1, 5)];
+        let topo = Topology::three_tier(1, 2);
+        let run = |sys, queries: Vec<Query>| {
+            run_cluster(ClusterConfig::new(sys, queries, topo.clone()), feeds()).unwrap()
+        };
+        let desis_one = run(DistributedSystem::Desis, one.clone());
+        let desis_many = run(DistributedSystem::Desis, many.clone());
+        let disco_one = run(DistributedSystem::Disco, one);
+        let disco_many = run(DistributedSystem::Disco, many);
+        let desis_growth = desis_many.total_bytes() as f64 / desis_one.total_bytes() as f64;
+        let disco_growth = disco_many.total_bytes() as f64 / disco_one.total_bytes() as f64;
+        assert!(
+            desis_growth < 2.0,
+            "desis traffic should stay near-constant, grew {desis_growth:.2}x"
+        );
+        assert!(
+            disco_growth > desis_growth * 1.5,
+            "disco {disco_growth:.2}x vs desis {desis_growth:.2}x"
+        );
+    }
+
+    #[test]
+    fn disco_string_events_cost_more_than_desis_sorted_batches() {
+        // Figure 11b: for a median, Disco ships raw events as strings;
+        // Desis ships binary sorted slice batches.
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(500).unwrap(),
+            AggFunction::Median,
+        )];
+        let mk = |offset: u64| -> Vec<Event> {
+            (0..2_000u64)
+                .map(|i| Event::new(i * 5 + offset, 0, i as f64 * 0.730001))
+                .collect()
+        };
+        let topo = Topology::three_tier(1, 2);
+        let desis = run_cluster(
+            ClusterConfig::new(DistributedSystem::Desis, queries.clone(), topo.clone()),
+            vec![mk(0), mk(1)],
+        )
+        .unwrap();
+        let disco = run_cluster(
+            ClusterConfig::new(DistributedSystem::Disco, queries, topo),
+            vec![mk(0), mk(1)],
+        )
+        .unwrap();
+        assert_eq!(sorted(desis.results.clone()), sorted(disco.results.clone()));
+        assert!(
+            disco.total_bytes() > desis.total_bytes(),
+            "disco {} <= desis {}",
+            disco.total_bytes(),
+            desis.total_bytes()
+        );
+    }
+
+    #[test]
+    fn median_group_ships_sorted_batches_to_root() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(500).unwrap(),
+            AggFunction::Median,
+        )];
+        let feeds = vec![feed(400, 1, 0), feed(400, 1, 5)];
+        let cfg = ClusterConfig::new(
+            DistributedSystem::Desis,
+            queries.clone(),
+            Topology::three_tier(1, 2),
+        );
+        let report = run_cluster(cfg, feeds.clone()).unwrap();
+        assert_eq!(
+            sorted(report.results),
+            reference(queries, &feeds, 2_000)
+        );
+        // No raw events at the root: sorted slice batches only.
+        assert_eq!(report.root_raw_events, 0);
+    }
+
+    #[test]
+    fn count_windows_processed_at_root() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_count(100).unwrap(),
+            AggFunction::Sum,
+        )];
+        let feeds = vec![feed(500, 1, 0), feed(500, 1, 5)];
+        let cfg = ClusterConfig::new(
+            DistributedSystem::Desis,
+            queries.clone(),
+            Topology::three_tier(1, 2),
+        );
+        let report = run_cluster(cfg, feeds.clone()).unwrap();
+        assert_eq!(report.root_raw_events, 1_000);
+        assert_eq!(
+            sorted(report.results),
+            reference(queries, &feeds, 2_000)
+        );
+    }
+
+    #[test]
+    fn sessions_merge_across_decentralized_streams() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::session(200).unwrap(),
+            AggFunction::Count,
+        )];
+        // Two bursts on both streams with a long common gap.
+        let mk = |offset: u64| -> Vec<Event> {
+            let mut v = Vec::new();
+            for i in 0..50u64 {
+                v.push(Event::new(i * 2 + offset, 0, 1.0));
+            }
+            for i in 0..50u64 {
+                v.push(Event::new(5_000 + i * 2 + offset, 0, 1.0));
+            }
+            v
+        };
+        let cfg = ClusterConfig::new(
+            DistributedSystem::Desis,
+            queries,
+            Topology::three_tier(1, 2),
+        );
+        let report = run_cluster(cfg, vec![mk(0), mk(1)]).unwrap();
+        let results = sorted(report.results);
+        assert_eq!(results.len(), 2, "{results:?}");
+        assert_eq!(results[0].values, vec![Some(100.0)]);
+        assert_eq!(results[1].values, vec![Some(100.0)]);
+    }
+
+    #[test]
+    fn latency_is_measured() {
+        let queries = vec![avg_query(100)];
+        let cfg = ClusterConfig::new(
+            DistributedSystem::Desis,
+            queries,
+            Topology::star(2),
+        );
+        let report = run_cluster(cfg, vec![feed(2_000, 1, 0), feed(2_000, 1, 5)]).unwrap();
+        assert!(!report.latencies_ms.is_empty());
+        assert!(report.mean_latency_ms().unwrap() >= 0.0);
+        assert!(report.latency_percentile_ms(0.99).unwrap() >= 0.0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_cap_slows_centralized_more_than_desis() {
+        let queries = vec![avg_query(1_000)];
+        let feeds = || vec![feed(3_000, 1, 0)];
+        let topo = Topology::three_tier(1, 1);
+        let cap = Some(200_000u64); // 200 KB/s links
+        let mut desis_cfg =
+            ClusterConfig::new(DistributedSystem::Desis, queries.clone(), topo.clone());
+        desis_cfg.bandwidth = cap;
+        let mut central_cfg = ClusterConfig::new(
+            DistributedSystem::Centralized(SystemKind::Scotty),
+            queries,
+            topo,
+        );
+        central_cfg.bandwidth = cap;
+        let desis = run_cluster(desis_cfg, feeds()).unwrap();
+        let central = run_cluster(central_cfg, feeds()).unwrap();
+        assert!(
+            desis.throughput() > central.throughput() * 2.0,
+            "desis {:.0} vs central {:.0}",
+            desis.throughput(),
+            central.throughput()
+        );
+    }
+}
+
+#[cfg(test)]
+mod debug_bytes {
+    use super::*;
+    use desis_core::aggregate::AggFunction;
+    use desis_core::window::WindowSpec;
+
+    #[test]
+    #[ignore]
+    fn print_bytes() {
+        let queries = vec![
+            Query::new(1, WindowSpec::tumbling_time(500).unwrap(), AggFunction::Average),
+            Query::new(2, WindowSpec::sliding_time(1_000, 250).unwrap(), AggFunction::Average),
+            Query::new(3, WindowSpec::sliding_time(2_000, 500).unwrap(), AggFunction::Average),
+        ];
+        let feed = |offset: u64| -> Vec<Event> {
+            (0..1_000u64).map(|i| Event::new(i * 10 + offset, (i % 5) as u32, i as f64)).collect()
+        };
+        let topo = Topology::three_tier(1, 2);
+        for sys in [DistributedSystem::Desis, DistributedSystem::Disco] {
+            let r = run_cluster(ClusterConfig::new(sys, queries.clone(), topo.clone()), vec![feed(0), feed(5)]).unwrap();
+            let mut by: Vec<_> = r.bytes_by_node.iter().collect();
+            by.sort();
+            println!("{}: total={} per-node={:?} results={}", sys.label(), r.total_bytes(), by, r.results.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod runtime_reconfig_tests {
+    use super::*;
+    use desis_core::aggregate::AggFunction;
+    use desis_core::window::WindowSpec;
+
+    fn feed(n: u64, step: u64, offset: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new(i * step + offset, 0, 1.0))
+            .collect()
+    }
+
+    /// Section 3.2: a query added mid-run produces results only from its
+    /// installation onward; a drained removal finishes its open window.
+    #[test]
+    fn scripted_query_add_and_remove() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Average,
+        )];
+        let mut cfg = ClusterConfig::new(
+            DistributedSystem::Desis,
+            queries,
+            Topology::three_tier(1, 2),
+        );
+        cfg.script = vec![
+            (
+                3_000,
+                ClusterCommand::AddQuery(Query::new(
+                    2,
+                    WindowSpec::tumbling_time(500).unwrap(),
+                    AggFunction::Count,
+                )),
+            ),
+            (
+                7_000,
+                ClusterCommand::RemoveQuery {
+                    id: 2,
+                    immediate: false,
+                },
+            ),
+        ];
+        // 10 s of events on both locals.
+        let report = run_cluster(cfg, vec![feed(1_000, 10, 0), feed(1_000, 10, 5)]).unwrap();
+        let q1: Vec<_> = report.results.iter().filter(|r| r.query == 1).collect();
+        let q2: Vec<_> = report.results.iter().filter(|r| r.query == 2).collect();
+        assert_eq!(q1.len(), 10, "query 1 runs for the whole stream");
+        assert!(!q2.is_empty());
+        // Query 2 only exists between its installation and removal (plus
+        // the drain horizon).
+        assert!(q2.iter().all(|r| r.window_start >= 3_000), "{q2:?}");
+        assert!(q2.iter().all(|r| r.window_end <= 8_000), "{q2:?}");
+        // Both locals contributed to the added query's windows.
+        let full = q2
+            .iter()
+            .find(|r| r.window_start == 4_000)
+            .expect("mid-run window");
+        assert_eq!(full.values, vec![Some(100.0)]); // 2 locals x 50 events
+    }
+
+    /// Scripts are rejected for systems that cannot reconfigure at
+    /// runtime.
+    #[test]
+    fn scripts_require_desis() {
+        let mut cfg = ClusterConfig::new(
+            DistributedSystem::Centralized(desis_baselines::SystemKind::Scotty),
+            vec![Query::new(
+                1,
+                WindowSpec::tumbling_time(1_000).unwrap(),
+                AggFunction::Sum,
+            )],
+            Topology::star(1),
+        );
+        cfg.script = vec![(
+            100,
+            ClusterCommand::RemoveQuery {
+                id: 1,
+                immediate: true,
+            },
+        )];
+        assert!(run_cluster(cfg, vec![feed(10, 1, 0)]).is_err());
+    }
+
+    /// Section 3.2 node loss: a child that disconnects without flushing is
+    /// flushed on its behalf so the cluster still terminates and reports
+    /// the loss.
+    #[test]
+    fn lost_child_is_flushed_and_reported() {
+        use crate::node::RootWorker;
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Sum,
+        )];
+        let groups = analyze_for(DistributedSystem::Desis, queries.clone()).unwrap();
+        let gid = groups[0].id;
+        let (mut tx_a, rx_a, _) = link(CodecKind::Binary, 64, None);
+        let (mut tx_b, rx_b, _) = link(CodecKind::Binary, 64, None);
+        // Child 7 delivers one slice and a watermark, then flushes; child
+        // 9 delivers one slice and then dies (drop without Flush).
+        let mk_partial = |value: f64| {
+            let mut slicer = desis_core::engine::GroupSlicer::new(groups[0].clone());
+            let mut out = Vec::new();
+            slicer.on_event(&Event::new(0, 0, value), &mut out);
+            slicer.on_watermark(100, &mut out);
+            out.remove(0)
+        };
+        assert!(tx_a.send(&Message::Slice {
+            group: gid,
+            origin: 7,
+            coverage: 1,
+            partial: mk_partial(2.0),
+        }));
+        assert!(tx_a.send(&Message::Watermark(100)));
+        assert!(tx_a.send(&Message::Flush));
+        drop(tx_a);
+        assert!(tx_b.send(&Message::Slice {
+            group: gid,
+            origin: 9,
+            coverage: 1,
+            partial: mk_partial(3.0),
+        }));
+        drop(tx_b); // crash: no Flush
+
+        let mut worker = RootWorker::new(
+            DistributedSystem::Desis,
+            &groups,
+            &queries,
+            2,
+            vec![7, 9],
+        );
+        let mut results = Vec::new();
+        let receivers = vec![(7, rx_a), (9, rx_b)];
+        let lost = pump_children(&receivers, |child, msg| {
+            worker.on_message(child, msg);
+            results.extend(worker.drain_results());
+        });
+        assert_eq!(lost, vec![9]);
+        assert!(worker.finished());
+        assert_eq!(results.len(), 1);
+        // Both children's data made it into the window before the loss.
+        assert_eq!(results[0].values, vec![Some(5.0)]);
+    }
+}
+
+#[cfg(test)]
+mod latency_table_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sampled_lookup_finds_first_at_or_after() {
+        let table = LatencyTable::default();
+        table.record(100);
+        table.record(300);
+        assert!(table.lookup(50).is_some());
+        assert!(table.lookup(100).is_some());
+        assert!(table.lookup(200).is_some()); // falls through to 300
+        assert!(table.lookup(301).is_none());
+    }
+
+    #[test]
+    fn paced_lookup_is_analytic() {
+        let table = LatencyTable::default();
+        let start = Instant::now();
+        table.record_pace(1_000, start, 2.0);
+        // Event time 3_000 is 2 s after first_ts at 2x speed => 1 s wall.
+        let at = table.lookup(3_000).expect("paced lookup");
+        let expected = start + Duration::from_secs(1);
+        let delta = if at > expected {
+            at - expected
+        } else {
+            expected - at
+        };
+        assert!(delta < Duration::from_millis(1), "{delta:?}");
+        // A second registration does not overwrite the first.
+        table.record_pace(0, Instant::now(), 50.0);
+        assert_eq!(table.lookup(3_000), Some(expected));
+    }
+}
+
+/// Shards one ordered event stream by key into `shards` ordered streams.
+///
+/// Feeding the shards to a [`Topology::star`] cluster turns it into a
+/// multi-core scale-up engine (the paper's evaluation machine has 36
+/// cores): group-by-key aggregation over fixed time windows partitions
+/// cleanly by key, every shard slices its keys in parallel, and the root
+/// merges per-key partials. Session, user-defined, and count windows
+/// define boundaries over the *whole* stream and must not be sharded.
+pub fn shard_by_key(events: &[Event], shards: usize) -> Vec<Vec<Event>> {
+    assert!(shards >= 1);
+    let mut out = vec![Vec::with_capacity(events.len() / shards + 1); shards];
+    for ev in events {
+        out[ev.key as usize % shards].push(*ev);
+    }
+    out
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use desis_core::aggregate::AggFunction;
+    use desis_core::window::WindowSpec;
+
+    #[test]
+    fn sharded_star_matches_single_engine() {
+        let queries = vec![
+            Query::new(
+                1,
+                WindowSpec::tumbling_time(500).unwrap(),
+                AggFunction::Average,
+            ),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(1_000, 500).unwrap(),
+                AggFunction::Max,
+            ),
+        ];
+        let events: Vec<Event> = (0..50_000u64)
+            .map(|i| Event::new(i / 10, (i % 8) as u32, (i % 101) as f64))
+            .collect();
+
+        let mut engine = desis_core::engine::AggregationEngine::new(queries.clone()).unwrap();
+        for ev in &events {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(10_000);
+        let mut expected = engine.drain_results();
+
+        let feeds = shard_by_key(&events, 4);
+        assert!(feeds.iter().all(|f| f.windows(2).all(|p| p[0].ts <= p[1].ts)));
+        let cfg = ClusterConfig::new(DistributedSystem::Desis, queries, Topology::star(4));
+        let report = run_cluster(cfg, feeds).unwrap();
+        let mut actual = report.results;
+
+        let key = |r: &QueryResult| (r.query, r.window_start, r.key);
+        expected.sort_by_key(key);
+        actual.sort_by_key(key);
+        assert_eq!(expected, actual);
+    }
+}

@@ -1,0 +1,66 @@
+//! # desis-net
+//!
+//! Decentralized aggregation substrate for the Desis reproduction (paper
+//! Sections 2.4 and 5): simulated clusters of local / intermediate / root
+//! nodes connected by channel links that carry **really serialized**
+//! frames, with per-link byte accounting, optional bandwidth caps, and
+//! event-time latency measurement.
+//!
+//! The substrate runs three distributed systems over the same topology:
+//!
+//! * **Desis** — window slicing on *every* node; per-slice partials with
+//!   operator-level sharing (Section 5.1); sorted slice batches for
+//!   non-decomposable functions (Section 5.2); raw forwarding only for
+//!   count-measured groups.
+//! * **Disco** — Scotty-style slicing on local nodes only, per-*window*
+//!   partials, string-encoded messages.
+//! * **Centralized(system)** — all events travel to the root, which runs
+//!   any single-node [`desis_baselines`] system.
+//!
+//! ```no_run
+//! use desis_net::prelude::*;
+//! use desis_core::prelude::*;
+//!
+//! let queries = vec![Query::new(
+//!     1,
+//!     WindowSpec::tumbling_time(1_000)?,
+//!     AggFunction::Average,
+//! )];
+//! let cfg = ClusterConfig::new(
+//!     DistributedSystem::Desis,
+//!     queries,
+//!     Topology::three_tier(1, 4),
+//! );
+//! let feeds = (0..4)
+//!     .map(|n| (0..100_000u64).map(|i| Event::new(i, n, 1.0)).collect())
+//!     .collect();
+//! let report = run_cluster(cfg, feeds)?;
+//! println!(
+//!     "{:.0} events/s, {} bytes on the wire",
+//!     report.throughput(),
+//!     report.total_bytes()
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod codec;
+pub mod link;
+pub mod merge;
+pub mod message;
+pub mod node;
+pub mod topology;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cluster::{
+        run_cluster, shard_by_key, ClusterCommand, ClusterConfig, ClusterReport, LatencyTable,
+    };
+    pub use crate::codec::CodecKind;
+    pub use crate::message::{Message, WindowPartial};
+    pub use crate::node::DistributedSystem;
+    pub use crate::topology::{NodeId, NodeRole, Topology};
+}

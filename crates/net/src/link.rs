@@ -1,0 +1,209 @@
+//! Links between nodes: bounded channels carrying serialized frames, with
+//! per-link byte accounting and optional bandwidth limiting.
+//!
+//! Every message is encoded on send and decoded on receive, so byte
+//! counters (Figure 11) measure real wire sizes. Bounded channels provide
+//! backpressure, which is what makes measured throughput *sustainable*
+//! throughput in the sense of Karimov et al. \[31\]. The token-bucket
+//! limiter models constrained links such as the Raspberry Pi cluster's 1G
+//! Ethernet (Figure 13).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::codec::{CodecError, CodecKind};
+use crate::message::Message;
+
+/// Counters of one directed link.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl LinkStats {
+    /// Total payload bytes sent over the link.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent over the link.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+}
+
+/// Token-bucket rate limiter (bytes per second).
+#[derive(Debug)]
+struct TokenBucket {
+    rate: f64,
+    tokens: f64,
+    burst: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(bytes_per_sec: u64) -> Self {
+        let rate = bytes_per_sec as f64;
+        Self {
+            rate,
+            tokens: rate / 10.0,
+            burst: rate / 10.0, // 100 ms of burst
+            last: Instant::now(),
+        }
+    }
+
+    /// Blocks until `n` bytes of budget are available, then consumes them.
+    fn consume(&mut self, n: usize) {
+        let now = Instant::now();
+        self.tokens = f64::min(
+            self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate,
+            self.burst,
+        );
+        self.last = now;
+        let need = n as f64;
+        if self.tokens < need {
+            let wait = (need - self.tokens) / self.rate;
+            std::thread::sleep(Duration::from_secs_f64(wait));
+            let now = Instant::now();
+            self.tokens += now.duration_since(self.last).as_secs_f64() * self.rate;
+            self.last = now;
+        }
+        self.tokens -= need;
+    }
+}
+
+/// Sending half of a link.
+#[derive(Debug)]
+pub struct LinkSender {
+    tx: Sender<Vec<u8>>,
+    codec: CodecKind,
+    stats: Arc<LinkStats>,
+    limiter: Option<TokenBucket>,
+}
+
+impl LinkSender {
+    /// Serializes and sends a message. Blocks on backpressure and on the
+    /// bandwidth limiter. Returns `false` if the receiver is gone.
+    pub fn send(&mut self, msg: &Message) -> bool {
+        let frame = self.codec.encode(msg);
+        if let Some(limiter) = &mut self.limiter {
+            limiter.consume(frame.len());
+        }
+        self.stats.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(frame).is_ok()
+    }
+
+    /// This link's counters.
+    pub fn stats(&self) -> &Arc<LinkStats> {
+        &self.stats
+    }
+}
+
+/// Receiving half of a link.
+#[derive(Debug)]
+pub struct LinkReceiver {
+    rx: Receiver<Vec<u8>>,
+    codec: CodecKind,
+}
+
+impl LinkReceiver {
+    /// Receives and decodes the next message; `None` when the sender hung
+    /// up.
+    pub fn recv(&self) -> Option<Result<Message, CodecError>> {
+        self.rx.recv().ok().map(|frame| self.codec.decode(&frame))
+    }
+
+    /// The raw frame receiver (for select loops over many children).
+    pub(crate) fn raw(&self) -> &Receiver<Vec<u8>> {
+        &self.rx
+    }
+
+    /// Decodes a raw frame received via [`Self::raw`].
+    pub(crate) fn decode(&self, frame: &[u8]) -> Result<Message, CodecError> {
+        self.codec.decode(frame)
+    }
+}
+
+/// Creates a link with the given codec, queue capacity (messages), and
+/// optional bandwidth limit in bytes/second.
+pub fn link(
+    codec: CodecKind,
+    capacity: usize,
+    bandwidth: Option<u64>,
+) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
+    let (tx, rx) = crossbeam_channel::bounded(capacity);
+    let stats = Arc::new(LinkStats::default());
+    (
+        LinkSender {
+            tx,
+            codec,
+            stats: Arc::clone(&stats),
+            limiter: bandwidth.map(TokenBucket::new),
+        },
+        LinkReceiver { rx, codec },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desis_core::event::Event;
+
+    #[test]
+    fn send_counts_bytes_and_messages() {
+        let (mut tx, rx, stats) = link(CodecKind::Binary, 16, None);
+        let msg = Message::Events(vec![Event::new(1, 2, 3.0)]);
+        assert!(tx.send(&msg));
+        assert!(tx.send(&Message::Flush));
+        assert_eq!(stats.messages(), 2);
+        assert!(stats.bytes() > 0);
+        assert_eq!(rx.recv().unwrap().unwrap(), msg);
+        assert_eq!(rx.recv().unwrap().unwrap(), Message::Flush);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (mut tx, rx, _) = link(CodecKind::Binary, 4, None);
+        drop(rx);
+        assert!(!tx.send(&Message::Flush));
+    }
+
+    #[test]
+    fn bandwidth_limiter_throttles() {
+        // 10 KB/s link with a 1 KB burst: pushing ~5 KB past the burst
+        // must take roughly 400 ms.
+        let (mut tx, rx, stats) = link(CodecKind::Binary, 1024, Some(10_000));
+        let events: Vec<Event> = (0..64).map(|i| Event::new(i, 0, 0.0)).collect();
+        let msg = Message::Events(events);
+        let frame_len = CodecKind::Binary.encode(&msg).len() as u64;
+        let frames = 1 + (5_000 / frame_len).max(1);
+        let start = Instant::now();
+        for _ in 0..frames {
+            assert!(tx.send(&msg));
+        }
+        let elapsed = start.elapsed();
+        drop(rx);
+        let sent = stats.bytes() as f64;
+        let expected_secs = (sent - 1_000.0).max(0.0) / 10_000.0;
+        assert!(
+            elapsed.as_secs_f64() >= expected_secs * 0.5,
+            "limiter too permissive: {elapsed:?} for {sent} bytes"
+        );
+    }
+
+    #[test]
+    fn unlimited_link_is_fast() {
+        let (mut tx, _rx, _) = link(CodecKind::Binary, 1024, None);
+        let start = Instant::now();
+        for i in 0..1_000u64 {
+            assert!(tx.send(&Message::Watermark(i)));
+        }
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+}

@@ -1,0 +1,1161 @@
+//! Merging machinery for intermediate and root nodes (paper Section 5).
+//!
+//! * [`AlignedSliceMerger`] — fixed time windows slice identically on every
+//!   node, so child partials merge by `(start_ts, end_ts)`; a merged slice
+//!   is complete when it covers all local streams below this node
+//!   (the paper's "the length of an intermediate slice is the number of
+//!   child nodes", Section 5.1.1).
+//! * [`TimeAssembler`] — the root's window assembly over merged slices,
+//!   selecting by time range.
+//! * [`UnfixedRootMerger`] — session and user-defined windows slice at
+//!   data-driven points that differ per stream; the root keeps per-child
+//!   partials, extracts per-child window contributions, and terminates
+//!   global sessions when the children's latest gaps cover each other
+//!   (Section 5.1.2).
+//! * [`EventMerger`] — watermark-aligned reordering of raw event streams
+//!   for root-processed groups (count windows, centralized baselines).
+//! * [`PartialAssembler`] / [`WindowPartialMerger`] — the Disco baseline's
+//!   per-*window* partials (Section 5, "Disco has to send partial results
+//!   per window").
+
+use std::collections::VecDeque;
+
+use rustc_hash::FxHashMap;
+
+use desis_core::aggregate::{AggFunction, OperatorBundle};
+use desis_core::engine::{QueryGroup, SealedSlice, SelectionId, SliceData, SliceId};
+use desis_core::event::{Event, Key};
+use desis_core::query::{QueryId, QueryResult};
+use desis_core::time::Timestamp;
+use desis_core::window::WindowKind;
+
+use crate::message::WindowPartial;
+use crate::topology::NodeId;
+
+/// Per-key operator partials of one window contribution.
+pub(crate) type KeyedBundles = FxHashMap<Key, OperatorBundle>;
+/// A window contribution: event-time span plus its keyed partials.
+type SpannedBundles = ((Timestamp, Timestamp), KeyedBundles);
+
+/// Per-query finalization info shared by the mergers.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryInfo {
+    pub selection: SelectionId,
+    pub functions: Vec<AggFunction>,
+    pub kind: WindowKind,
+}
+
+pub(crate) fn query_infos(group: &QueryGroup) -> FxHashMap<QueryId, QueryInfo> {
+    group
+        .queries
+        .iter()
+        .map(|cq| {
+            (
+                cq.query.id,
+                QueryInfo {
+                    selection: cq.selection,
+                    functions: cq.query.functions.clone(),
+                    kind: cq.query.window.kind,
+                },
+            )
+        })
+        .collect()
+}
+
+fn finalize_map(
+    query: QueryId,
+    info: &QueryInfo,
+    merged: &FxHashMap<Key, OperatorBundle>,
+    start_ts: Timestamp,
+    end_ts: Timestamp,
+    out: &mut Vec<QueryResult>,
+) {
+    for (key, bundle) in merged {
+        let values = info.functions.iter().map(|f| bundle.finalize(f)).collect();
+        out.push(QueryResult {
+            query,
+            key: *key,
+            window_start: start_ts,
+            window_end: end_ts,
+            values,
+        });
+    }
+}
+
+fn merge_into(dst: &mut FxHashMap<Key, OperatorBundle>, src: &FxHashMap<Key, OperatorBundle>) {
+    for (key, bundle) in src {
+        match dst.get_mut(key) {
+            Some(b) => b.merge(bundle),
+            None => {
+                dst.insert(*key, bundle.clone());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aligned slice merging (fixed time windows).
+// ---------------------------------------------------------------------
+
+/// Merges child slice partials of a fixed-window group.
+///
+/// Fixed time windows punctuate at the same instants on every node, so
+/// slices are keyed by their **end** timestamp (start timestamps differ
+/// for the very first slice of late-starting streams). Merged slices are
+/// released strictly in end order: a completed slice is held back while an
+/// earlier slice still misses contributions, and watermarks force-complete
+/// slices of streams that were idle over the interval.
+#[derive(Debug)]
+pub struct AlignedSliceMerger {
+    /// Number of local streams this node's subtree covers.
+    expected_coverage: u32,
+    pending: std::collections::BTreeMap<Timestamp, PendingSlice>,
+    next_id: SliceId,
+    /// Slices ending at or before this are releasable even if incomplete
+    /// (all covered streams are known to be past this time).
+    forced_up_to: Timestamp,
+    ready: VecDeque<SealedSlice>,
+}
+
+#[derive(Debug)]
+struct PendingSlice {
+    start_ts: Timestamp,
+    data: SliceData,
+    coverage: u32,
+    ends: Vec<desis_core::engine::WindowEnd>,
+    gaps: Vec<desis_core::engine::SessionGap>,
+    low_ts: Timestamp,
+}
+
+impl AlignedSliceMerger {
+    /// Creates a merger covering `expected_coverage` local streams.
+    pub fn new(expected_coverage: u32) -> Self {
+        assert!(expected_coverage >= 1);
+        Self {
+            expected_coverage,
+            pending: std::collections::BTreeMap::new(),
+            next_id: 0,
+            forced_up_to: 0,
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Number of slices waiting for missing children.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Folds one child partial in.
+    pub fn on_slice(&mut self, partial: SealedSlice, coverage: u32) {
+        let end_ts = partial.end_ts;
+        let entry = self.pending.entry(end_ts).or_insert_with(|| PendingSlice {
+            start_ts: partial.start_ts,
+            data: SliceData::new(partial.data.per_selection.len()),
+            coverage: 0,
+            ends: Vec::new(),
+            gaps: Vec::new(),
+            low_ts: Timestamp::MAX,
+        });
+        entry.start_ts = entry.start_ts.min(partial.start_ts);
+        entry.data.merge(&partial.data);
+        entry.coverage += coverage;
+        entry.low_ts = entry.low_ts.min(partial.low_watermark_ts);
+        // Fixed-window ends are identical on every child (same specs, same
+        // time base): keep one copy per (query, window).
+        for end in partial.ends {
+            if !entry
+                .ends
+                .iter()
+                .any(|e| e.query == end.query && e.start_ts == end.start_ts && e.end_ts == end.end_ts)
+            {
+                entry.ends.push(end);
+            }
+        }
+        entry.gaps.extend(partial.session_gaps);
+        debug_assert!(
+            entry.coverage <= self.expected_coverage,
+            "over-covered slice ending at {end_ts}"
+        );
+        self.release();
+    }
+
+    /// Marks every covered stream as having advanced to `wm`: incomplete
+    /// slices ending at or before `wm` become releasable (their missing
+    /// streams were idle).
+    pub fn advance_watermark(&mut self, wm: Timestamp) {
+        if wm > self.forced_up_to {
+            self.forced_up_to = wm;
+            self.release();
+        }
+    }
+
+    fn release(&mut self) {
+        while let Some((&end_ts, entry)) = self.pending.iter().next() {
+            let complete = entry.coverage == self.expected_coverage;
+            if !complete && end_ts > self.forced_up_to {
+                break;
+            }
+            let done = self.pending.remove(&end_ts).expect("just looked up");
+            let id = self.next_id;
+            self.next_id += 1;
+            self.ready.push_back(SealedSlice {
+                id,
+                start_ts: done.start_ts,
+                end_ts,
+                data: done.data,
+                ends: done.ends,
+                session_gaps: done.gaps,
+                low_watermark: 0,
+                low_watermark_ts: done.low_ts.min(end_ts),
+            });
+        }
+    }
+
+    /// Drains merged slices, in end-timestamp order.
+    pub fn drain_ready(&mut self, out: &mut Vec<SealedSlice>) {
+        out.extend(self.ready.drain(..));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Root window assembly over merged slices, by time range.
+// ---------------------------------------------------------------------
+
+/// Assembles windows from merged slices, selecting slices by time range
+/// (merged slice ids are node-local and never cross the network).
+#[derive(Debug)]
+pub struct TimeAssembler {
+    queries: FxHashMap<QueryId, QueryInfo>,
+    /// Fixed time-measured queries, whose end punctuations the assembler
+    /// derives itself from the specs ("Desis is able to calculate window
+    /// ends in advance") — local nodes need not ship `ep` marks for them.
+    fixed: Vec<(QueryId, desis_core::window::WindowSpec)>,
+    slices: VecDeque<(Timestamp, Timestamp, SliceData)>,
+    results_emitted: u64,
+}
+
+impl TimeAssembler {
+    /// Creates an assembler for `group`.
+    pub fn new(group: &QueryGroup) -> Self {
+        let fixed = group
+            .queries
+            .iter()
+            .filter(|cq| cq.query.window.has_precomputable_puncts())
+            .map(|cq| (cq.query.id, cq.query.window))
+            .collect();
+        Self {
+            queries: query_infos(group),
+            fixed,
+            slices: VecDeque::new(),
+            results_emitted: 0,
+        }
+    }
+
+    /// Slices currently retained.
+    pub fn retained_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Stops assembling windows for `query` (runtime removal, Section
+    /// 3.2). Returns `false` if the query is unknown.
+    pub fn remove_query(&mut self, query: QueryId) -> bool {
+        self.fixed.retain(|(q, _)| *q != query);
+        self.queries.remove(&query).is_some()
+    }
+
+    /// Results emitted so far.
+    pub fn results_emitted(&self) -> u64 {
+        self.results_emitted
+    }
+
+    /// Ingests a merged slice; assembles every window it terminates.
+    ///
+    /// Fixed-time window ends are derived from the specs (ignoring any
+    /// shipped `ep` marks for those queries, so results never duplicate);
+    /// other end punctuations are taken from the slice annotations.
+    pub fn on_slice(&mut self, slice: SealedSlice, out: &mut Vec<QueryResult>) {
+        let low_ts = slice.low_watermark_ts;
+        let slice_end = slice.end_ts;
+        let shipped_ends = slice.ends;
+        self.slices
+            .push_back((slice.start_ts, slice.end_ts, slice.data));
+        // Windows of different queries often cover the same time range;
+        // merge each distinct (selection, range) once (Figure 9c).
+        let mut cache: FxHashMap<(SelectionId, Timestamp, Timestamp), KeyedBundles> =
+            FxHashMap::default();
+        for (query, spec) in &self.fixed.clone() {
+            if let Some(ws) = spec.fixed_window_ending_at(slice_end) {
+                self.assemble_cached(*query, ws, slice_end, &mut cache, out);
+            }
+        }
+        for end in &shipped_ends {
+            if self.fixed.iter().any(|(q, _)| q == &end.query) {
+                continue; // derived above
+            }
+            self.assemble_cached(end.query, end.start_ts, end.end_ts, &mut cache, out);
+        }
+        while let Some((_, e, _)) = self.slices.front() {
+            if *e <= low_ts {
+                self.slices.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn assemble_cached(
+        &mut self,
+        query: QueryId,
+        start_ts: Timestamp,
+        end_ts: Timestamp,
+        cache: &mut FxHashMap<(SelectionId, Timestamp, Timestamp), KeyedBundles>,
+        out: &mut Vec<QueryResult>,
+    ) {
+        let Some(info) = self.queries.get(&query) else {
+            debug_assert!(false, "end for unknown query {query}");
+            return;
+        };
+        let sel = info.selection as usize;
+        let cache_key = (info.selection, start_ts, end_ts);
+        if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(cache_key) {
+            let mut merged: FxHashMap<Key, OperatorBundle> = FxHashMap::default();
+            for (s, e, data) in &self.slices {
+                if *s >= start_ts && *e <= end_ts {
+                    merge_into(&mut merged, &data.per_selection[sel]);
+                }
+            }
+            e.insert(merged);
+        }
+        let merged = cache.get(&cache_key).expect("just inserted");
+        if merged.is_empty() {
+            return;
+        }
+        let before = out.len();
+        finalize_map(query, info, merged, start_ts, end_ts, out);
+        self.results_emitted += (out.len() - before) as u64;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unfixed windows at the root (Section 5.1.2).
+// ---------------------------------------------------------------------
+
+/// Per-child slice store.
+#[derive(Debug, Default)]
+struct ChildStore {
+    slices: VecDeque<(SliceId, SliceData)>,
+}
+
+impl ChildStore {
+    fn extract(
+        &self,
+        first: SliceId,
+        last: SliceId,
+        sel: usize,
+    ) -> FxHashMap<Key, OperatorBundle> {
+        let mut merged = FxHashMap::default();
+        for (id, data) in &self.slices {
+            if *id >= first && *id <= last {
+                merge_into(&mut merged, &data.per_selection[sel]);
+            }
+        }
+        merged
+    }
+
+    fn gc(&mut self, low: SliceId) {
+        while let Some((id, _)) = self.slices.front() {
+            if *id < low {
+                self.slices.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Accumulated state of one global session.
+#[derive(Debug, Default)]
+struct SessionAcc {
+    merged: FxHashMap<Key, OperatorBundle>,
+    span: Option<(Timestamp, Timestamp)>,
+    latest_gap: FxHashMap<NodeId, (Timestamp, Timestamp)>,
+}
+
+/// Root-side merger for groups containing session or user-defined
+/// windows: child streams slice at different data-driven points, so the
+/// root keeps per-child partials and merges per window.
+#[derive(Debug)]
+pub struct UnfixedRootMerger {
+    queries: FxHashMap<QueryId, QueryInfo>,
+    children: FxHashMap<NodeId, ChildStore>,
+    expected_children: usize,
+    fixed_pending: FxHashMap<(QueryId, Timestamp, Timestamp), (usize, KeyedBundles)>,
+    sessions: FxHashMap<QueryId, SessionAcc>,
+    ud_queues: FxHashMap<QueryId, FxHashMap<NodeId, VecDeque<SpannedBundles>>>,
+    /// Per-child reorder buffer: the gap-covering protocol (Section
+    /// 5.1.2) compares the children's *latest* gaps, which is only
+    /// meaningful when partials are consumed in event-time-aligned order;
+    /// thread scheduling can otherwise deliver one child's whole stream
+    /// first.
+    buffered: FxHashMap<NodeId, VecDeque<SealedSlice>>,
+    /// Event time each child is guaranteed to have passed.
+    frontiers: FxHashMap<NodeId, Timestamp>,
+    /// Global watermark (min over all covered streams).
+    global_wm: Timestamp,
+}
+
+impl UnfixedRootMerger {
+    /// Creates a merger expecting partials from `expected_children` local
+    /// streams.
+    pub fn new(group: &QueryGroup, expected_children: usize) -> Self {
+        assert!(expected_children >= 1);
+        Self {
+            queries: query_infos(group),
+            children: FxHashMap::default(),
+            expected_children,
+            fixed_pending: FxHashMap::default(),
+            sessions: FxHashMap::default(),
+            ud_queues: FxHashMap::default(),
+            buffered: FxHashMap::default(),
+            frontiers: FxHashMap::default(),
+            global_wm: 0,
+        }
+    }
+
+    /// Ingests one child partial (identified by its originating local
+    /// node); completed windows are emitted once event time is aligned
+    /// across children.
+    pub fn on_slice(&mut self, origin: NodeId, partial: SealedSlice, out: &mut Vec<QueryResult>) {
+        let frontier = self.frontiers.entry(origin).or_insert(0);
+        *frontier = (*frontier).max(partial.end_ts);
+        self.buffered.entry(origin).or_default().push_back(partial);
+        self.release(out);
+    }
+
+    /// Advances the global watermark (idle children produce no slices but
+    /// still vouch for time via watermarks).
+    pub fn on_watermark(&mut self, wm: Timestamp, out: &mut Vec<QueryResult>) {
+        if wm > self.global_wm {
+            self.global_wm = wm;
+            self.release(out);
+        }
+    }
+
+    /// End of all streams: drain everything in event-time order.
+    pub fn flush(&mut self, out: &mut Vec<QueryResult>) {
+        self.global_wm = Timestamp::MAX;
+        self.release(out);
+    }
+
+    /// Stops merging windows for `query` (runtime removal, Section 3.2).
+    pub fn remove_query(&mut self, query: QueryId) -> bool {
+        self.sessions.remove(&query);
+        self.ud_queues.remove(&query);
+        self.fixed_pending.retain(|(q, _, _), _| *q != query);
+        self.queries.remove(&query).is_some()
+    }
+
+    /// The event time up to which every expected stream has reported.
+    fn safe_ts(&self) -> Timestamp {
+        if self.global_wm == Timestamp::MAX {
+            return Timestamp::MAX;
+        }
+        let mut safe = Timestamp::MAX;
+        let mut seen = 0;
+        for frontier in self.frontiers.values() {
+            safe = safe.min((*frontier).max(self.global_wm));
+            seen += 1;
+        }
+        if seen < self.expected_children {
+            safe = safe.min(self.global_wm);
+        }
+        safe
+    }
+
+    /// Processes buffered partials in global end-timestamp order, up to
+    /// the safe frontier.
+    fn release(&mut self, out: &mut Vec<QueryResult>) {
+        let safe = self.safe_ts();
+        loop {
+            let mut best: Option<(NodeId, Timestamp)> = None;
+            for (id, queue) in &self.buffered {
+                if let Some(front) = queue.front() {
+                    if front.end_ts <= safe
+                        && best.is_none_or(|(bid, ts)| {
+                            front.end_ts < ts || (front.end_ts == ts && *id < bid)
+                        })
+                    {
+                        best = Some((*id, front.end_ts));
+                    }
+                }
+            }
+            let Some((origin, _)) = best else { break };
+            let partial = self
+                .buffered
+                .get_mut(&origin)
+                .expect("known child")
+                .pop_front()
+                .expect("non-empty");
+            self.process_slice(origin, partial, out);
+        }
+    }
+
+    /// Processes one child partial in aligned order.
+    fn process_slice(&mut self, origin: NodeId, partial: SealedSlice, out: &mut Vec<QueryResult>) {
+        let store = self.children.entry(origin).or_default();
+        store.slices.push_back((partial.id, partial.data));
+        // Extract this child's contribution for every window it closed;
+        // ends of removed queries are skipped.
+        for end in &partial.ends {
+            let Some(info) = self.queries.get(&end.query) else {
+                continue;
+            };
+            let store = self.children.get(&origin).expect("just inserted");
+            let contribution =
+                store.extract(end.first_slice, end.last_slice, info.selection as usize);
+            match info.kind {
+                WindowKind::Tumbling { .. } | WindowKind::Sliding { .. } => {
+                    let key = (end.query, end.start_ts, end.end_ts);
+                    let entry = self
+                        .fixed_pending
+                        .entry(key)
+                        .or_insert_with(|| (0, FxHashMap::default()));
+                    entry.0 += 1;
+                    merge_into(&mut entry.1, &contribution);
+                    if entry.0 == self.expected_children {
+                        let (_, merged) = self.fixed_pending.remove(&key).expect("checked");
+                        finalize_map(end.query, info, &merged, end.start_ts, end.end_ts, out);
+                    }
+                }
+                WindowKind::Session { .. } => {
+                    let acc = self.sessions.entry(end.query).or_default();
+                    merge_into(&mut acc.merged, &contribution);
+                    acc.span = Some(match acc.span {
+                        None => (end.start_ts, end.end_ts),
+                        Some((s, e)) => (s.min(end.start_ts), e.max(end.end_ts)),
+                    });
+                }
+                WindowKind::UserDefined { .. } => {
+                    self.ud_queues
+                        .entry(end.query)
+                        .or_default()
+                        .entry(origin)
+                        .or_default()
+                        .push_back(((end.start_ts, end.end_ts), contribution));
+                }
+            }
+        }
+        // Session gaps: the global session ends once the latest gaps of
+        // all children cover a common instant (Section 5.1.2).
+        for gap in &partial.session_gaps {
+            let acc = self.sessions.entry(gap.query).or_default();
+            acc.latest_gap.insert(origin, (gap.gap_start, gap.gap_end));
+            if acc.latest_gap.len() == self.expected_children {
+                let max_start = acc
+                    .latest_gap
+                    .values()
+                    .map(|(s, _)| *s)
+                    .max()
+                    .expect("non-empty");
+                let min_end = acc
+                    .latest_gap
+                    .values()
+                    .map(|(_, e)| *e)
+                    .min()
+                    .expect("non-empty");
+                if max_start < min_end {
+                    if let Some(info) = self.queries.get(&gap.query) {
+                        if let Some((start, end)) = acc.span {
+                            finalize_map(gap.query, info, &acc.merged, start, end, out);
+                        }
+                    }
+                    acc.merged.clear();
+                    acc.span = None;
+                    acc.latest_gap.clear();
+                }
+            }
+        }
+        // User-defined windows: merge one contribution per child once all
+        // children reported one.
+        let mut completed_ud: Vec<QueryId> = Vec::new();
+        for (query, queues) in &self.ud_queues {
+            if queues.len() == self.expected_children
+                && queues.values().all(|q| !q.is_empty())
+            {
+                completed_ud.push(*query);
+            }
+        }
+        for query in completed_ud {
+            let info = self.queries.get(&query).expect("known query").clone();
+            let queues = self.ud_queues.get_mut(&query).expect("checked");
+            let mut merged = FxHashMap::default();
+            let mut span: Option<(Timestamp, Timestamp)> = None;
+            for queue in queues.values_mut() {
+                let ((s, e), contribution) = queue.pop_front().expect("checked");
+                merge_into(&mut merged, &contribution);
+                span = Some(match span {
+                    None => (s, e),
+                    Some((cs, ce)) => (cs.min(s), ce.max(e)),
+                });
+            }
+            let (s, e) = span.expect("at least one child");
+            finalize_map(query, &info, &merged, s, e, out);
+        }
+        // GC this child's slices.
+        let low = partial.low_watermark;
+        self.children.get_mut(&origin).expect("inserted").gc(low);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw event merging (root-processed groups, centralized baselines).
+// ---------------------------------------------------------------------
+
+/// Watermark-aligned k-way merge of raw event streams: events are released
+/// in timestamp order once every child has advanced past them.
+#[derive(Debug)]
+pub struct EventMerger {
+    children: FxHashMap<NodeId, ChildEvents>,
+    expected_children: usize,
+}
+
+#[derive(Debug, Default)]
+struct ChildEvents {
+    queue: VecDeque<Event>,
+    guarantee: Timestamp,
+    flushed: bool,
+}
+
+impl EventMerger {
+    /// Creates a merger over `expected_children` event streams.
+    pub fn new(expected_children: usize) -> Self {
+        assert!(expected_children >= 1);
+        Self {
+            children: FxHashMap::default(),
+            expected_children,
+        }
+    }
+
+    fn child(&mut self, origin: NodeId) -> &mut ChildEvents {
+        self.children.entry(origin).or_default()
+    }
+
+    /// Buffers a batch from one child.
+    pub fn on_events(&mut self, origin: NodeId, events: Vec<Event>) {
+        let child = self.child(origin);
+        if let Some(last) = events.last() {
+            child.guarantee = child.guarantee.max(last.ts);
+        }
+        child.queue.extend(events);
+    }
+
+    /// Advances one child's time guarantee.
+    pub fn on_watermark(&mut self, origin: NodeId, ts: Timestamp) {
+        let child = self.child(origin);
+        child.guarantee = child.guarantee.max(ts);
+    }
+
+    /// Marks one child's stream as finished.
+    pub fn on_flush(&mut self, origin: NodeId) {
+        self.child(origin).flushed = true;
+    }
+
+    /// The timestamp up to which the merged stream is complete.
+    pub fn frontier(&self) -> Timestamp {
+        if self.children.len() < self.expected_children {
+            return 0;
+        }
+        self.children
+            .values()
+            .map(|c| if c.flushed { Timestamp::MAX } else { c.guarantee })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Releases all events ready under the current frontier, in timestamp
+    /// order. Ties break towards the lowest child id, so the merged order
+    /// is deterministic (count-measured windows depend on it).
+    pub fn drain_ready(&mut self, out: &mut Vec<Event>) {
+        let frontier = self.frontier();
+        let mut ids: Vec<NodeId> = self.children.keys().copied().collect();
+        ids.sort_unstable();
+        loop {
+            let mut best: Option<(NodeId, Timestamp)> = None;
+            for id in &ids {
+                let child = &self.children[id];
+                if let Some(ev) = child.queue.front() {
+                    if ev.ts <= frontier && best.is_none_or(|(_, ts)| ev.ts < ts) {
+                        best = Some((*id, ev.ts));
+                    }
+                }
+            }
+            match best {
+                Some((id, _)) => {
+                    let ev = self
+                        .children
+                        .get_mut(&id)
+                        .expect("known child")
+                        .queue
+                        .pop_front()
+                        .expect("non-empty");
+                    out.push(ev);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Whether every child flushed and all buffers are drained.
+    pub fn finished(&self) -> bool {
+        self.children.len() == self.expected_children
+            && self
+                .children
+                .values()
+                .all(|c| c.flushed && c.queue.is_empty())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disco: per-window partials.
+// ---------------------------------------------------------------------
+
+/// Turns a local node's sealed slices into Disco-style per-*window*
+/// partials: every window end triggers a merged (but unfinalized) partial
+/// that is shipped individually — overlapping windows ship their shared
+/// slices repeatedly, which is the redundancy Desis' per-slice protocol
+/// removes.
+#[derive(Debug)]
+pub struct PartialAssembler {
+    queries: FxHashMap<QueryId, QueryInfo>,
+    slices: VecDeque<(SliceId, SliceData)>,
+}
+
+impl PartialAssembler {
+    /// Creates a partial assembler for `group`.
+    pub fn new(group: &QueryGroup) -> Self {
+        Self {
+            queries: query_infos(group),
+            slices: VecDeque::new(),
+        }
+    }
+
+    /// Ingests a sealed slice, producing one partial per terminated
+    /// window.
+    pub fn on_slice(&mut self, slice: &SealedSlice) -> Vec<WindowPartial> {
+        self.slices.push_back((slice.id, slice.data.clone()));
+        let mut partials = Vec::with_capacity(slice.ends.len());
+        for end in &slice.ends {
+            let Some(info) = self.queries.get(&end.query) else {
+                continue;
+            };
+            let sel = info.selection as usize;
+            let mut merged: FxHashMap<Key, OperatorBundle> = FxHashMap::default();
+            for (id, data) in &self.slices {
+                if *id >= end.first_slice && *id <= end.last_slice {
+                    merge_into(&mut merged, &data.per_selection[sel]);
+                }
+            }
+            let mut data: Vec<(Key, OperatorBundle)> = merged.into_iter().collect();
+            data.sort_by_key(|(k, _)| *k);
+            partials.push(WindowPartial {
+                query: end.query,
+                start_ts: end.start_ts,
+                end_ts: end.end_ts,
+                data,
+            });
+        }
+        while let Some((id, _)) = self.slices.front() {
+            if *id < slice.low_watermark {
+                self.slices.pop_front();
+            } else {
+                break;
+            }
+        }
+        partials
+    }
+}
+
+/// Merges per-window partials across children; finalizes at the root.
+#[derive(Debug)]
+pub struct WindowPartialMerger {
+    queries: FxHashMap<QueryId, QueryInfo>,
+    expected_coverage: u32,
+    pending: FxHashMap<(QueryId, Timestamp, Timestamp), (u32, KeyedBundles)>,
+}
+
+impl WindowPartialMerger {
+    /// Creates a merger covering `expected_coverage` local streams.
+    pub fn new(group: &QueryGroup, expected_coverage: u32) -> Self {
+        assert!(expected_coverage >= 1);
+        Self {
+            queries: query_infos(group),
+            expected_coverage,
+            pending: FxHashMap::default(),
+        }
+    }
+
+    /// Folds one child partial in; returns the merged partial when all
+    /// streams contributed.
+    pub fn on_partial(&mut self, partial: WindowPartial, coverage: u32) -> Option<WindowPartial> {
+        let key = (partial.query, partial.start_ts, partial.end_ts);
+        let entry = self
+            .pending
+            .entry(key)
+            .or_insert_with(|| (0, FxHashMap::default()));
+        entry.0 += coverage;
+        for (k, bundle) in &partial.data {
+            match entry.1.get_mut(k) {
+                Some(b) => b.merge(bundle),
+                None => {
+                    entry.1.insert(*k, bundle.clone());
+                }
+            }
+        }
+        if entry.0 == self.expected_coverage {
+            let (_, merged) = self.pending.remove(&key).expect("checked");
+            let mut data: Vec<(Key, OperatorBundle)> = merged.into_iter().collect();
+            data.sort_by_key(|(k, _)| *k);
+            Some(WindowPartial {
+                query: key.0,
+                start_ts: key.1,
+                end_ts: key.2,
+                data,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Finalizes a fully merged partial into per-key results.
+    pub fn finalize(&self, partial: &WindowPartial, out: &mut Vec<QueryResult>) {
+        let Some(info) = self.queries.get(&partial.query) else {
+            debug_assert!(false, "unknown query {}", partial.query);
+            return;
+        };
+        for (key, bundle) in &partial.data {
+            let values = info.functions.iter().map(|f| bundle.finalize(f)).collect();
+            out.push(QueryResult {
+                query: partial.query,
+                key: *key,
+                window_start: partial.start_ts,
+                window_end: partial.end_ts,
+                values,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desis_core::engine::{GroupSlicer, QueryAnalyzer};
+    use desis_core::prelude::*;
+
+    fn group(queries: Vec<Query>) -> QueryGroup {
+        let mut groups = QueryAnalyzer::default().analyze(queries).unwrap();
+        assert_eq!(groups.len(), 1);
+        groups.remove(0)
+    }
+
+    /// Runs `streams` through per-child slicers, merging through an
+    /// aligned merger into a time assembler — a miniature local->root
+    /// pipeline for fixed windows.
+    fn run_aligned(
+        queries: Vec<Query>,
+        streams: Vec<Vec<Event>>,
+        wm: Timestamp,
+    ) -> Vec<QueryResult> {
+        let g = group(queries);
+        let n = streams.len() as u32;
+        let mut merger = AlignedSliceMerger::new(n);
+        let mut assembler = TimeAssembler::new(&g);
+        let mut results = Vec::new();
+        let mut slicers: Vec<GroupSlicer> =
+            (0..n).map(|_| GroupSlicer::new(g.clone())).collect();
+        let mut out = Vec::new();
+        let mut ready = Vec::new();
+        for (slicer, events) in slicers.iter_mut().zip(&streams) {
+            for ev in events {
+                slicer.on_event(ev, &mut out);
+            }
+            slicer.on_watermark(wm, &mut out);
+            for slice in out.drain(..) {
+                merger.on_slice(slice, 1);
+            }
+        }
+        merger.advance_watermark(wm);
+        merger.drain_ready(&mut ready);
+        for merged in ready.drain(..) {
+            assembler.on_slice(merged, &mut results);
+        }
+        results.sort_by_key(|r| (r.query, r.window_start, r.key));
+        results
+    }
+
+    #[test]
+    fn aligned_merge_matches_single_node() {
+        let queries = vec![
+            Query::new(
+                1,
+                WindowSpec::tumbling_time(100).unwrap(),
+                AggFunction::Average,
+            ),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(200, 100).unwrap(),
+                AggFunction::Max,
+            ),
+        ];
+        // Two streams; single-node reference merges them by time.
+        let s1: Vec<Event> = (0..30).map(|i| Event::new(i * 10, 0, i as f64)).collect();
+        let s2: Vec<Event> = (0..30)
+            .map(|i| Event::new(i * 10 + 5, 1, (i * 2) as f64))
+            .collect();
+        let decentralized = run_aligned(queries.clone(), vec![s1.clone(), s2.clone()], 1_000);
+
+        let mut all: Vec<Event> = s1.into_iter().chain(s2).collect();
+        all.sort_by_key(|e| e.ts);
+        let mut engine = AggregationEngine::new(queries).unwrap();
+        for ev in &all {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(1_000);
+        let mut reference = engine.drain_results();
+        reference.sort_by_key(|r| (r.query, r.window_start, r.key));
+        assert_eq!(decentralized, reference);
+    }
+
+    #[test]
+    fn aligned_merge_handles_empty_streams() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Sum,
+        )];
+        // Stream 2 has events only early; its later slices are empty but
+        // still delivered (watermark-driven).
+        let s1: Vec<Event> = (0..50).map(|i| Event::new(i * 10, 0, 1.0)).collect();
+        let s2: Vec<Event> = vec![Event::new(5, 0, 100.0)];
+        let results = run_aligned(queries, vec![s1, s2], 500);
+        // Window [0,100): 10 events of 1.0 + one of 100.0.
+        assert_eq!(results[0].values, vec![Some(110.0)]);
+        // Later windows exist (stream 1 alone).
+        assert!(results.len() >= 4);
+    }
+
+    #[test]
+    fn unfixed_merger_joins_sessions_across_children() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::session(100).unwrap(),
+            AggFunction::Sum,
+        )];
+        let g = group(queries);
+        let mut merger = UnfixedRootMerger::new(&g, 2);
+        let mut slicers = [GroupSlicer::new(g.clone()), GroupSlicer::new(g.clone())];
+        // Child 0: events at 0, 50; child 1: events at 30, 80. Both go
+        // quiet afterwards -> gaps [50,150] and [80,180] overlap -> one
+        // global session summing everything.
+        let streams = [
+            vec![Event::new(0, 0, 1.0), Event::new(50, 0, 2.0)],
+            vec![Event::new(30, 0, 4.0), Event::new(80, 0, 8.0)],
+        ];
+        let mut results = Vec::new();
+        for (i, (slicer, events)) in slicers.iter_mut().zip(&streams).enumerate() {
+            let mut out = Vec::new();
+            for ev in events {
+                slicer.on_event(ev, &mut out);
+            }
+            slicer.on_watermark(1_000, &mut out);
+            for slice in out.drain(..) {
+                merger.on_slice(i as NodeId, slice, &mut results);
+            }
+        }
+        merger.flush(&mut results);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].values, vec![Some(15.0)]);
+        assert_eq!(results[0].window_start, 0);
+        assert_eq!(results[0].window_end, 180);
+    }
+
+    #[test]
+    fn unfixed_merger_keeps_separate_global_sessions_apart() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::session(100).unwrap(),
+            AggFunction::Count,
+        )];
+        let g = group(queries);
+        let mut merger = UnfixedRootMerger::new(&g, 2);
+        let mut slicers = [GroupSlicer::new(g.clone()), GroupSlicer::new(g.clone())];
+        // Burst 1 around t=0, burst 2 around t=1000 on both children.
+        let streams = [
+            vec![Event::new(0, 0, 1.0), Event::new(1_000, 0, 1.0)],
+            vec![Event::new(20, 0, 1.0), Event::new(1_020, 0, 1.0)],
+        ];
+        let mut results = Vec::new();
+        // Deliver each child's whole stream back to back — worst-case
+        // skew. The merger's reorder buffer re-aligns event time before
+        // applying the latest-gap protocol (Section 5.1.2).
+        for (i, (slicer, events)) in slicers.iter_mut().zip(&streams).enumerate() {
+            let mut out = Vec::new();
+            for ev in events {
+                slicer.on_event(ev, &mut out);
+            }
+            slicer.on_watermark(5_000, &mut out);
+            for slice in out.drain(..) {
+                merger.on_slice(i as NodeId, slice, &mut results);
+            }
+        }
+        merger.flush(&mut results);
+        assert_eq!(results.len(), 2);
+        results.sort_by_key(|r| r.window_start);
+        assert_eq!(results[0].values, vec![Some(2.0)]);
+        assert_eq!(results[1].values, vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn unfixed_merger_merges_user_defined_windows() {
+        let queries = vec![Query::new(1, WindowSpec::user_defined(0), AggFunction::Max)];
+        let g = group(queries);
+        let mut merger = UnfixedRootMerger::new(&g, 2);
+        let start = Marker {
+            channel: 0,
+            kind: MarkerKind::Start,
+        };
+        let end = Marker {
+            channel: 0,
+            kind: MarkerKind::End,
+        };
+        let streams = [
+            vec![
+                Event::with_marker(0, 0, 1.0, start),
+                Event::new(10, 0, 5.0),
+                Event::with_marker(20, 0, 2.0, end),
+            ],
+            vec![
+                Event::with_marker(2, 0, 3.0, start),
+                Event::with_marker(22, 0, 9.0, end),
+            ],
+        ];
+        let mut results = Vec::new();
+        for (i, events) in streams.iter().enumerate() {
+            let mut slicer = GroupSlicer::new(g.clone());
+            let mut out = Vec::new();
+            for ev in events {
+                slicer.on_event(ev, &mut out);
+            }
+            slicer.flush(&mut out);
+            for slice in out.drain(..) {
+                merger.on_slice(i as NodeId, slice, &mut results);
+            }
+        }
+        merger.flush(&mut results);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].values, vec![Some(9.0)]);
+        assert_eq!(results[0].window_start, 0);
+        assert_eq!(results[0].window_end, 22);
+    }
+
+    #[test]
+    fn event_merger_orders_across_children() {
+        let mut m = EventMerger::new(2);
+        m.on_events(0, vec![Event::new(10, 0, 1.0), Event::new(30, 0, 3.0)]);
+        m.on_events(1, vec![Event::new(20, 1, 2.0)]);
+        let mut out = Vec::new();
+        m.drain_ready(&mut out);
+        // Frontier = min(30, 20) = 20: events at 10 and 20 are safe.
+        assert_eq!(out.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![10, 20]);
+        m.on_watermark(1, 100);
+        m.drain_ready(&mut out);
+        assert_eq!(out.last().unwrap().ts, 30);
+        assert!(!m.finished());
+        m.on_flush(0);
+        m.on_flush(1);
+        assert!(m.finished());
+    }
+
+    #[test]
+    fn event_merger_waits_for_all_children() {
+        let mut m = EventMerger::new(3);
+        m.on_events(0, vec![Event::new(10, 0, 1.0)]);
+        m.on_events(1, vec![Event::new(5, 0, 1.0)]);
+        let mut out = Vec::new();
+        m.drain_ready(&mut out);
+        // Child 2 has not reported: nothing may be released.
+        assert!(out.is_empty());
+        m.on_watermark(2, 50);
+        m.drain_ready(&mut out);
+        // Child 1 only guarantees ts 5: the event at 10 must wait.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts, 5);
+        m.on_watermark(1, 50);
+        m.drain_ready(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].ts, 10);
+    }
+
+    #[test]
+    fn disco_partials_and_merge_produce_correct_results() {
+        let queries = vec![Query::new(
+            7,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Average,
+        )];
+        let g = group(queries);
+        let mut merger = WindowPartialMerger::new(&g, 2);
+        let mut results = Vec::new();
+        for child in 0..2 {
+            let mut slicer = GroupSlicer::new(g.clone());
+            let mut assembler = PartialAssembler::new(&g);
+            let mut out = Vec::new();
+            for i in 0..10u64 {
+                slicer.on_event(&Event::new(i * 10, 0, (child + 1) as f64), &mut out);
+            }
+            slicer.on_watermark(100, &mut out);
+            for slice in out.drain(..) {
+                for partial in assembler.on_slice(&slice) {
+                    if let Some(done) = merger.on_partial(partial, 1) {
+                        merger.finalize(&done, &mut results);
+                    }
+                }
+            }
+        }
+        assert_eq!(results.len(), 1);
+        // Child 0 sends 10 values of 1.0, child 1 sends 10 of 2.0.
+        assert_eq!(results[0].values, vec![Some(1.5)]);
+    }
+
+    #[test]
+    fn disco_overlapping_windows_ship_redundant_partials() {
+        // Concurrent overlapping windows: Disco ships one partial per
+        // window while Desis ships each slice once (Figure 11d).
+        let queries = vec![
+            Query::new(
+                1,
+                WindowSpec::sliding_time(400, 100).unwrap(),
+                AggFunction::Sum,
+            ),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(200, 100).unwrap(),
+                AggFunction::Sum,
+            ),
+            Query::new(3, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Sum),
+        ];
+        let g = group(queries);
+        let mut slicer = GroupSlicer::new(g.clone());
+        let mut assembler = PartialAssembler::new(&g);
+        let mut out = Vec::new();
+        let mut n_partials = 0usize;
+        let mut n_slices = 0usize;
+        for i in 0..200u64 {
+            slicer.on_event(&Event::new(i * 10, 0, 1.0), &mut out);
+            for slice in out.drain(..) {
+                n_slices += 1;
+                n_partials += assembler.on_slice(&slice).len();
+            }
+        }
+        assert!(n_partials > n_slices, "{n_partials} vs {n_slices}");
+    }
+}

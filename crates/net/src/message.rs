@@ -1,0 +1,80 @@
+//! Messages exchanged between nodes (paper Section 3.1, "message
+//! manager").
+//!
+//! * [`Message::Events`] — raw event batches: centralized aggregation, and
+//!   count-measured / data-driven groups that only the root can terminate
+//!   (Section 5.2).
+//! * [`Message::Slice`] — Desis' per-*slice* partial results (Section 5.1).
+//!   For non-decomposable groups the bundles carry the sorted value runs,
+//!   so this doubles as the paper's "sorted slice batch".
+//! * [`Message::WindowPartials`] — per-*window* partial results, the Disco
+//!   baseline's protocol: overlapping windows are shipped individually.
+//! * [`Message::Watermark`] / [`Message::Flush`] — time/termination
+//!   control.
+
+use desis_core::engine::{GroupId, SealedSlice};
+use desis_core::event::{Event, Key};
+use desis_core::query::QueryId;
+use desis_core::time::Timestamp;
+
+use desis_core::aggregate::OperatorBundle;
+
+use crate::topology::NodeId;
+
+/// A per-window partial result (the Disco baseline's wire unit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPartial {
+    /// Query whose window this is.
+    pub query: QueryId,
+    /// Window start (event time).
+    pub start_ts: Timestamp,
+    /// Window end (event time).
+    pub end_ts: Timestamp,
+    /// Unfinalized per-key operator partials.
+    pub data: Vec<(Key, OperatorBundle)>,
+}
+
+/// A message on a cluster link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A batch of raw events.
+    Events(Vec<Event>),
+    /// A slice partial of one query-group.
+    Slice {
+        /// Query-group the slice belongs to.
+        group: GroupId,
+        /// Node (or subtree) the partial originates from.
+        origin: NodeId,
+        /// For merged slices: how many local streams this partial already
+        /// covers (1 for a leaf's own slice).
+        coverage: u32,
+        /// The partial itself.
+        partial: SealedSlice,
+    },
+    /// Per-window partials (Disco protocol).
+    WindowPartials {
+        /// Originating subtree.
+        origin: NodeId,
+        /// For merged partials: covered local streams.
+        coverage: u32,
+        /// The window partials.
+        partials: Vec<WindowPartial>,
+    },
+    /// No further events with `ts <=` this value will arrive on this link.
+    Watermark(Timestamp),
+    /// End of stream on this link.
+    Flush,
+}
+
+impl Message {
+    /// Short tag for logging/debugging.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Events(_) => "events",
+            Message::Slice { .. } => "slice",
+            Message::WindowPartials { .. } => "window-partials",
+            Message::Watermark(_) => "watermark",
+            Message::Flush => "flush",
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Cluster topologies (paper Section 2.4).
+//!
+//! A decentralized network is a tree: exactly one *root*, any number of
+//! *intermediate* hops, and *local* nodes at the leaves where the data
+//! streams originate. Local nodes may connect to the root directly or via
+//! chains of intermediates.
+
+use std::fmt;
+
+/// Node identifier within a topology (index into the node table).
+pub type NodeId = u32;
+
+/// Role of a node in the aggregation tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// Leaf node ingesting a data stream.
+    Local,
+    /// Inner node relaying / merging partial results.
+    Intermediate,
+    /// The single sink producing final results.
+    Root,
+}
+
+/// A validated tree topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    roles: Vec<NodeRole>,
+    parents: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+/// Topology validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Not exactly one root node.
+    RootCount(usize),
+    /// A non-root node without a parent, or a root with one.
+    BadParent(NodeId),
+    /// A local node has children.
+    LocalWithChildren(NodeId),
+    /// An intermediate node has no children.
+    ChildlessIntermediate(NodeId),
+    /// Parent edges contain a cycle or unreachable node.
+    NotATree,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::RootCount(n) => write!(f, "expected exactly 1 root, found {n}"),
+            TopologyError::BadParent(n) => write!(f, "node {n} has an invalid parent edge"),
+            TopologyError::LocalWithChildren(n) => write!(f, "local node {n} has children"),
+            TopologyError::ChildlessIntermediate(n) => {
+                write!(f, "intermediate node {n} has no children")
+            }
+            TopologyError::NotATree => write!(f, "parent edges do not form a tree"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl Topology {
+    /// Builds and validates a topology from roles and parent edges.
+    pub fn new(
+        roles: Vec<NodeRole>,
+        parents: Vec<Option<NodeId>>,
+    ) -> Result<Self, TopologyError> {
+        assert_eq!(roles.len(), parents.len());
+        let n = roles.len();
+        let roots = roles.iter().filter(|r| **r == NodeRole::Root).count();
+        if roots != 1 {
+            return Err(TopologyError::RootCount(roots));
+        }
+        let mut children = vec![Vec::new(); n];
+        for (i, parent) in parents.iter().enumerate() {
+            match (roles[i], parent) {
+                (NodeRole::Root, None) => {}
+                (NodeRole::Root, Some(_)) | (_, None) => {
+                    return Err(TopologyError::BadParent(i as NodeId))
+                }
+                (_, Some(p)) => {
+                    if *p as usize >= n || *p as usize == i {
+                        return Err(TopologyError::BadParent(i as NodeId));
+                    }
+                    children[*p as usize].push(i as NodeId);
+                }
+            }
+        }
+        for (i, role) in roles.iter().enumerate() {
+            match role {
+                NodeRole::Local if !children[i].is_empty() => {
+                    return Err(TopologyError::LocalWithChildren(i as NodeId))
+                }
+                NodeRole::Intermediate if children[i].is_empty() => {
+                    return Err(TopologyError::ChildlessIntermediate(i as NodeId))
+                }
+                _ => {}
+            }
+        }
+        // Reachability check from the root (detects cycles among parents).
+        let root = roles.iter().position(|r| *r == NodeRole::Root).expect("checked") as NodeId;
+        let mut seen = vec![false; n];
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if std::mem::replace(&mut seen[node as usize], true) {
+                return Err(TopologyError::NotATree);
+            }
+            stack.extend(children[node as usize].iter().copied());
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(TopologyError::NotATree);
+        }
+        Ok(Self {
+            roles,
+            parents,
+            children,
+        })
+    }
+
+    /// A root with `locals` leaves connected directly (no intermediates).
+    pub fn star(locals: usize) -> Self {
+        assert!(locals >= 1);
+        let mut roles = vec![NodeRole::Root];
+        let mut parents = vec![None];
+        for _ in 0..locals {
+            roles.push(NodeRole::Local);
+            parents.push(Some(0));
+        }
+        Self::new(roles, parents).expect("star is valid")
+    }
+
+    /// The paper's standard setup: `intermediates` inner nodes under the
+    /// root, each serving `locals_per_intermediate` leaves (Figure 2).
+    pub fn three_tier(intermediates: usize, locals_per_intermediate: usize) -> Self {
+        assert!(intermediates >= 1 && locals_per_intermediate >= 1);
+        let mut roles = vec![NodeRole::Root];
+        let mut parents = vec![None];
+        for i in 0..intermediates {
+            roles.push(NodeRole::Intermediate);
+            parents.push(Some(0));
+            let inter_id = (1 + i * (1 + locals_per_intermediate)) as NodeId;
+            debug_assert_eq!(roles.len() as NodeId - 1, inter_id);
+            for _ in 0..locals_per_intermediate {
+                roles.push(NodeRole::Local);
+                parents.push(Some(inter_id));
+            }
+        }
+        Self::new(roles, parents).expect("three-tier is valid")
+    }
+
+    /// A chain of `hops` intermediates between one local and the root —
+    /// the "complicated topology" of Section 6.4.1.
+    pub fn chain(hops: usize) -> Self {
+        let mut roles = vec![NodeRole::Root];
+        let mut parents: Vec<Option<NodeId>> = vec![None];
+        let mut prev: NodeId = 0;
+        for _ in 0..hops {
+            roles.push(NodeRole::Intermediate);
+            parents.push(Some(prev));
+            prev = (roles.len() - 1) as NodeId;
+        }
+        roles.push(NodeRole::Local);
+        parents.push(Some(prev));
+        Self::new(roles, parents).expect("chain is valid")
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Whether the topology is empty (it never is; kept for lint parity).
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// Role of `node`.
+    pub fn role(&self, node: NodeId) -> NodeRole {
+        self.roles[node as usize]
+    }
+
+    /// Parent of `node` (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parents[node as usize]
+    }
+
+    /// Children of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node as usize]
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.roles
+            .iter()
+            .position(|r| *r == NodeRole::Root)
+            .expect("validated") as NodeId
+    }
+
+    /// All node ids with a given role.
+    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
+        (0..self.len() as NodeId)
+            .filter(|&n| self.role(n) == role)
+            .collect()
+    }
+
+    /// Local leaves below `node` (or `node` itself if local).
+    pub fn leaves_below(&self, node: NodeId) -> Vec<NodeId> {
+        match self.role(node) {
+            NodeRole::Local => vec![node],
+            _ => self
+                .children(node)
+                .iter()
+                .flat_map(|&c| self.leaves_below(c))
+                .collect(),
+        }
+    }
+
+    /// Number of hops from `node` up to the root.
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(3);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.role(0), NodeRole::Root);
+        assert_eq!(t.nodes_with_role(NodeRole::Local).len(), 3);
+        assert_eq!(t.children(0).len(), 3);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.leaves_below(0).len(), 3);
+    }
+
+    #[test]
+    fn three_tier_shape() {
+        // Paper's minimal cluster: 1 local, 1 intermediate, 1 root.
+        let t = Topology::three_tier(1, 1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.role(1), NodeRole::Intermediate);
+        assert_eq!(t.role(2), NodeRole::Local);
+        assert_eq!(t.parent(2), Some(1));
+        assert_eq!(t.depth(2), 2);
+
+        let big = Topology::three_tier(2, 4);
+        assert_eq!(big.len(), 11);
+        assert_eq!(big.nodes_with_role(NodeRole::Local).len(), 8);
+        assert_eq!(big.leaves_below(big.root()).len(), 8);
+    }
+
+    #[test]
+    fn chain_depth() {
+        let t = Topology::chain(5);
+        assert_eq!(t.len(), 7);
+        let local = t.nodes_with_role(NodeRole::Local)[0];
+        assert_eq!(t.depth(local), 6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        // Two roots.
+        assert_eq!(
+            Topology::new(vec![NodeRole::Root, NodeRole::Root], vec![None, None]),
+            Err(TopologyError::RootCount(2))
+        );
+        // Local with a child.
+        assert_eq!(
+            Topology::new(
+                vec![NodeRole::Root, NodeRole::Local, NodeRole::Local],
+                vec![None, Some(0), Some(1)],
+            ),
+            Err(TopologyError::LocalWithChildren(1))
+        );
+        // Childless intermediate.
+        assert_eq!(
+            Topology::new(
+                vec![NodeRole::Root, NodeRole::Intermediate],
+                vec![None, Some(0)],
+            ),
+            Err(TopologyError::ChildlessIntermediate(1))
+        );
+        // Non-root without parent.
+        assert_eq!(
+            Topology::new(vec![NodeRole::Root, NodeRole::Local], vec![None, None]),
+            Err(TopologyError::BadParent(1))
+        );
+        // Cycle between two intermediates, disconnected from the root.
+        assert_eq!(
+            Topology::new(
+                vec![
+                    NodeRole::Root,
+                    NodeRole::Intermediate,
+                    NodeRole::Intermediate,
+                    NodeRole::Local,
+                ],
+                vec![None, Some(2), Some(1), Some(1)],
+            ),
+            Err(TopologyError::NotATree)
+        );
+    }
+
+    #[test]
+    fn display_errors() {
+        assert!(TopologyError::RootCount(0).to_string().contains("root"));
+        assert!(TopologyError::NotATree.to_string().contains("tree"));
+    }
+}

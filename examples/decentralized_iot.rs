@@ -1,0 +1,104 @@
+//! Decentralized IoT aggregation: a fleet of sensor gateways feeding a
+//! fog/edge tree (paper Section 5, Figure 5).
+//!
+//! ```text
+//! cargo run --release --example decentralized_iot
+//! ```
+//!
+//! Runs the same query workload twice over an identical 2-intermediate /
+//! 6-local topology — once with Desis' decentralized aggregation (slices
+//! computed at the edge, partial results on the wire) and once with a
+//! centralized Scotty-style deployment (every event travels to the root)
+//! — and compares results, throughput, and network bytes.
+
+use desis::prelude::*;
+
+fn queries() -> Vec<Query> {
+    vec![
+        // Fleet-wide per-sensor averages every second.
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(SECOND).expect("valid"),
+            AggFunction::Average,
+        ),
+        // Rolling 5 s maximum, updated every second.
+        Query::new(
+            2,
+            WindowSpec::sliding_time(5 * SECOND, SECOND).expect("valid"),
+            AggFunction::Max,
+        ),
+        // Rolling minimum over the same windows: shares the sliced stream.
+        Query::new(
+            3,
+            WindowSpec::sliding_time(5 * SECOND, SECOND).expect("valid"),
+            AggFunction::Min,
+        ),
+    ]
+}
+
+fn feeds(locals: usize, events_per_local: usize) -> Vec<Vec<Event>> {
+    (0..locals)
+        .map(|i| {
+            DataGenerator::new(DataGenConfig {
+                keys: 4,
+                events_per_second: 200_000,
+                values: desis::gen::ValueModel::Walk {
+                    lo: -20.0,
+                    hi: 60.0,
+                    step: 0.5,
+                },
+                seed: 1_000 + i as u64,
+                ..Default::default()
+            })
+            .take(events_per_local)
+            .collect()
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topology = Topology::three_tier(2, 3); // root, 2 intermediates, 6 locals
+    let events_per_local = 300_000;
+
+    let mut summaries = Vec::new();
+    for system in [
+        DistributedSystem::Desis,
+        DistributedSystem::Centralized(SystemKind::Scotty),
+    ] {
+        let cfg = ClusterConfig::new(system, queries(), topology.clone());
+        let report = run_cluster(cfg, feeds(6, events_per_local))?;
+        println!(
+            "{:<8} {:>12.0} events/s {:>12} bytes on the wire ({} results)",
+            system.label(),
+            report.throughput(),
+            report.total_bytes(),
+            report.results.len()
+        );
+        let mut results = report.results;
+        results.sort_by(|a, b| {
+            (a.query, a.window_start, a.key).cmp(&(b.query, b.window_start, b.key))
+        });
+        summaries.push((report.bytes_by_node, results));
+    }
+
+    let (desis_bytes, desis_results) = &summaries[0];
+    let (central_bytes, central_results) = &summaries[1];
+    // Both deployments must agree on every window result (up to
+    // floating-point summation order, which differs between merge trees).
+    assert_eq!(desis_results.len(), central_results.len());
+    for (a, b) in desis_results.iter().zip(central_results) {
+        assert_eq!((a.query, a.key, a.window_start), (b.query, b.key, b.window_start));
+        for (x, y) in a.values.iter().zip(&b.values) {
+            let (x, y) = (x.expect("value"), y.expect("value"));
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+    let desis_total: u64 = desis_bytes.values().sum();
+    let central_total: u64 = central_bytes.values().sum();
+    println!(
+        "identical {} results; Desis used {:.2}% of the centralized traffic",
+        desis_results.len(),
+        100.0 * desis_total as f64 / central_total as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! Cross-crate integration tests for the decentralized substrate: every
+//! distributed deployment must agree with a single-node reference, and
+//! the paper's network-efficiency claims must hold end to end.
+
+use desis::prelude::*;
+
+fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
+    results.sort_by(|a, b| {
+        (a.query, a.window_start, a.window_end, a.key).cmp(&(
+            b.query,
+            b.window_start,
+            b.window_end,
+            b.key,
+        ))
+    });
+    results
+}
+
+fn assert_close(a: &[QueryResult], b: &[QueryResult], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            (x.query, x.key, x.window_start, x.window_end),
+            (y.query, y.key, y.window_start, y.window_end),
+            "{context}"
+        );
+        for (v, w) in x.values.iter().zip(&y.values) {
+            match (v, w) {
+                (Some(v), Some(w)) => {
+                    assert!((v - w).abs() <= 1e-6 * (1.0 + v.abs()), "{context}: {v} vs {w}")
+                }
+                (v, w) => assert_eq!(v, w, "{context}"),
+            }
+        }
+    }
+}
+
+fn single_node_reference(queries: Vec<Query>, feeds: &[Vec<Event>]) -> Vec<QueryResult> {
+    let mut all: Vec<Event> = feeds.iter().flatten().copied().collect();
+    all.sort_by_key(|e| e.ts);
+    let mut engine = AggregationEngine::new(queries).unwrap();
+    let mut last = 0;
+    for ev in &all {
+        engine.on_event(ev);
+        last = ev.ts;
+    }
+    engine.on_watermark(last + 60_000);
+    canon(engine.drain_results())
+}
+
+fn feeds(locals: usize, n: usize) -> Vec<Vec<Event>> {
+    (0..locals)
+        .map(|i| {
+            DataGenerator::new(DataGenConfig {
+                keys: 5,
+                events_per_second: 2_000,
+                seed: 100 + i as u64,
+                ..Default::default()
+            })
+            .take(n)
+            .collect()
+        })
+        .collect()
+}
+
+fn mixed_queries() -> Vec<Query> {
+    vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Average,
+        ),
+        Query::new(
+            2,
+            WindowSpec::sliding_time(2_000, 500).unwrap(),
+            AggFunction::Max,
+        ),
+        Query::new(3, WindowSpec::tumbling_time(2_000).unwrap(), AggFunction::Median),
+        Query::new(4, WindowSpec::tumbling_count(700).unwrap(), AggFunction::Sum),
+    ]
+}
+
+/// Every distributed system over every topology shape must match the
+/// single-node reference, including the holistic and count-based groups.
+#[test]
+fn all_deployments_match_single_node_reference() {
+    let queries = mixed_queries();
+    for topology in [
+        Topology::star(3),
+        Topology::three_tier(1, 3),
+        Topology::three_tier(3, 1),
+        Topology::chain(2),
+    ] {
+        let locals = topology.nodes_with_role(NodeRole::Local).len();
+        let f = feeds(locals, 10_000);
+        let reference = single_node_reference(queries.clone(), &f);
+        assert!(!reference.is_empty());
+        for system in [
+            DistributedSystem::Desis,
+            DistributedSystem::Disco,
+            DistributedSystem::Centralized(SystemKind::Scotty),
+            DistributedSystem::Centralized(SystemKind::CeBuffer),
+        ] {
+            let cfg = ClusterConfig::new(system, queries.clone(), topology.clone());
+            let report = run_cluster(cfg, f.clone()).unwrap();
+            assert_close(
+                &canon(report.results),
+                &reference,
+                &format!("{} on {} nodes", system.label(), topology.len()),
+            );
+        }
+    }
+}
+
+/// Session windows merged across decentralized streams (Section 5.1.2)
+/// must match the single-node session over the merged stream.
+#[test]
+fn decentralized_sessions_match_reference() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::session(500).unwrap(),
+        AggFunction::Count,
+    )];
+    let f: Vec<Vec<Event>> = (0..2)
+        .map(|i| {
+            DataGenerator::new(DataGenConfig {
+                keys: 2,
+                events_per_second: 1_000,
+                bursts: Some(desis::gen::BurstConfig {
+                    burst_ms: 1_200,
+                    gap_ms: 900,
+                }),
+                seed: 55 + i as u64,
+                ..Default::default()
+            })
+            .take(8_000)
+            .collect()
+        })
+        .collect();
+    let reference = single_node_reference(queries.clone(), &f);
+    let cfg = ClusterConfig::new(
+        DistributedSystem::Desis,
+        queries,
+        Topology::three_tier(1, 2),
+    );
+    let report = run_cluster(cfg, f).unwrap();
+    assert_close(&canon(report.results), &reference, "decentralized sessions");
+}
+
+/// The Figure 11a headline: decomposable decentralized aggregation saves
+/// ~99% of network traffic against a centralized deployment.
+#[test]
+fn decomposable_aggregation_saves_99_percent_traffic() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::tumbling_time(1_000).unwrap(),
+        AggFunction::Average,
+    )];
+    let f: Vec<Vec<Event>> = (0..2)
+        .map(|i| {
+            (0..200_000u64)
+                .map(|j| Event::new(j / 50, (j % 10) as u32, j as f64 * 0.37))
+                .map(move |mut e| {
+                    e.ts += i as u64;
+                    e
+                })
+                .collect()
+        })
+        .collect();
+    let topo = Topology::three_tier(1, 2);
+    let desis = run_cluster(
+        ClusterConfig::new(DistributedSystem::Desis, queries.clone(), topo.clone()),
+        f.clone(),
+    )
+    .unwrap();
+    let central = run_cluster(
+        ClusterConfig::new(
+            DistributedSystem::Centralized(SystemKind::Scotty),
+            queries,
+            topo,
+        ),
+        f,
+    )
+    .unwrap();
+    let saving = 1.0 - desis.total_bytes() as f64 / central.total_bytes() as f64;
+    assert!(
+        saving > 0.99,
+        "expected >99% saving, got {:.3}% ({} vs {})",
+        saving * 100.0,
+        desis.total_bytes(),
+        central.total_bytes()
+    );
+}
+
+/// Deep chains multiply centralized traffic (every hop re-sends all
+/// events) but barely affect Desis (Section 6.4.1).
+#[test]
+fn chain_topology_multiplies_centralized_traffic_only() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::tumbling_time(1_000).unwrap(),
+        AggFunction::Sum,
+    )];
+    let feed: Vec<Event> = (0..50_000u64)
+        .map(|i| Event::new(i / 10, (i % 5) as u32, i as f64))
+        .collect();
+    let measure = |system, hops| {
+        let cfg = ClusterConfig::new(system, queries.clone(), Topology::chain(hops));
+        run_cluster(cfg, vec![feed.clone()]).unwrap().total_bytes()
+    };
+    let central_1 = measure(DistributedSystem::Centralized(SystemKind::Scotty), 1);
+    let central_3 = measure(DistributedSystem::Centralized(SystemKind::Scotty), 3);
+    // chain(h) has h+1 links, each carrying every event: 4 links vs 2.
+    assert!(central_3 as f64 > central_1 as f64 * 1.8);
+    let desis_3 = measure(DistributedSystem::Desis, 3);
+    assert!(desis_3 * 100 < central_3, "{desis_3} vs {central_3}");
+}
+
+/// Latency and throughput reporting are populated.
+#[test]
+fn cluster_report_metrics_populated() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::tumbling_time(500).unwrap(),
+        AggFunction::Average,
+    )];
+    let cfg = ClusterConfig::new(DistributedSystem::Desis, queries, Topology::star(2));
+    let report = run_cluster(cfg, feeds(2, 20_000)).unwrap();
+    assert_eq!(report.events, 40_000);
+    assert!(report.throughput() > 0.0);
+    assert!(!report.latencies_ms.is_empty());
+    assert!(report.bytes_for_role(NodeRole::Local) > 0);
+    assert_eq!(report.local_metrics.events, 40_000);
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full Desis engine against the
+//! naive baselines over generated workloads.
+
+use desis::prelude::*;
+
+/// Sorts results into a canonical order for comparison.
+fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
+    results.sort_by(|a, b| {
+        (a.query, a.window_start, a.window_end, a.key).cmp(&(
+            b.query,
+            b.window_start,
+            b.window_end,
+            b.key,
+        ))
+    });
+    results
+}
+
+fn assert_equivalent(a: &[QueryResult], b: &[QueryResult], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: result counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            (x.query, x.key, x.window_start, x.window_end),
+            (y.query, y.key, y.window_start, y.window_end),
+            "{context}"
+        );
+        assert_eq!(x.values.len(), y.values.len(), "{context}");
+        for (v, w) in x.values.iter().zip(&y.values) {
+            match (v, w) {
+                (Some(v), Some(w)) => {
+                    let tolerance = 1e-9 * (1.0 + v.abs().max(w.abs()));
+                    assert!((v - w).abs() <= tolerance, "{context}: {v} vs {w}");
+                }
+                (v, w) => assert_eq!(v, w, "{context}"),
+            }
+        }
+    }
+}
+
+fn run_system(kind: SystemKind, queries: Vec<Query>, events: &[Event]) -> Vec<QueryResult> {
+    let mut system = kind.build(queries).expect("valid queries");
+    let mut out = Vec::new();
+    for ev in events {
+        system.on_event(ev);
+        out.extend(system.drain_results());
+    }
+    let last = events.last().map_or(0, |e| e.ts);
+    system.on_watermark(last + 60_000);
+    out.extend(system.drain_results());
+    canon(out)
+}
+
+/// Differential test over generated workloads: every system must produce
+/// identical window results for mixed window types, measures, and
+/// decomposable + holistic functions.
+#[test]
+fn all_systems_agree_on_generated_workloads() {
+    for seed in [1u64, 7, 42] {
+        let queries = QueryGenerator::new(QueryGenConfig {
+            queries: 12,
+            window_types: desis::gen::WindowTypeWeights::mixed(),
+            length_range: (500, 3_000),
+            count_length_range: (50, 500),
+            functions: vec![
+                AggFunction::Sum,
+                AggFunction::Count,
+                AggFunction::Average,
+                AggFunction::Min,
+                AggFunction::Max,
+                AggFunction::Median,
+                AggFunction::Quantile(0.75),
+            ],
+            functions_per_query: 1,
+            predicate_keys: 0,
+            first_id: 1,
+            seed,
+        })
+        .generate();
+        let events: Vec<Event> = DataGenerator::new(DataGenConfig {
+            keys: 3,
+            events_per_second: 1_000,
+            markers: Some(desis::gen::MarkerConfig {
+                channel: 0,
+                window_ms: 800,
+                pause_ms: 400,
+            }),
+            bursts: Some(desis::gen::BurstConfig {
+                burst_ms: 1_500,
+                gap_ms: 700,
+            }),
+            seed,
+            ..Default::default()
+        })
+        .take(20_000)
+        .collect();
+
+        let reference = run_system(SystemKind::Desis, queries.clone(), &events);
+        assert!(!reference.is_empty(), "seed {seed}: no results at all");
+        for kind in [
+            SystemKind::DeSw,
+            SystemKind::Scotty,
+            SystemKind::DeBucket,
+            SystemKind::CeBuffer,
+        ] {
+            let other = run_system(kind, queries.clone(), &events);
+            assert_equivalent(
+                &reference,
+                &other,
+                &format!("seed {seed}, {}", kind.label()),
+            );
+        }
+    }
+}
+
+/// Desis' headline efficiency claim: calculations per event stay flat as
+/// concurrent queries grow, while non-sharing systems scale linearly.
+#[test]
+fn operator_sharing_keeps_calculations_flat() {
+    let events: Vec<Event> = (0..20_000u64)
+        .map(|i| Event::new(i, (i % 5) as u32, i as f64))
+        .collect();
+    let calcs = |kind: SystemKind, n: usize| -> u64 {
+        let queries = desis::gen::spread_tumbling_queries(n, 10, AggFunction::Average);
+        let mut p = kind.build(queries).unwrap();
+        for ev in &events {
+            p.on_event(ev);
+        }
+        p.metrics().calculations
+    };
+    // Desis: same operator work for 1 and 100 queries.
+    assert_eq!(calcs(SystemKind::Desis, 1), calcs(SystemKind::Desis, 100));
+    // DeBucket: ~100x the work.
+    let one = calcs(SystemKind::DeBucket, 1);
+    let hundred = calcs(SystemKind::DeBucket, 100);
+    assert!(hundred > one * 50, "expected linear growth: {one} -> {hundred}");
+}
+
+/// Queries can be added and removed while the stream runs (Section 3.2).
+#[test]
+fn runtime_query_management() {
+    let mut engine = AggregationEngine::new(vec![Query::new(
+        1,
+        WindowSpec::tumbling_time(1_000).unwrap(),
+        AggFunction::Sum,
+    )])
+    .unwrap();
+    for ts in 0..5_000u64 {
+        engine.on_event(&Event::new(ts, 0, 1.0));
+        if ts == 1_500 {
+            engine
+                .add_query(Query::new(
+                    2,
+                    WindowSpec::tumbling_time(500).unwrap(),
+                    AggFunction::Count,
+                ))
+                .unwrap();
+        }
+        if ts == 3_500 {
+            engine.remove_query(2, false).unwrap();
+        }
+    }
+    engine.on_watermark(10_000);
+    let results = engine.drain_results();
+    let q1: Vec<_> = results.iter().filter(|r| r.query == 1).collect();
+    let q2: Vec<_> = results.iter().filter(|r| r.query == 2).collect();
+    assert_eq!(q1.len(), 5);
+    // Query 2 was live from ~1500 to ~3500: windows [2000,2500) ...
+    // [3500,4000) (the window open at removal still drains).
+    assert!(!q2.is_empty());
+    assert!(q2.iter().all(|r| r.window_start >= 1_500));
+    assert!(q2.iter().all(|r| r.window_end <= 4_000));
+}
+
+/// The umbrella prelude exposes the full stack.
+#[test]
+fn prelude_covers_the_stack() {
+    let _engine = AggregationEngine::new(vec![]).unwrap();
+    let _topo = Topology::star(1);
+    let _gen = DataGenerator::new(DataGenConfig::default());
+    let _kind = SystemKind::Desis;
+    let _sys = DistributedSystem::Desis;
+}

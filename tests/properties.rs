@@ -1,0 +1,452 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * slicing correctness — the slicing engine and the naive per-window
+//!   baseline agree on every result for arbitrary query mixes and streams;
+//! * operator algebra — merges are associative/commutative and match
+//!   single-pass aggregation under any split of the input;
+//! * slice structure — slices partition the stream and windows are exact
+//!   unions of slices;
+//! * codec — wire round-trips are lossless for arbitrary messages.
+
+use desis::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------
+
+fn arb_function() -> impl Strategy<Value = AggFunction> {
+    prop_oneof![
+        Just(AggFunction::Sum),
+        Just(AggFunction::Count),
+        Just(AggFunction::Average),
+        Just(AggFunction::Min),
+        Just(AggFunction::Max),
+        Just(AggFunction::Median),
+        (1u32..100).prop_map(|p| AggFunction::Quantile(f64::from(p) / 100.0)),
+    ]
+}
+
+fn arb_window() -> impl Strategy<Value = WindowSpec> {
+    prop_oneof![
+        (50u64..500).prop_map(|l| WindowSpec::tumbling_time(l).unwrap()),
+        ((2u64..6), (25u64..100)).prop_map(|(k, s)| WindowSpec::sliding_time(k * s, s).unwrap()),
+        (30u64..200).prop_map(|g| WindowSpec::session(g).unwrap()),
+        (5u64..50).prop_map(|l| WindowSpec::tumbling_count(l).unwrap()),
+        ((2u64..5), (3u64..15)).prop_map(|(k, s)| WindowSpec::sliding_count(k * s, s).unwrap()),
+    ]
+}
+
+fn arb_queries(max: usize) -> impl Strategy<Value = Vec<Query>> {
+    prop::collection::vec((arb_window(), arb_function()), 1..=max).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, f))| Query::new(i as u64 + 1, w, f))
+            .collect()
+    })
+}
+
+/// Streams as (delta_ts, key, value) triples: deltas keep time monotone.
+fn arb_events(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((0u64..40, 0u32..3, -100i32..100), 1..=max).prop_map(|raw| {
+        let mut ts = 0;
+        raw.into_iter()
+            .map(|(delta, key, value)| {
+                ts += delta;
+                Event::new(ts, key, f64::from(value))
+            })
+            .collect()
+    })
+}
+
+fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
+    results.sort_by(|a, b| {
+        (a.query, a.window_start, a.window_end, a.key).cmp(&(
+            b.query,
+            b.window_start,
+            b.window_end,
+            b.key,
+        ))
+    });
+    results
+}
+
+fn run_kind(kind: SystemKind, queries: Vec<Query>, events: &[Event]) -> Vec<QueryResult> {
+    let mut p = kind.build(queries).expect("valid queries");
+    for ev in events {
+        p.on_event(ev);
+    }
+    let last = events.last().map_or(0, |e| e.ts);
+    p.on_watermark(last + 10_000);
+    canon(p.drain_results())
+}
+
+// ---------------------------------------------------------------------
+// Properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Desis' shared slicing must agree with the naive per-window
+    /// baseline for arbitrary query mixes and irregular streams.
+    #[test]
+    fn slicing_matches_naive_windows(
+        queries in arb_queries(5),
+        events in arb_events(400),
+    ) {
+        let desis = run_kind(SystemKind::Desis, queries.clone(), &events);
+        let naive = run_kind(SystemKind::DeBucket, queries, &events);
+        prop_assert_eq!(desis.len(), naive.len());
+        for (a, b) in desis.iter().zip(&naive) {
+            prop_assert_eq!(
+                (a.query, a.key, a.window_start, a.window_end),
+                (b.query, b.key, b.window_start, b.window_end)
+            );
+            for (x, y) in a.values.iter().zip(&b.values) {
+                match (x, y) {
+                    (Some(x), Some(y)) => {
+                        prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                            "{} vs {}", x, y);
+                    }
+                    (x, y) => prop_assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    /// Merging operator partials is order-insensitive and matches the
+    /// single-pass aggregate for any 3-way split of the values.
+    #[test]
+    fn operator_merge_is_split_invariant(
+        values in prop::collection::vec(-1_000i32..1_000, 1..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+        func in arb_function(),
+    ) {
+        let values: Vec<f64> = values.into_iter().map(f64::from).collect();
+        let a = cut_a.min(values.len());
+        let b = cut_b.min(values.len()).max(a);
+        let set = func.operators();
+        let fold = |chunk: &[f64]| {
+            let mut bundle = OperatorBundle::new(set);
+            for v in chunk {
+                bundle.update(*v);
+            }
+            bundle.seal();
+            bundle
+        };
+        let mut whole = fold(&values);
+        whole.seal();
+
+        // Split (left-to-right merge).
+        let mut merged = fold(&values[..a]);
+        merged.merge(&fold(&values[a..b]));
+        merged.merge(&fold(&values[b..]));
+
+        // Reversed merge order.
+        let mut reversed = fold(&values[b..]);
+        reversed.merge(&fold(&values[a..b]));
+        reversed.merge(&fold(&values[..a]));
+
+        let expect = whole.finalize(&func);
+        for candidate in [merged.finalize(&func), reversed.finalize(&func)] {
+            match (expect, candidate) {
+                (Some(x), Some(y)) => {
+                    // min/max/median/quantile are exact; sums accumulate
+                    // rounding differences under reordering.
+                    prop_assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{} vs {}", x, y);
+                }
+                (x, y) => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    /// Quantiles always lie within [min, max] of the input.
+    #[test]
+    fn quantiles_are_bounded(
+        values in prop::collection::vec(-1e6f64..1e6, 1..300),
+        level in 1u32..1000,
+    ) {
+        let func = AggFunction::Quantile(f64::from(level) / 1000.0);
+        let mut bundle = OperatorBundle::new(func.operators());
+        for v in &values {
+            bundle.update(*v);
+        }
+        bundle.seal();
+        let q = bundle.finalize(&func).expect("non-empty");
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= min && q <= max, "{} outside [{}, {}]", q, min, max);
+    }
+
+    /// Slices partition the stream: consecutive, non-overlapping, and
+    /// every window's slice range is well-formed.
+    #[test]
+    fn slices_partition_the_stream(
+        queries in arb_queries(4),
+        events in arb_events(300),
+    ) {
+        use desis::core::engine::{GroupSlicer, QueryAnalyzer};
+        let groups = QueryAnalyzer::default().analyze(queries).unwrap();
+        for group in groups {
+            let mut slicer = GroupSlicer::new(group);
+            let mut slices = Vec::new();
+            for ev in &events {
+                slicer.on_event(ev, &mut slices);
+            }
+            slicer.on_watermark(events.last().map_or(0, |e| e.ts) + 10_000, &mut slices);
+            // Ids are consecutive from 0; ranges are ordered and abut.
+            for (i, s) in slices.iter().enumerate() {
+                prop_assert_eq!(s.id, i as u64);
+                prop_assert!(s.start_ts <= s.end_ts);
+                for end in &s.ends {
+                    prop_assert!(end.first_slice <= end.last_slice);
+                    prop_assert!(end.last_slice <= s.id);
+                }
+            }
+            for pair in slices.windows(2) {
+                prop_assert!(pair[0].end_ts <= pair[1].start_ts + 1,
+                    "slices overlap: {:?} then {:?}",
+                    (pair[0].start_ts, pair[0].end_ts),
+                    (pair[1].start_ts, pair[1].end_ts));
+            }
+        }
+    }
+
+    /// Wire round-trip is lossless for arbitrary event batches in both
+    /// codecs.
+    #[test]
+    fn codec_roundtrips_event_batches(
+        raw in prop::collection::vec((0u64..u64::MAX / 2, 0u32..1000, -1e9f64..1e9), 0..100),
+    ) {
+        use desis::net::codec::CodecKind;
+        use desis::net::message::Message;
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(ts, key, value)| Event::new(ts, key, value))
+            .collect();
+        let msg = Message::Events(events);
+        for codec in [CodecKind::Binary, CodecKind::Text] {
+            let frame = codec.encode(&msg);
+            let back = codec.decode(&frame).expect("roundtrip");
+            prop_assert_eq!(&back, &msg);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `to_dsl` followed by `parse_query` reproduces the query exactly.
+    #[test]
+    fn dsl_round_trips_arbitrary_queries(
+        window in arb_window(),
+        funcs in prop::collection::vec(arb_function(), 1..4),
+        pred_pick in 0u8..5,
+        key in 0u32..100,
+        lo in -1000i32..1000,
+        span in 0i32..1000,
+    ) {
+        use desis::core::dsl::{parse_query, to_dsl};
+        let predicate = match pred_pick {
+            0 => Predicate::True,
+            1 => Predicate::KeyEquals(key),
+            2 => Predicate::ValueAbove(f64::from(lo)),
+            3 => Predicate::ValueBelow(f64::from(lo)),
+            _ => Predicate::ValueBetween(f64::from(lo), f64::from(lo + span)),
+        };
+        let query = Query::with_functions(9, window, funcs).filtered(predicate);
+        let text = to_dsl(&query);
+        let reparsed = parse_query(9, &text).expect("formatted query parses");
+        prop_assert_eq!(query, reparsed, "{}", text);
+    }
+
+    /// The reorder buffer restores any boundedly-disordered stream.
+    #[test]
+    fn reorder_buffer_restores_bounded_disorder(
+        deltas in prop::collection::vec((0u64..30, 0u64..20), 1..300),
+    ) {
+        use desis::core::engine::ReorderBuffer;
+        // Build a disordered stream with bounded displacement.
+        let mut ts = 100u64;
+        let mut events = Vec::new();
+        for (advance, jitter) in deltas {
+            ts += advance;
+            events.push(Event::new(ts.saturating_sub(jitter.min(20)), 0, 1.0));
+        }
+        let mut buf = ReorderBuffer::new(60);
+        let mut out = Vec::new();
+        let mut dropped = 0u64;
+        for ev in &events {
+            if !buf.push(*ev, &mut out) {
+                dropped += 1;
+            }
+        }
+        buf.flush(&mut out);
+        prop_assert_eq!(dropped, buf.late_dropped());
+        prop_assert_eq!(out.len() + dropped as usize, events.len());
+        for pair in out.windows(2) {
+            prop_assert!(pair[0].ts <= pair[1].ts);
+        }
+        // Displacement is at most 20+29 < 60, so nothing may be dropped.
+        prop_assert_eq!(dropped, 0);
+    }
+}
+
+/// Builds an arbitrary sealed bundle over the given values and functions.
+fn arb_slice_message() -> impl Strategy<Value = desis::net::message::Message> {
+    use desis::net::message::Message;
+    let bundle = (
+        prop::collection::vec(arb_function(), 1..4),
+        prop::collection::vec(-1e6f64..1e6, 0..30),
+    )
+        .prop_map(|(funcs, values)| {
+            let set = funcs
+                .iter()
+                .map(AggFunction::operators)
+                .fold(OperatorSet::EMPTY, |a, b| a | b)
+                .subsume_sorts();
+            let mut bundle = OperatorBundle::new(set);
+            for v in values {
+                bundle.update(v);
+            }
+            bundle.seal();
+            bundle
+        });
+    let data = prop::collection::vec(
+        prop::collection::vec((0u32..50, bundle), 0..8),
+        1..3,
+    );
+    (
+        data,
+        0u64..1_000,          // id
+        0u64..1_000_000,      // start
+        0u64..10_000,         // len
+        prop::collection::vec((0u64..100, 0u64..20, 0u64..5_000, 0u64..5_000), 0..5),
+        prop::collection::vec((0u64..100, 0u64..5_000, 0u64..5_000), 0..3),
+    )
+        .prop_map(|(data, id, start, len, raw_ends, raw_gaps)| {
+            use desis::core::engine::{SealedSlice, SliceData};
+            let end_ts = start + len;
+            let mut slice_data = SliceData::new(data.len());
+            for (sel, entries) in data.into_iter().enumerate() {
+                for (key, bundle) in entries {
+                    slice_data.per_selection[sel].insert(key, bundle);
+                }
+            }
+            let ends = raw_ends
+                .into_iter()
+                .map(|(query, len_slices, back, wlen)| {
+                    let last_slice = id.saturating_sub(back % (id + 1));
+                    let w_end = end_ts.saturating_sub(back);
+                    desis::core::engine::WindowEnd {
+                        query,
+                        first_slice: last_slice.saturating_sub(len_slices),
+                        last_slice,
+                        start_ts: w_end.saturating_sub(wlen),
+                        end_ts: w_end,
+                    }
+                })
+                .collect();
+            let session_gaps = raw_gaps
+                .into_iter()
+                .map(|(query, back, glen)| {
+                    let gap_end = end_ts.saturating_sub(back);
+                    desis::core::engine::SessionGap {
+                        query,
+                        gap_start: gap_end.saturating_sub(glen),
+                        gap_end,
+                    }
+                })
+                .collect();
+            Message::Slice {
+                group: (id % 7) as u32,
+                origin: (id % 11) as u32,
+                coverage: 1 + (id % 3) as u32,
+                partial: SealedSlice {
+                    id,
+                    start_ts: start,
+                    end_ts,
+                    data: slice_data,
+                    ends,
+                    session_gaps,
+                    low_watermark: id.saturating_sub(2),
+                    low_watermark_ts: start.saturating_sub(10),
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Slice partials — including delta-encoded window ends and session
+    /// gaps — survive both wire formats bit-exactly.
+    #[test]
+    fn codec_roundtrips_arbitrary_slice_partials(msg in arb_slice_message()) {
+        use desis::net::codec::CodecKind;
+        for codec in [CodecKind::Binary, CodecKind::Text] {
+            let frame = codec.encode(&msg);
+            let back = codec.decode(&frame).expect("roundtrip");
+            prop_assert_eq!(&back, &msg);
+        }
+    }
+}
+
+/// Long-running sliding windows must not accumulate slices: the
+/// assembler's GC keeps retained partials bounded by the window span.
+#[test]
+fn memory_stays_bounded_over_long_streams() {
+    use desis::core::engine::{Assembler, GroupSlicer, QueryAnalyzer};
+    let queries = vec![
+        Query::new(1, WindowSpec::sliding_time(5_000, 500).unwrap(), AggFunction::Average),
+        Query::new(2, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Max),
+    ];
+    let mut groups = QueryAnalyzer::default().analyze(queries).unwrap();
+    let group = groups.remove(0);
+    let mut slicer = GroupSlicer::new(group.clone());
+    let mut assembler = Assembler::new(&group);
+    let mut slices = Vec::new();
+    let mut results = Vec::new();
+    let mut max_retained = 0;
+    for ts in (0..2_000_000u64).step_by(20) {
+        slicer.on_event(&Event::new(ts, (ts % 4) as u32, 1.0), &mut slices);
+        for s in slices.drain(..) {
+            assembler.on_slice(s, &mut results);
+        }
+        max_retained = max_retained.max(assembler.retained_slices());
+        results.clear();
+    }
+    // 5 s window / 500 ms slices -> at most ~11 live slices, ever.
+    assert!(max_retained <= 12, "retained {max_retained} slices");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Decoding corrupted frames must fail gracefully (error, never panic,
+    /// never runaway allocation).
+    #[test]
+    fn codec_survives_corrupted_frames(
+        msg in arb_slice_message(),
+        flips in prop::collection::vec((0usize..4096, 0u8..255), 1..8),
+        truncate_to in 0usize..4096,
+    ) {
+        use desis::net::codec::CodecKind;
+        for codec in [CodecKind::Binary, CodecKind::Text] {
+            let mut frame = codec.encode(&msg);
+            for (pos, xor) in &flips {
+                if !frame.is_empty() {
+                    let i = pos % frame.len();
+                    frame[i] ^= xor | 1;
+                }
+            }
+            frame.truncate(truncate_to.min(frame.len()));
+            // Must not panic; Ok (a different but valid message) or Err
+            // are both acceptable.
+            let _ = codec.decode(&frame);
+        }
+    }
+}
