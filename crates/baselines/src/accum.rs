@@ -113,17 +113,24 @@ pub fn compute_from_values(function: &AggFunction, values: &[f64]) -> (Option<f6
         AggFunction::Min => values.iter().copied().reduce(f64::min),
         AggFunction::Max => values.iter().copied().reduce(f64::max),
         AggFunction::Product => Some(values.iter().product()),
-        AggFunction::GeometricMean => {
-            Some(values.iter().product::<f64>().powf(1.0 / values.len() as f64))
-        }
+        AggFunction::GeometricMean => Some(
+            values
+                .iter()
+                .product::<f64>()
+                .powf(1.0 / values.len() as f64),
+        ),
         AggFunction::Median => quantile_of(values.to_vec(), 0.5),
         AggFunction::Quantile(q) => quantile_of(values.to_vec(), *q),
         AggFunction::Variance => {
-            let (s, sq) = values.iter().fold((0.0, 0.0), |(s, sq), v| (s + v, sq + v * v));
+            let (s, sq) = values
+                .iter()
+                .fold((0.0, 0.0), |(s, sq), v| (s + v, sq + v * v));
             variance_of(s, sq, values.len() as u64)
         }
         AggFunction::StdDev => {
-            let (s, sq) = values.iter().fold((0.0, 0.0), |(s, sq), v| (s + v, sq + v * v));
+            let (s, sq) = values
+                .iter()
+                .fold((0.0, 0.0), |(s, sq), v| (s + v, sq + v * v));
             variance_of(s, sq, values.len() as u64).map(f64::sqrt)
         }
     };

@@ -105,11 +105,7 @@ mod tests {
                 AggFunction::Average,
             ),
             Query::new(2, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Sum),
-            Query::new(
-                3,
-                WindowSpec::tumbling_count(10).unwrap(),
-                AggFunction::Sum,
-            ),
+            Query::new(3, WindowSpec::tumbling_count(10).unwrap(), AggFunction::Sum),
         ]
     }
 

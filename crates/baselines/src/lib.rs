@@ -106,11 +106,7 @@ mod tests {
                     AggFunction::Max,
                 ),
                 Query::new(3, WindowSpec::session(60).unwrap(), AggFunction::Median),
-                Query::new(
-                    4,
-                    WindowSpec::tumbling_count(7).unwrap(),
-                    AggFunction::Sum,
-                ),
+                Query::new(4, WindowSpec::tumbling_count(7).unwrap(), AggFunction::Sum),
             ]
         };
         let mut reference: Option<Vec<desis_core::query::QueryResult>> = None;

@@ -33,11 +33,7 @@ pub trait WindowState: Clone + Default {
 
     /// Produces per-key results. `calcs` counts function executions
     /// performed at finalization (the CeBuffer full-buffer scan).
-    fn finalize(
-        &self,
-        functions: &[AggFunction],
-        calcs: &mut u64,
-    ) -> Vec<(Key, Vec<Option<f64>>)>;
+    fn finalize(&self, functions: &[AggFunction], calcs: &mut u64) -> Vec<(Key, Vec<Option<f64>>)>;
 }
 
 /// CeBuffer state: the raw event buffer of one window.
@@ -53,11 +49,7 @@ impl WindowState for BufferState {
         self.events.push((key, value));
     }
 
-    fn finalize(
-        &self,
-        functions: &[AggFunction],
-        calcs: &mut u64,
-    ) -> Vec<(Key, Vec<Option<f64>>)> {
+    fn finalize(&self, functions: &[AggFunction], calcs: &mut u64) -> Vec<(Key, Vec<Option<f64>>)> {
         // Group the buffer by key, then evaluate every function over the
         // raw values — the full iteration the paper charges CeBuffer for.
         let mut by_key: FxHashMap<Key, Vec<f64>> = FxHashMap::default();
@@ -100,11 +92,7 @@ impl WindowState for BucketState {
         }
     }
 
-    fn finalize(
-        &self,
-        functions: &[AggFunction],
-        calcs: &mut u64,
-    ) -> Vec<(Key, Vec<Option<f64>>)> {
+    fn finalize(&self, functions: &[AggFunction], calcs: &mut u64) -> Vec<(Key, Vec<Option<f64>>)> {
         self.by_key
             .iter()
             .map(|(key, accums)| {
@@ -205,11 +193,7 @@ impl<S: WindowState> NaiveProcessor<S> {
     pub fn active_windows(&self) -> usize {
         self.queries
             .iter()
-            .map(|q| {
-                q.fixed.len()
-                    + usize::from(q.session.is_some())
-                    + usize::from(q.ud.is_some())
-            })
+            .map(|q| q.fixed.len() + usize::from(q.session.is_some()) + usize::from(q.ud.is_some()))
             .sum()
     }
 
@@ -319,12 +303,8 @@ impl<S: WindowState> Processor for NaiveProcessor<S> {
                                     state: S::default(),
                                 }
                             });
-                            win.state.add(
-                                ev.key,
-                                ev.value,
-                                functions,
-                                &mut metrics.calculations,
-                            );
+                            win.state
+                                .add(ev.key, ev.value, functions, &mut metrics.calculations);
                         }
                     }
                 }
@@ -333,22 +313,12 @@ impl<S: WindowState> Processor for NaiveProcessor<S> {
                         match &mut nq.session {
                             Some((_, last, state)) => {
                                 *last = ev.ts;
-                                state.add(
-                                    ev.key,
-                                    ev.value,
-                                    functions,
-                                    &mut metrics.calculations,
-                                );
+                                state.add(ev.key, ev.value, functions, &mut metrics.calculations);
                             }
                             None => {
                                 metrics.slices += 1;
                                 let mut state = S::default();
-                                state.add(
-                                    ev.key,
-                                    ev.value,
-                                    functions,
-                                    &mut metrics.calculations,
-                                );
+                                state.add(ev.key, ev.value, functions, &mut metrics.calculations);
                                 nq.session = Some((ev.ts, ev.ts, state));
                             }
                         }
@@ -405,7 +375,11 @@ impl<S: WindowState> Processor for NaiveProcessor<S> {
                     if matches {
                         nq.matched += 1;
                         let i = nq.matched - 1; // 0-based index of this event
-                        let k_min = if i < length { 0 } else { (i - length) / step + 1 };
+                        let k_min = if i < length {
+                            0
+                        } else {
+                            (i - length) / step + 1
+                        };
                         let k_max = i / step;
                         for k in k_min..=k_max {
                             let start = k * step;
@@ -417,12 +391,8 @@ impl<S: WindowState> Processor for NaiveProcessor<S> {
                                     state: S::default(),
                                 }
                             });
-                            win.state.add(
-                                ev.key,
-                                ev.value,
-                                functions,
-                                &mut metrics.calculations,
-                            );
+                            win.state
+                                .add(ev.key, ev.value, functions, &mut metrics.calculations);
                         }
                         while let Some((&start, win)) = nq.fixed.iter().next() {
                             if win.end <= nq.matched {
@@ -585,8 +555,12 @@ mod tests {
 
     #[test]
     fn predicate_filters_events() {
-        let q = Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Count)
-            .filtered(Predicate::ValueAbove(5.0));
+        let q = Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Count,
+        )
+        .filtered(Predicate::ValueAbove(5.0));
         let events = vec![
             Event::new(0, 0, 10.0),
             Event::new(10, 0, 1.0),

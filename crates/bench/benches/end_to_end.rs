@@ -12,7 +12,11 @@ const N: u64 = 100_000;
 
 fn fig4_queries() -> Vec<Query> {
     vec![
-        Query::new(1, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Max),
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Max,
+        ),
         Query::new(
             2,
             WindowSpec::sliding_time(2_000, 500).unwrap(),
@@ -49,9 +53,21 @@ fn bench_fig4_workload(c: &mut Criterion) {
 fn bench_decomposable_only(c: &mut Criterion) {
     let evs = events();
     let queries = vec![
-        Query::new(1, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Average),
-        Query::new(2, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Sum),
-        Query::new(3, WindowSpec::sliding_time(2_000, 500).unwrap(), AggFunction::Min),
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Average,
+        ),
+        Query::new(
+            2,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Sum,
+        ),
+        Query::new(
+            3,
+            WindowSpec::sliding_time(2_000, 500).unwrap(),
+            AggFunction::Min,
+        ),
     ];
     let mut group = c.benchmark_group("engine_end_to_end");
     group.throughput(Throughput::Elements(N));

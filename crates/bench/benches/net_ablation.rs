@@ -96,5 +96,9 @@ fn bench_window_partial_assembly(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_partial_granularity_bytes, bench_window_partial_assembly);
+criterion_group!(
+    benches,
+    bench_partial_granularity_bytes,
+    bench_window_partial_assembly
+);
 criterion_main!(benches);

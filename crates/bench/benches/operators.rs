@@ -3,12 +3,16 @@
 //! (DESIGN.md ablation 5).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use desis_core::aggregate::{AggFunction, OperatorBundle, OperatorKind, OperatorSet, OperatorState};
+use desis_core::aggregate::{
+    AggFunction, OperatorBundle, OperatorKind, OperatorSet, OperatorState,
+};
 
 const N: u64 = 10_000;
 
 fn values() -> Vec<f64> {
-    (0..N).map(|i| ((i * 2_654_435_761) % 1_000) as f64).collect()
+    (0..N)
+        .map(|i| ((i * 2_654_435_761) % 1_000) as f64)
+        .collect()
 }
 
 fn bench_operator_updates(c: &mut Criterion) {

@@ -54,22 +54,22 @@ fn bench_per_event_window_checks(c: &mut Criterion) {
     group.sample_size(10);
     for windows in [1usize, 10, 100] {
         let queries = spread_tumbling_queries(windows, 10, AggFunction::Average);
-        group.bench_with_input(
-            BenchmarkId::new("debucket", windows),
-            &windows,
-            |b, _| {
-                b.iter(|| {
-                    let mut p = DeBucket::debucket(queries.clone());
-                    for ev in &evs {
-                        p.on_event(ev);
-                    }
-                    black_box(p.drain_results().len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("debucket", windows), &windows, |b, _| {
+            b.iter(|| {
+                let mut p = DeBucket::debucket(queries.clone());
+                for ev in &evs {
+                    p.on_event(ev);
+                }
+                black_box(p.drain_results().len())
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_slicer_vs_window_count, bench_per_event_window_checks);
+criterion_group!(
+    benches,
+    bench_slicer_vs_window_count,
+    bench_per_event_window_checks
+);
 criterion_main!(benches);

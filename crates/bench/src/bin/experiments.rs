@@ -1,24 +1,28 @@
 //! Reproduces the Desis paper's evaluation figures.
 //!
 //! ```text
-//! experiments [--scale quick|full] [--csv <dir>] <figure-id>... | all | list
+//! experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]
+//!             <figure-id>... | all | list
 //! ```
 //!
 //! Each figure prints the series the paper plots (one row per x-value,
 //! one column per system). With `--csv <dir>`, a `<figure-id>.csv` file is
-//! written per figure.
+//! written per figure. With `--metrics-out <path>`, the process-global
+//! metrics snapshot (per-node bytes, message counts, engine counters,
+//! latency histograms with p50/p95/p99) is written as JSON after all
+//! selected figures ran.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use desis_bench::experiments::all_figures;
-use desis_bench::measure::Scale;
+use desis_bench::measure::{write_global_metrics, Scale};
 
 /// Prints Table 1 (function -> operator lowering) straight from the code.
 fn print_table1() {
     use desis_core::aggregate::AggFunction;
     println!("== table1: Relationship between aggregation functions and operators ==");
-    println!("{:<16} {}", "function", "operators");
+    println!("{:<16} operators", "function");
     for func in [
         AggFunction::Sum,
         AggFunction::Count,
@@ -32,11 +36,7 @@ fn print_table1() {
         AggFunction::Variance,
         AggFunction::StdDev,
     ] {
-        let ops: Vec<String> = func
-            .operators()
-            .iter()
-            .map(|k| format!("{k:?}"))
-            .collect();
+        let ops: Vec<String> = func.operators().iter().map(|k| format!("{k:?}")).collect();
         println!("{:<16} {}", func.to_string(), ops.join(", "));
     }
     println!();
@@ -46,6 +46,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut csv_dir: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -60,6 +61,12 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out requires a file path");
                     std::process::exit(2);
                 }));
             }
@@ -83,6 +90,7 @@ fn main() {
         print_table1();
         wanted.retain(|w| w != "table1");
         if wanted.is_empty() {
+            dump_metrics(metrics_out.as_deref());
             return;
         }
     }
@@ -115,15 +123,30 @@ fn main() {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{id}.csv");
             let mut file = std::fs::File::create(&path).expect("create csv");
-            file.write_all(figure.to_csv().as_bytes()).expect("write csv");
+            file.write_all(figure.to_csv().as_bytes())
+                .expect("write csv");
             eprintln!("wrote {path}");
         }
     }
+    dump_metrics(metrics_out.as_deref());
+}
+
+/// Writes the process-global metrics snapshot if `--metrics-out` was given.
+fn dump_metrics(path: Option<&str>) {
+    let Some(path) = path else { return };
+    if let Err(err) = write_global_metrics(std::path::Path::new(path)) {
+        eprintln!("cannot write metrics to {path}: {err}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
 }
 
 fn print_usage() {
     println!(
-        "usage: experiments [--scale quick|full] [--csv <dir>] <figure-id>... | all | list\n\
-         reproduces the Desis (EDBT 2023) evaluation figures; see EXPERIMENTS.md"
+        "usage: experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]\n\
+         \x20                  <figure-id>... | all | list\n\
+         reproduces the Desis (EDBT 2023) evaluation figures; see EXPERIMENTS.md\n\
+         --metrics-out writes the unified metrics snapshot (bytes, message\n\
+         counts, latency histograms) as JSON after the selected figures ran"
     );
 }

@@ -32,7 +32,11 @@ fn sliced_window_queries(slice_size: u64, slices_per_window: u64) -> Vec<Query> 
 
 /// Events covering at least two long windows, padded to a constant total
 /// so all sweep points measure over comparable run lengths.
-fn events_for(slice_size: u64, slices_per_window: u64, target: u64) -> Vec<desis_core::event::Event> {
+fn events_for(
+    slice_size: u64,
+    slices_per_window: u64,
+    target: u64,
+) -> Vec<desis_core::event::Event> {
     let window = slice_size * slices_per_window;
     let windows = (target / window).max(2);
     uniform_stream(window * windows, 10, 1_000_000, 42)

@@ -124,8 +124,7 @@ pub fn fig11d(scale: Scale) -> Figure {
             let total = match (centralized, cached) {
                 (true, Some(total)) => total,
                 _ => {
-                    let queries =
-                        spread_tumbling_queries(windows, 10, AggFunction::Average);
+                    let queries = spread_tumbling_queries(windows, 10, AggFunction::Average);
                     let (local, inter) = bytes_by_role(system, queries, n, 1);
                     let total = (local + inter) as f64;
                     cached = Some(total);

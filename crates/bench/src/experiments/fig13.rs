@@ -59,7 +59,8 @@ pub fn fig13a(scale: Scale) -> Figure {
             // Even sharing systems materialize per-query results, so very
             // large query counts get shorter runs.
             let n = adaptive_events(base, n_queries, shares)
-                .min(base * 100 / (n_queries as u64).max(1)).max(10_000);
+                .min(base * 100 / (n_queries as u64).max(1))
+                .max(10_000);
             let events = uniform_stream(n, 10, 1_000_000, 42);
             let final_wm = events.last().map_or(0, |e| e.ts) + 11 * SECOND;
             let run = measure_throughput(system, random_queries(n_queries), &events, final_wm);

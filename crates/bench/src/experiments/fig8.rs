@@ -67,12 +67,7 @@ pub(crate) fn fig8_stream(n: u64, with_markers: bool) -> Vec<desis_core::event::
     fig8_stream_at(n, 1_000_000, with_markers)
 }
 
-fn throughput_fig(
-    id: &str,
-    title: &str,
-    scale: Scale,
-    half_user_defined: bool,
-) -> Figure {
+fn throughput_fig(id: &str, title: &str, scale: Scale, half_user_defined: bool) -> Figure {
     let base = scale.events(1_000_000);
     let mut fig = Figure::new(id, title, "windows", "events/s");
     for system in optimization_systems() {
@@ -103,8 +98,7 @@ fn slices_fig(id: &str, title: &str, scale: Scale, half_user_defined: bool) -> F
             // Spread the stream over ~60 s of event time so slices/minute
             // is measured, not extrapolated.
             let events = fig8_stream_at(n, n / 60, half_user_defined);
-            let event_time_min =
-                (events.last().map_or(1, |e| e.ts).max(1)) as f64 / MINUTE as f64;
+            let event_time_min = (events.last().map_or(1, |e| e.ts).max(1)) as f64 / MINUTE as f64;
             let final_wm = events.last().map_or(0, |e| e.ts) + 11_000;
             let run = measure_throughput(system, queries, &events, final_wm);
             series.push(

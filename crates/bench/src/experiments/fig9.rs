@@ -12,8 +12,8 @@ use desis_core::time::SECOND;
 use desis_core::window::WindowSpec;
 use desis_gen::spread_quantile_queries;
 
-use super::fig8::{fig8_stream, optimization_systems};
 use super::adaptive_events;
+use super::fig8::{fig8_stream, optimization_systems};
 use crate::figure::{Figure, Series};
 use crate::measure::{measure_throughput, Scale};
 
@@ -82,10 +82,7 @@ fn calculations_sweep(
 }
 
 fn avg_sum_mix(n: usize) -> Vec<Query> {
-    function_mix(
-        n,
-        &[vec![AggFunction::Average], vec![AggFunction::Sum]],
-    )
+    function_mix(n, &[vec![AggFunction::Average], vec![AggFunction::Sum]])
 }
 
 fn quantile_mix(n: usize) -> Vec<Query> {
@@ -103,10 +100,7 @@ fn two_function_mix(n: usize) -> Vec<Query> {
 }
 
 fn quantile_max_mix(n: usize) -> Vec<Query> {
-    function_mix(
-        n,
-        &[vec![AggFunction::Quantile(0.9), AggFunction::Max]],
-    )
+    function_mix(n, &[vec![AggFunction::Quantile(0.9), AggFunction::Max]])
 }
 
 fn mixed_measure_mix(n: usize) -> Vec<Query> {

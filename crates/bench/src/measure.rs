@@ -6,6 +6,7 @@ use std::time::Instant;
 use desis_baselines::SystemKind;
 use desis_core::event::Event;
 use desis_core::metrics::EngineMetrics;
+use desis_core::obs::MetricsRegistry;
 use desis_core::query::Query;
 use desis_core::time::Timestamp;
 
@@ -82,9 +83,19 @@ pub fn measure_throughput(
     p.on_watermark(final_wm);
     results += p.drain_results().len();
     let elapsed = start.elapsed();
+    let metrics = p.metrics();
+    // Accumulate the run into the process-global registry under the
+    // system's label, so `experiments --metrics-out` covers single-node
+    // runs too (counters of repeated runs add up).
+    let run_registry = MetricsRegistry::new();
+    metrics.publish(&run_registry, "engine");
+    MetricsRegistry::global().merge_snapshot(
+        &format!("single.{}.", system.label()),
+        &run_registry.snapshot(),
+    );
     SingleNodeRun {
         throughput: events.len() as f64 / elapsed.as_secs_f64().max(1e-9),
-        metrics: p.metrics(),
+        metrics,
         results,
     }
 }
@@ -99,6 +110,8 @@ pub fn measure_result_latency(
     events: &[Event],
     final_wm: Timestamp,
 ) -> Vec<f64> {
+    let hist = MetricsRegistry::global()
+        .histogram(&format!("single.{}.result_latency_us", system.label()));
     let mut p = system.build(queries).expect("valid queries");
     let mut latencies = Vec::new();
     for ev in events {
@@ -106,6 +119,7 @@ pub fn measure_result_latency(
         p.on_event(ev);
         let dt = t0.elapsed();
         if !p.drain_results().is_empty() {
+            hist.record_secs(dt.as_secs_f64());
             latencies.push(dt.as_secs_f64() * 1e3);
         }
     }
@@ -113,9 +127,17 @@ pub fn measure_result_latency(
     p.on_watermark(final_wm);
     let dt = t0.elapsed();
     if !p.drain_results().is_empty() {
+        hist.record_secs(dt.as_secs_f64());
         latencies.push(dt.as_secs_f64() * 1e3);
     }
     latencies
+}
+
+/// Writes the process-global metrics snapshot (everything the engines,
+/// clusters, and measurement helpers published this process) as JSON to
+/// `path`.
+pub fn write_global_metrics(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, MetricsRegistry::global().snapshot().to_json())
 }
 
 /// Mean of a sample set.
@@ -154,6 +176,19 @@ mod tests {
         assert!(run.throughput > 0.0);
         assert_eq!(run.metrics.events, 10_000);
         assert_eq!(run.results, 100);
+    }
+
+    #[test]
+    fn throughput_run_publishes_into_global_registry() {
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Sum,
+        )];
+        let events: Vec<Event> = (0..1_000).map(|i| Event::new(i, 0, 1.0)).collect();
+        measure_throughput(SystemKind::Desis, queries, &events, 2_000);
+        let snap = MetricsRegistry::global().snapshot();
+        assert!(snap.counters["single.Desis.engine.events"] >= 1_000);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Offline stand-in for the `bytes` crate (API-compatible subset).
+//!
+//! Provides only the `Buf`/`BufMut` trait surface the codec uses: byte
+//! and little-endian f64 access over `&[u8]` readers and `Vec<u8>`
+//! writers. See `crates/compat/` for why these shims exist.
+
+/// Read cursor over a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns one byte. Panics when empty.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes and returns a little-endian `f64`. Panics if fewer than 8
+    /// bytes remain.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("buffer underflow");
+        *self = rest;
+        *first
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        let (head, rest) = self.split_at(8);
+        let v = f64::from_le_bytes(head.try_into().expect("8 bytes"));
+        *self = rest;
+        v
+    }
+}
+
+/// Append-only write cursor.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_f64_le(-1.5);
+        out.put_u8(9);
+        let mut r: &[u8] = &out;
+        assert_eq!(r.remaining(), 10);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.get_u8(), 9);
+        assert_eq!(r.remaining(), 0);
+    }
+}

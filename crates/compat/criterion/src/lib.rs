@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion` (API-compatible subset).
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and producing
+//! useful numbers without the upstream crate: benches run a short
+//! calibration pass, then a fixed measurement budget per benchmark, and
+//! print mean wall-clock time per iteration plus derived throughput.
+//! No statistics beyond the mean are computed. See `crates/compat/` for
+//! why these shims exist.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs one benchmark's iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calibrates, then repeatedly times `routine` until the measurement
+    /// budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibration: how many iterations fit in ~10 ms?
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 30 {
+                break elapsed.as_secs_f64() / batch as f64;
+            }
+            batch *= 4;
+        };
+        let total = (self.budget.as_secs_f64() / per_iter.max(1e-9)).max(1.0) as u64;
+        let start = Instant::now();
+        for _ in 0..total {
+            black_box(routine());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / total as f64;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn report(name: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  ({:.2} Melem/s)", n as f64 / mean_secs / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!("  ({:.2} MiB/s)", n as f64 / mean_secs / (1 << 20) as f64)
+            }
+        })
+        .unwrap_or_default();
+    println!("{name:<50} {:>10}/iter{rate}", human_time(mean_secs));
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes runs by time
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        let mean = self.criterion.run_one(f);
+        report(&name, mean, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        let mean = self.criterion.run_one(|b| f(b, input));
+        report(&name, mean, self.throughput);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300));
+        Self { budget }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, mut f: impl FnMut(&mut Bencher)) -> f64 {
+        let mut bencher = Bencher {
+            mean_secs: 0.0,
+            budget: self.budget,
+        };
+        f(&mut bencher);
+        bencher.mean_secs
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mean = self.run_one(f);
+        report(name, mean, None);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's simple
+/// `criterion_group!(name, fn, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point for `harness = false` targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mean = c.run_one(|b| b.iter(|| black_box(2u64 + 2)));
+        assert!(mean > 0.0);
+        assert!(mean < 0.1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("enc", 64).to_string(), "enc/64");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for `crossbeam-channel` (API-compatible subset).
+//!
+//! Condvar-backed MPMC channels with the blocking `send`/`recv` surface
+//! the link layer uses, plus a [`Select`] that multiplexes many
+//! receivers of one message type (the fan-in pattern of the cluster's
+//! `pump_children`). Unlike upstream, `Select` here is generic over the
+//! payload type — every call site in this workspace selects over
+//! homogeneous `Receiver<Vec<u8>>` frames. See `crates/compat/` for why
+//! these shims exist.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+
+/// Error of sending on a channel with no live receivers; returns the
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error of receiving from an empty channel with no live senders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error of a non-blocking receive attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel is currently empty but senders remain.
+    Empty,
+    /// Channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Wakes a parked [`Select`] when any watched channel becomes ready.
+#[derive(Debug, Default)]
+struct Waker {
+    fired: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    fn wake(&self) {
+        let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+        *fired = true;
+        self.cv.notify_all();
+    }
+
+    fn park(&self) {
+        let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+        while !*fired {
+            fired = self.cv.wait(fired).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn arm(&self) {
+        *self.fired.lock().unwrap_or_else(|e| e.into_inner()) = false;
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+    /// Parked selects to wake on the next state change; drained on wake.
+    wakers: Vec<Weak<Waker>>,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn wake_all<T>(inner: &mut Inner<T>) {
+    for w in inner.wakers.drain(..) {
+        if let Some(w) = w.upgrade() {
+            w.wake();
+        }
+    }
+}
+
+/// The sending half of a channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while the channel is at capacity.
+    /// Fails (returning the message) once every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                wake_all(&mut inner);
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            self.shared.not_empty.notify_all();
+            wake_all(&mut inner);
+        }
+    }
+}
+
+/// The receiving half of a channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, blocking while the channel is empty.
+    /// Fails once the channel is empty *and* every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.lock();
+        if let Some(v) = inner.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ready means a `recv` would not block: a message is queued or the
+    /// channel is disconnected.
+    fn is_ready(&self) -> bool {
+        let inner = self.shared.lock();
+        !inner.queue.is_empty() || inner.senders == 0
+    }
+
+    /// Registers a waker to fire on the next send or disconnect.
+    fn register(&self, waker: &Arc<Waker>) {
+        self.shared.lock().wakers.push(Arc::downgrade(waker));
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+            wakers: Vec::new(),
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a channel holding at most `cap` queued messages (capacity 0 is
+/// promoted to 1; true rendezvous channels are not supported).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+/// Creates a channel with an unbounded queue.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Multiplexes blocking receives over many receivers of one type.
+///
+/// Operation indices are assigned in registration order and stay stable
+/// across [`Select::remove`], mirroring upstream semantics.
+#[derive(Debug)]
+pub struct Select<'a, T> {
+    receivers: Vec<Option<&'a Receiver<T>>>,
+    waker: Arc<Waker>,
+}
+
+impl<T> Default for Select<'_, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, T> Select<'a, T> {
+    /// Creates an empty selector.
+    pub fn new() -> Self {
+        Self {
+            receivers: Vec::new(),
+            waker: Arc::new(Waker::default()),
+        }
+    }
+
+    /// Adds a receive operation; returns its stable index.
+    pub fn recv(&mut self, r: &'a Receiver<T>) -> usize {
+        self.receivers.push(Some(r));
+        self.receivers.len() - 1
+    }
+
+    /// Removes the operation at `index` from the watch set.
+    pub fn remove(&mut self, index: usize) {
+        self.receivers[index] = None;
+    }
+
+    /// Blocks until some watched receiver is ready (has a message or is
+    /// disconnected). Panics if every operation has been removed, since
+    /// no message can ever arrive.
+    pub fn select(&mut self) -> SelectedOperation {
+        assert!(
+            self.receivers.iter().any(Option::is_some),
+            "select with no operations"
+        );
+        loop {
+            self.waker.arm();
+            // Register before checking readiness: a send that lands after
+            // its channel's check then fires the armed waker, so the park
+            // below cannot miss it.
+            for (index, r) in self.receivers.iter().enumerate() {
+                if let Some(r) = r {
+                    r.register(&self.waker);
+                    if r.is_ready() {
+                        return SelectedOperation { index };
+                    }
+                }
+            }
+            self.waker.park();
+        }
+    }
+}
+
+/// A ready operation returned by [`Select::select`]; complete it by
+/// calling [`SelectedOperation::recv`] with the receiver at
+/// [`SelectedOperation::index`].
+#[derive(Debug)]
+pub struct SelectedOperation {
+    index: usize,
+}
+
+impl SelectedOperation {
+    /// Index of the ready operation (as returned by [`Select::recv`]).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Completes the receive on the ready receiver.
+    pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+        // The selecting thread is the only consumer in this workspace, so
+        // ready-with-a-message cannot race to empty: `Empty` here means
+        // the readiness was a disconnect.
+        r.try_recv().map_err(|_| RecvError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receiver() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_backpressure_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until a slot frees
+            "sent"
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), "sent");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn select_drains_multiple_producers() {
+        let (tx_a, rx_a) = bounded::<u64>(8);
+        let (tx_b, rx_b) = bounded::<u64>(8);
+        let producer = |tx: Sender<u64>, base: u64| {
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(base + i).unwrap();
+                }
+            })
+        };
+        let ta = producer(tx_a, 0);
+        let tb = producer(tx_b, 1_000);
+        let mut sel = Select::new();
+        sel.recv(&rx_a);
+        sel.recv(&rx_b);
+        let mut open = 2;
+        let mut got = Vec::new();
+        while open > 0 {
+            let op = sel.select();
+            let idx = op.index();
+            let rx = if idx == 0 { &rx_a } else { &rx_b };
+            match op.recv(rx) {
+                Ok(v) => got.push(v),
+                Err(_) => {
+                    sel.remove(idx);
+                    open -= 1;
+                }
+            }
+        }
+        ta.join().unwrap();
+        tb.join().unwrap();
+        assert_eq!(got.len(), 200);
+        let lows: Vec<u64> = got.iter().copied().filter(|v| *v < 1_000).collect();
+        assert_eq!(lows, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn select_sees_disconnect_of_idle_channel() {
+        let (tx, rx) = bounded::<u8>(2);
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            drop(tx);
+        });
+        let op = sel.select();
+        assert_eq!(op.index(), 0);
+        assert_eq!(op.recv(&rx), Err(RecvError));
+        t.join().unwrap();
+    }
+}

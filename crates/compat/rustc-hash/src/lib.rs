@@ -1,0 +1,127 @@
+//! Offline stand-in for the `rustc-hash` crate (API-compatible subset).
+//!
+//! The container building this workspace has no registry access, so the
+//! handful of external crates the workspace relies on are vendored as
+//! small, dependency-free reimplementations under `crates/compat/`. This
+//! one provides `FxHashMap`/`FxHashSet`: `std` collections behind a fast,
+//! non-cryptographic, DoS-irrelevant hasher for interior (trusted) keys.
+//!
+//! The mixing function is a Wang/xorshift-multiply style finalizer over
+//! 8-byte chunks; it is not the upstream polynomial but has the same
+//! contract: cheap, deterministic within a process, well-distributed for
+//! small integer keys (node ids, query ids, slice ids).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+const MULT: u64 = 0xff51_afd7_ed55_8ccd;
+
+/// Fast multiply-xor hasher for trusted in-process keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        let mut x = self.state ^ word.wrapping_add(SEED);
+        x = x.wrapping_mul(MULT);
+        x ^= x >> 33;
+        self.state = x;
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Tag the tail with its length so "a" and "a\0" differ.
+            word[7] = rest.len() as u8 | 0x80;
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        assert_eq!(hash_of(b"desis"), hash_of(b"desis"));
+        assert_ne!(hash_of(b"desis"), hash_of(b"sised"));
+        assert_ne!(hash_of(b"a"), hash_of(b"a\0"));
+    }
+
+    #[test]
+    fn small_ints_spread_over_high_bits() {
+        // Bucket selection uses the high bits in hashbrown; make sure
+        // consecutive small keys do not collapse there.
+        let mut high: HashSet<u64> = HashSet::default();
+        for key in 0u64..256 {
+            let mut h = FxHasher::default();
+            h.write_u64(key);
+            high.insert(h.finish() >> 56);
+        }
+        assert!(high.len() > 64, "only {} distinct high bytes", high.len());
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+}

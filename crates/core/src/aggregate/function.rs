@@ -39,10 +39,11 @@ pub enum AggFunction {
 
 impl AggFunction {
     /// Validates the function definition (quantile levels must lie in
-    /// the open interval `(0, 1)`).
+    /// the closed interval `[0, 1]`: `quantile(0)` is the minimum,
+    /// `quantile(1)` the maximum).
     pub fn validate(&self) -> Result<(), DesisError> {
         if let AggFunction::Quantile(q) = *self {
-            if !(q > 0.0 && q < 1.0) {
+            if !(0.0..=1.0).contains(&q) {
                 return Err(DesisError::InvalidQuantile(q));
             }
         }
@@ -150,9 +151,11 @@ mod tests {
     #[test]
     fn quantile_validation() {
         assert!(AggFunction::Quantile(0.5).validate().is_ok());
-        assert!(AggFunction::Quantile(0.0).validate().is_err());
-        assert!(AggFunction::Quantile(1.0).validate().is_err());
+        assert!(AggFunction::Quantile(0.0).validate().is_ok());
+        assert!(AggFunction::Quantile(1.0).validate().is_ok());
         assert!(AggFunction::Quantile(-0.1).validate().is_err());
+        assert!(AggFunction::Quantile(1.1).validate().is_err());
+        assert!(AggFunction::Quantile(f64::NAN).validate().is_err());
         assert!(AggFunction::Median.validate().is_ok());
     }
 

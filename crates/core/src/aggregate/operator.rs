@@ -260,8 +260,14 @@ impl OperatorState {
                 }
             },
             (
-                OperatorState::NSort { values: a, sorted: sa },
-                OperatorState::NSort { values: b, sorted: sb },
+                OperatorState::NSort {
+                    values: a,
+                    sorted: sa,
+                },
+                OperatorState::NSort {
+                    values: b,
+                    sorted: sb,
+                },
             ) => {
                 if *sa && *sb {
                     // Linear merge of two sorted runs.

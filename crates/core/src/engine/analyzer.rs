@@ -233,10 +233,12 @@ mod tests {
             .analyze(queries.clone())
             .unwrap();
         assert_eq!(pf.len(), 1);
-        let pfm =
-            QueryAnalyzer::new(SharingPolicy::PerFunctionAndMeasure, Deployment::Centralized)
-                .analyze(queries)
-                .unwrap();
+        let pfm = QueryAnalyzer::new(
+            SharingPolicy::PerFunctionAndMeasure,
+            Deployment::Centralized,
+        )
+        .analyze(queries)
+        .unwrap();
         assert_eq!(pfm.len(), 2);
     }
 
@@ -284,7 +286,7 @@ mod tests {
     }
 
     #[test]
-    fn centralized_shares_count_and_time(){
+    fn centralized_shares_count_and_time() {
         let queries = vec![
             tumbling(1, AggFunction::Sum),
             Query::new(

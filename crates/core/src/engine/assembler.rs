@@ -8,6 +8,8 @@
 //! window are garbage collected using the slicer's low watermark.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 use rustc_hash::FxHashMap;
 
@@ -15,6 +17,7 @@ use crate::aggregate::{AggFunction, OperatorBundle};
 use crate::engine::group::{QueryGroup, SelectionId};
 use crate::engine::slice::{SealedSlice, SliceId, WindowEnd};
 use crate::event::Key;
+use crate::obs::{LogHistogram, MetricsRegistry};
 use crate::query::{QueryId, QueryResult};
 
 /// Slice partial retained by the assembler.
@@ -39,11 +42,23 @@ pub struct Assembler {
     /// Number of results emitted (paper: result materialization dominates
     /// beyond 10k queries, Figure 13a).
     results_emitted: u64,
+    /// Slice-partial merge operations performed while assembling windows.
+    merges: u64,
+    /// Observability registry receiving per-query result latencies.
+    registry: Arc<MetricsRegistry>,
+    /// Cached per-query latency histogram handles
+    /// (`engine.result_latency_us.q<id>`).
+    latency: FxHashMap<QueryId, Arc<LogHistogram>>,
 }
 
 impl Assembler {
-    /// Creates an assembler for `group`.
+    /// Creates an assembler for `group` with a private metrics registry.
     pub fn new(group: &QueryGroup) -> Self {
+        Self::with_registry(group, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates an assembler publishing into a shared `registry`.
+    pub fn with_registry(group: &QueryGroup, registry: Arc<MetricsRegistry>) -> Self {
         let queries = group
             .queries
             .iter()
@@ -61,6 +76,9 @@ impl Assembler {
             queries,
             slices: VecDeque::new(),
             results_emitted: 0,
+            merges: 0,
+            registry,
+            latency: FxHashMap::default(),
         }
     }
 
@@ -72,6 +90,16 @@ impl Assembler {
     /// Total results emitted so far.
     pub fn results_emitted(&self) -> u64 {
         self.results_emitted
+    }
+
+    /// Total slice-partial merge operations performed so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// The registry receiving this assembler's latency histograms.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Stops finalizing windows for `query` (runtime removal, Section
@@ -125,6 +153,7 @@ impl Assembler {
         let Some(info) = self.queries.get(&end.query).cloned() else {
             return;
         };
+        let started = Instant::now();
         let sel = info.selection as usize;
         let cache_key = (info.selection, end.first_slice, end.last_slice);
         if let std::collections::hash_map::Entry::Vacant(e) = merge_cache.entry(cache_key) {
@@ -135,7 +164,10 @@ impl Assembler {
                 }
                 for (key, bundle) in &stored.data.per_selection[sel] {
                     match merged.get_mut(key) {
-                        Some(b) => b.merge(bundle),
+                        Some(b) => {
+                            b.merge(bundle);
+                            self.merges += 1;
+                        }
                         None => {
                             merged.insert(*key, bundle.clone());
                         }
@@ -156,6 +188,22 @@ impl Assembler {
                 values,
             });
             self.results_emitted += 1;
+        }
+        self.latency_histogram(end.query)
+            .record_secs(started.elapsed().as_secs_f64());
+    }
+
+    /// The result-latency histogram of one query, created on first use.
+    fn latency_histogram(&mut self, query: QueryId) -> Arc<LogHistogram> {
+        match self.latency.get(&query) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = self
+                    .registry
+                    .histogram(&format!("engine.result_latency_us.q{query}"));
+                self.latency.insert(query, Arc::clone(&h));
+                h
+            }
         }
     }
 
@@ -178,10 +226,10 @@ impl Assembler {
 mod tests {
     use super::*;
     use crate::engine::analyzer::QueryAnalyzer;
-    use crate::time::Timestamp;
     use crate::engine::slicer::GroupSlicer;
     use crate::event::Event;
     use crate::query::Query;
+    use crate::time::Timestamp;
     use crate::window::WindowSpec;
 
     /// End-to-end slicer + assembler over one group.
@@ -335,10 +383,18 @@ mod tests {
     #[test]
     fn disjoint_selections_produce_individual_results() {
         use crate::predicate::Predicate;
-        let fast = Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Count)
-            .filtered(Predicate::ValueAbove(80.0));
-        let slow = Query::new(2, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Count)
-            .filtered(Predicate::ValueBelow(25.0));
+        let fast = Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Count,
+        )
+        .filtered(Predicate::ValueAbove(80.0));
+        let slow = Query::new(
+            2,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Count,
+        )
+        .filtered(Predicate::ValueBelow(25.0));
         let events = vec![
             Event::new(0, 0, 90.0),
             Event::new(10, 0, 10.0),

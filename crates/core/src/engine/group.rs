@@ -246,7 +246,11 @@ mod tests {
     #[test]
     fn count_windows_classify_root_raw() {
         let c = WindowSpec::tumbling_count(100).unwrap();
-        let g = QueryGroup::build(0, vec![(q(1, c, AggFunction::Sum), 0)], vec![Predicate::True]);
+        let g = QueryGroup::build(
+            0,
+            vec![(q(1, c, AggFunction::Sum), 0)],
+            vec![Predicate::True],
+        );
         assert_eq!(g.execution, GroupExecution::RootRaw);
         assert_eq!(g.count_queries().len(), 1);
     }

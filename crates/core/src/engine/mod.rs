@@ -21,9 +21,12 @@ pub use reorder::ReorderBuffer;
 pub use slice::{SealedSlice, SessionGap, SliceData, SliceId, WindowEnd};
 pub use slicer::GroupSlicer;
 
+use std::sync::Arc;
+
 use crate::error::DesisError;
 use crate::event::Event;
 use crate::metrics::EngineMetrics;
+use crate::obs::MetricsRegistry;
 use crate::query::{Query, QueryId, QueryResult};
 use crate::time::Timestamp;
 
@@ -59,6 +62,7 @@ pub struct AggregationEngine {
     scratch: Vec<SealedSlice>,
     results: Vec<QueryResult>,
     next_group_id: GroupId,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl AggregationEngine {
@@ -68,16 +72,24 @@ impl AggregationEngine {
     }
 
     /// Builds an engine with an explicit sharing policy / deployment.
-    pub fn with_analyzer(
+    pub fn with_analyzer(queries: Vec<Query>, analyzer: QueryAnalyzer) -> Result<Self, DesisError> {
+        Self::with_registry(queries, analyzer, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Builds an engine publishing observability into a shared `registry`
+    /// (per-query result-latency histograms, cumulative `engine.*`
+    /// counters on [`AggregationEngine::metrics`]).
+    pub fn with_registry(
         queries: Vec<Query>,
         analyzer: QueryAnalyzer,
+        registry: Arc<MetricsRegistry>,
     ) -> Result<Self, DesisError> {
         let groups = analyzer.analyze(queries)?;
         let next_group_id = groups.len() as GroupId;
         let pipelines = groups
             .into_iter()
             .map(|g| Pipeline {
-                assembler: Assembler::new(&g),
+                assembler: Assembler::with_registry(&g, Arc::clone(&registry)),
                 slicer: GroupSlicer::new(g),
             })
             .collect();
@@ -87,7 +99,13 @@ impl AggregationEngine {
             scratch: Vec::new(),
             results: Vec::new(),
             next_group_id,
+            registry,
         })
+    }
+
+    /// The engine's observability registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Number of query-groups.
@@ -145,7 +163,7 @@ impl AggregationEngine {
         group.id = self.next_group_id;
         self.next_group_id += 1;
         self.pipelines.push(Pipeline {
-            assembler: Assembler::new(&group),
+            assembler: Assembler::with_registry(&group, Arc::clone(&self.registry)),
             slicer: GroupSlicer::new(group),
         });
         Ok(())
@@ -166,13 +184,17 @@ impl AggregationEngine {
         Err(DesisError::UnknownQuery(id))
     }
 
-    /// Aggregated metrics over all query-groups.
+    /// Aggregated metrics over all query-groups. The snapshot is also
+    /// published into the engine's registry as cumulative `engine.*`
+    /// counters.
     pub fn metrics(&self) -> EngineMetrics {
         let mut m = EngineMetrics::default();
         for p in &self.pipelines {
             m.absorb(p.slicer.metrics());
             m.results += p.assembler.results_emitted();
+            m.merges += p.assembler.merges();
         }
+        m.publish(&self.registry, "engine");
         m
     }
 
@@ -215,11 +237,14 @@ mod tests {
 
     #[test]
     fn add_query_at_runtime() {
-        let mut engine =
-            AggregationEngine::new(vec![tumbling(1, 100, AggFunction::Sum)]).unwrap();
+        let mut engine = AggregationEngine::new(vec![tumbling(1, 100, AggFunction::Sum)]).unwrap();
         engine.on_event(&Event::new(0, 0, 1.0));
-        engine.add_query(tumbling(2, 50, AggFunction::Count)).unwrap();
-        assert!(engine.add_query(tumbling(2, 50, AggFunction::Count)).is_err());
+        engine
+            .add_query(tumbling(2, 50, AggFunction::Count))
+            .unwrap();
+        assert!(engine
+            .add_query(tumbling(2, 50, AggFunction::Count))
+            .is_err());
         engine.on_event(&Event::new(10, 0, 2.0));
         engine.on_watermark(100);
         let results = engine.drain_results();

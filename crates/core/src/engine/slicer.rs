@@ -1086,7 +1086,9 @@ mod tests {
         let ends: Vec<_> = out.iter().flat_map(|sl| &sl.ends).collect();
         assert_eq!(ends.len(), 3);
         assert_eq!(
-            ends.iter().map(|e| (e.start_ts, e.end_ts)).collect::<Vec<_>>(),
+            ends.iter()
+                .map(|e| (e.start_ts, e.end_ts))
+                .collect::<Vec<_>>(),
             vec![(0, 4), (2, 6), (4, 8)]
         );
         // Overlapping count windows share slices: [2,6) spans the slices

@@ -11,7 +11,7 @@ pub enum DesisError {
     InvalidQuery(String),
     /// A query id was not known to the engine.
     UnknownQuery(u64),
-    /// A quantile level outside `(0, 1)` was requested.
+    /// A quantile level outside `[0, 1]` was requested.
     InvalidQuantile(f64),
     /// The engine was asked to do something unsupported in its current
     /// deployment role (e.g. terminate count windows on a local node).
@@ -25,7 +25,7 @@ impl fmt::Display for DesisError {
             DesisError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             DesisError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
             DesisError::InvalidQuantile(q) => {
-                write!(f, "quantile level {q} outside the open interval (0, 1)")
+                write!(f, "quantile level {q} outside the interval [0, 1]")
             }
             DesisError::UnsupportedInRole(msg) => {
                 write!(f, "unsupported in this node role: {msg}")

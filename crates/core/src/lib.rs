@@ -64,6 +64,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod metrics;
+pub mod obs;
 pub mod predicate;
 pub mod query;
 pub mod time;
@@ -82,6 +83,9 @@ pub mod prelude {
     pub use crate::error::DesisError;
     pub use crate::event::{Event, Key, Marker, MarkerKind, Watermark};
     pub use crate::metrics::EngineMetrics;
+    pub use crate::obs::{
+        Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot,
+    };
     pub use crate::predicate::Predicate;
     pub use crate::query::{Query, QueryId, QueryResult};
     pub use crate::time::{DurationMs, Timestamp, MINUTE, SECOND};

@@ -3,6 +3,16 @@
 //! These counters back the paper's evaluation metrics: the number of
 //! executed operator calculations (Figure 9b/9d/9f), the number of slices
 //! produced (Figure 8b/8d), events processed, and results emitted.
+//!
+//! [`EngineMetrics`] is the *snapshot* type of the engine-side counters:
+//! single-threaded components (slicers, the naive baselines) accumulate
+//! plain fields on the hot path, and snapshots are summed with
+//! [`EngineMetrics::absorb`] and published into the unified
+//! [`MetricsRegistry`](crate::obs::MetricsRegistry) with
+//! [`EngineMetrics::publish`] — so one JSON dump covers engine, network,
+//! and latency instruments alike.
+
+use crate::obs::MetricsRegistry;
 
 /// Plain (non-atomic) counters owned by a single-threaded engine instance.
 /// Decentralized deployments aggregate one `EngineMetrics` per node.
@@ -18,6 +28,8 @@ pub struct EngineMetrics {
     pub results: u64,
     /// Windows terminated.
     pub windows_closed: u64,
+    /// Slice-partial merge operations performed during window assembly.
+    pub merges: u64,
 }
 
 impl EngineMetrics {
@@ -34,6 +46,44 @@ impl EngineMetrics {
         self.slices += other.slices;
         self.results += other.results;
         self.windows_closed += other.windows_closed;
+        self.merges += other.merges;
+    }
+
+    /// Publishes the snapshot into `registry` under `prefix` (e.g.
+    /// `"engine"` registers `engine.events`, `engine.calculations`, ...).
+    ///
+    /// Registry counters are raised to the snapshot values, so
+    /// republishing a growing cumulative snapshot is idempotent.
+    pub fn publish(&self, registry: &MetricsRegistry, prefix: &str) {
+        for (field, value) in self.fields() {
+            registry
+                .counter(&format!("{prefix}.{field}"))
+                .raise_to(value);
+        }
+    }
+
+    fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("events", self.events),
+            ("calculations", self.calculations),
+            ("slices", self.slices),
+            ("results", self.results),
+            ("windows_closed", self.windows_closed),
+            ("merges", self.merges),
+        ]
+    }
+
+    /// Serializes the snapshot as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (field, value)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{field}\":{value}"));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -49,6 +99,7 @@ mod tests {
             slices: 3,
             results: 4,
             windows_closed: 5,
+            merges: 6,
         };
         let b = a.clone();
         a.absorb(&b);
@@ -57,6 +108,7 @@ mod tests {
         assert_eq!(a.slices, 6);
         assert_eq!(a.results, 8);
         assert_eq!(a.windows_closed, 10);
+        assert_eq!(a.merges, 12);
     }
 
     #[test]
@@ -67,5 +119,33 @@ mod tests {
         };
         a.reset();
         assert_eq!(a, EngineMetrics::default());
+    }
+
+    #[test]
+    fn publish_is_idempotent_per_value() {
+        let registry = MetricsRegistry::new();
+        let m = EngineMetrics {
+            events: 10,
+            results: 3,
+            ..Default::default()
+        };
+        m.publish(&registry, "engine");
+        m.publish(&registry, "engine");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["engine.events"], 10);
+        assert_eq!(snap.counters["engine.results"], 3);
+    }
+
+    #[test]
+    fn json_has_all_fields() {
+        let m = EngineMetrics {
+            events: 7,
+            merges: 2,
+            ..Default::default()
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"events\":7"), "{json}");
+        assert!(json.contains("\"merges\":2"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 }

@@ -1,0 +1,530 @@
+//! Unified observability: a lock-cheap metrics registry shared by the
+//! single-node engine, the decentralized substrate, and the benchmark
+//! harness.
+//!
+//! Three instrument kinds cover everything the paper's evaluation
+//! measures:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (events, bytes,
+//!   messages, calculations).
+//! * [`Gauge`] — a signed level that can move both ways (queue depths,
+//!   pending merge buffers).
+//! * [`LogHistogram`] — a fixed-bucket base-2 log-scale histogram for
+//!   latency-like values, reporting count/sum/max and estimated
+//!   p50/p95/p99 without unbounded sample storage.
+//!
+//! Handles are `Arc`s over atomics: after registration (the only place a
+//! lock is taken) updates are single relaxed atomic operations, so
+//! instruments are safe to hit from the hot path and from many threads.
+//! [`MetricsRegistry::snapshot`] freezes everything into a plain
+//! [`MetricsSnapshot`] that serializes to JSON with no external
+//! dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: one per power of two of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to at least `v` (for republishing cumulative
+    /// totals: calling twice with the same total is idempotent).
+    pub fn raise_to(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed level (queue depth, buffered element count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the level to at least `v` (high-water marks).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket base-2 log-scale histogram over `u64` values
+/// (typically microseconds).
+///
+/// Bucket `i` counts values `v` with `bucket_index(v) == i`, where bucket
+/// 0 holds `{0, 1}` and bucket `i` holds `[2^i, 2^(i+1))`. Quantiles are
+/// estimated as the upper edge of the bucket containing the rank, clamped
+/// to the observed maximum — a one-sided error of at most 2x, which is
+/// plenty for latency reporting across the orders of magnitude the paper
+/// spans.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (u64::BITS - 1 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration given in seconds, as integer microseconds.
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs * 1e6).max(0.0) as u64);
+    }
+
+    /// Merges a snapshot (e.g. from another registry) into this
+    /// histogram.
+    pub fn merge(&self, snap: &HistogramSnapshot) {
+        for (i, c) in snap.buckets.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+            if *c > 0 {
+                self.buckets[i].fetch_add(*c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
+    /// Freezes the histogram into plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram data with quantile estimation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in `0..=1`): the upper edge of the bucket
+    /// holding the rank, clamped to the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":{{",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+        );
+        let mut first = true;
+        for (i, c) in self.buckets.iter().enumerate() {
+            if *c > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{i}\":{c}");
+            }
+        }
+        out.push_str("}}");
+    }
+}
+
+/// A frozen view of a whole registry, serializable to JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no instruments at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum, max, mean, p50, p95, p99, buckets}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", json_escape(name));
+            h.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string for use inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A named collection of instruments.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name under a short
+/// lock; the returned `Arc` handles are lock-free to update. Names use
+/// dotted paths, e.g. `net.node3.egress_bytes`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry. Long-running harnesses (the
+    /// `experiments` binary) publish per-run snapshots here so one final
+    /// dump covers everything that ran in the process.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        // A panic while holding the registration lock cannot corrupt a
+        // BTreeMap of Arcs; keep serving metrics rather than poisoning.
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the counter with `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = Self::lock(&self.counters);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Returns the gauge with `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = Self::lock(&self.gauges);
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Returns the histogram with `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        let mut map = Self::lock(&self.histograms);
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(LogHistogram::default());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Freezes every instrument into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Self::lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: Self::lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: Self::lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Merges a snapshot into this registry under a name prefix:
+    /// counters add, gauges keep their maximum, histograms merge
+    /// bucket-wise. Used to publish per-run registries into
+    /// [`MetricsRegistry::global`].
+    pub fn merge_snapshot(&self, prefix: &str, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(&format!("{prefix}{name}")).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(&format!("{prefix}{name}")).set_max(*v);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(&format!("{prefix}{name}")).merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.b");
+        c.inc();
+        c.add(4);
+        c.raise_to(3); // below current: no-op
+        assert_eq!(c.get(), 5);
+        c.raise_to(10);
+        assert_eq!(c.get(), 10);
+        // Same name returns the same instrument.
+        assert_eq!(reg.counter("a.b").get(), 10);
+
+        let g = reg.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LogHistogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5_050);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean(), 50.5);
+        // p50 of 1..=100 is in bucket [32,64): estimate = 63.
+        assert!(s.p50() >= 50 && s.p50() <= 64, "p50 = {}", s.p50());
+        // p99 and p100 clamp to the observed max.
+        assert!(s.p99() >= 99 && s.p99() <= 100, "p99 = {}", s.p99());
+        assert_eq!(s.quantile(1.0), 100);
+        // Quantiles are monotone in q.
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+    }
+
+    #[test]
+    fn histogram_bucket_index_edges() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 0);
+        assert_eq!(LogHistogram::bucket_index(2), 1);
+        assert_eq!(LogHistogram::bucket_index(3), 1);
+        assert_eq!(LogHistogram::bucket_index(4), 2);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("events").add(42);
+        reg.gauge("queue").set(-3);
+        reg.histogram("lat_us").record(1_000);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"events\":42"), "{json}");
+        assert!(json.contains("\"queue\":-3"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+    }
+
+    #[test]
+    fn merge_snapshot_prefixes_and_accumulates() {
+        let run = MetricsRegistry::new();
+        run.counter("bytes").add(10);
+        run.histogram("lat").record(8);
+        let global = MetricsRegistry::new();
+        global.merge_snapshot("run1.", &run.snapshot());
+        global.merge_snapshot("run1.", &run.snapshot());
+        let snap = global.snapshot();
+        assert_eq!(snap.counters["run1.bytes"], 20);
+        assert_eq!(snap.histograms["run1.lat"].count, 2);
+        assert_eq!(snap.histograms["run1.lat"].max, 8);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("plain.name"), "plain.name");
+    }
+
+    #[test]
+    fn instruments_are_thread_safe() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("shared");
+        let h = reg.histogram("shared_lat");
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    c.inc();
+                    h.record(i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4_000);
+        assert_eq!(h.snapshot().count, 4_000);
+    }
+}

@@ -109,11 +109,9 @@ mod tests {
         let w = WindowSpec::tumbling_time(1000).unwrap();
         assert!(Query::new(1, w, AggFunction::Sum).validate().is_ok());
         assert!(Query::with_functions(1, w, vec![]).validate().is_err());
-        assert!(
-            Query::new(1, w, AggFunction::Quantile(2.0))
-                .validate()
-                .is_err()
-        );
+        assert!(Query::new(1, w, AggFunction::Quantile(2.0))
+            .validate()
+            .is_err());
     }
 
     #[test]

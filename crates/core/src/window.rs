@@ -11,9 +11,7 @@
 
 use crate::error::DesisError;
 use crate::event::MarkerChannel;
-use crate::time::{
-    next_multiple_after, next_progression_after, DurationMs, EventCount, Timestamp,
-};
+use crate::time::{next_multiple_after, next_progression_after, DurationMs, EventCount, Timestamp};
 
 /// How the extent of a window is measured (Section 2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -379,11 +379,7 @@ mod tests {
             ..Default::default()
         };
         let events = take(cfg, 1_000);
-        let max_delta = events
-            .windows(2)
-            .map(|p| p[1].ts - p[0].ts)
-            .max()
-            .unwrap();
+        let max_delta = events.windows(2).map(|p| p[1].ts - p[0].ts).max().unwrap();
         // Every ~100 events there is a 400 ms silence.
         assert!(max_delta >= 400, "no gap found (max delta {max_delta})");
     }

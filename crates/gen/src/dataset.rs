@@ -23,10 +23,7 @@ const RECORD: usize = 25;
 const HEADER: u64 = MAGIC.len() as u64 + 8;
 
 /// Writes an event trace to `path`; returns the number of records.
-pub fn write_dataset(
-    path: &Path,
-    events: impl IntoIterator<Item = Event>,
-) -> io::Result<u64> {
+pub fn write_dataset(path: &Path, events: impl IntoIterator<Item = Event>) -> io::Result<u64> {
     let mut out = BufWriter::new(File::create(path)?);
     out.write_all(&MAGIC)?;
     out.write_all(&0u64.to_le_bytes())?; // patched after writing
@@ -298,8 +295,12 @@ mod tests {
             .map(|r| r.unwrap())
             .collect();
         assert_ne!(
-            a.iter().map(|e| (e.key, e.value.to_bits())).collect::<Vec<_>>(),
-            b.iter().map(|e| (e.key, e.value.to_bits())).collect::<Vec<_>>()
+            a.iter()
+                .map(|e| (e.key, e.value.to_bits()))
+                .collect::<Vec<_>>(),
+            b.iter()
+                .map(|e| (e.key, e.value.to_bits()))
+                .collect::<Vec<_>>()
         );
         std::fs::remove_file(path).ok();
     }
@@ -325,7 +326,12 @@ mod tests {
         )];
         let mut engine = AggregationEngine::new(queries).unwrap();
         let mut last = 0;
-        for ev in Dataset::open(&path).unwrap().replay_from(42, 0).unwrap().take(3_000) {
+        for ev in Dataset::open(&path)
+            .unwrap()
+            .replay_from(42, 0)
+            .unwrap()
+            .take(3_000)
+        {
             let ev = ev.unwrap();
             engine.on_event(&ev);
             last = ev.ts;

@@ -124,7 +124,9 @@ impl QueryGenerator {
 
     /// Generates the configured number of queries.
     pub fn generate(&mut self) -> Vec<Query> {
-        (0..self.cfg.queries).map(|i| self.generate_one(i)).collect()
+        (0..self.cfg.queries)
+            .map(|i| self.generate_one(i))
+            .collect()
     }
 
     fn generate_one(&mut self, i: usize) -> Query {

@@ -18,12 +18,13 @@ use rustc_hash::FxHashMap;
 use desis_core::error::DesisError;
 use desis_core::event::Event;
 use desis_core::metrics::EngineMetrics;
+use desis_core::obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 use desis_core::query::{Query, QueryResult};
 use desis_core::time::{DurationMs, Timestamp};
 use desis_core::window::WindowKind;
 
 use crate::codec::CodecKind;
-use crate::link::{link, LinkReceiver, LinkSender, LinkStats};
+use crate::link::{link_with_stats, LinkReceiver, LinkSender, LinkStats};
 use crate::message::Message;
 use crate::node::{analyze_for, DistributedSystem, IntermediateWorker, LocalWorker, RootWorker};
 use crate::topology::{NodeId, NodeRole, Topology};
@@ -168,6 +169,14 @@ impl LatencyTable {
     }
 }
 
+/// Observability snapshot of one cluster run: per-node egress counters
+/// (`net.node{id}.egress_bytes` / `egress_msgs`), per-role ingress bytes
+/// and message counts by kind (`net.{role}.ingress_bytes`,
+/// `net.{role}.msgs.{tag}`), queue depths and merge stalls, summed local
+/// engine counters (`cluster.local_engine.*`), and the end-to-end result
+/// latency histogram (`cluster.result_latency_us`).
+pub type ClusterMetrics = MetricsSnapshot;
+
 /// Measurements of one cluster run.
 #[derive(Debug)]
 pub struct ClusterReport {
@@ -191,6 +200,8 @@ pub struct ClusterReport {
     pub lost_children: Vec<NodeId>,
     /// The topology, for per-role breakdowns.
     pub topology: Topology,
+    /// Unified observability snapshot of the run (see [`ClusterMetrics`]).
+    pub metrics: ClusterMetrics,
 }
 
 impl ClusterReport {
@@ -248,15 +259,57 @@ enum CompiledCommand {
     },
 }
 
+/// Ingress instrumentation of one pump loop (one per node role), writing
+/// into the run's [`MetricsRegistry`]: received bytes, message counts by
+/// kind, the high-water inbound queue depth, and undecodable frames.
+struct PumpObs {
+    ingress_bytes: Arc<Counter>,
+    msgs: [(&'static str, Arc<Counter>); 5],
+    other_msgs: Arc<Counter>,
+    queue_depth_max: Arc<Gauge>,
+    decode_errors: Arc<Counter>,
+}
+
+impl PumpObs {
+    fn new(registry: &MetricsRegistry, role: &str) -> Self {
+        let tag_counter = |tag: &str| registry.counter(&format!("net.{role}.msgs.{tag}"));
+        Self {
+            ingress_bytes: registry.counter(&format!("net.{role}.ingress_bytes")),
+            msgs: [
+                ("events", tag_counter("events")),
+                ("slice", tag_counter("slice")),
+                ("window-partials", tag_counter("window-partials")),
+                ("watermark", tag_counter("watermark")),
+                ("flush", tag_counter("flush")),
+            ],
+            other_msgs: tag_counter("other"),
+            queue_depth_max: registry.gauge(&format!("net.{role}.queue_depth_max")),
+            decode_errors: registry.counter(&format!("net.{role}.decode_errors")),
+        }
+    }
+
+    fn on_frame(&self, len: usize, tag: &str, queued: usize) {
+        self.ingress_bytes.add(len as u64);
+        match self.msgs.iter().find(|(t, _)| *t == tag) {
+            Some((_, c)) => c.inc(),
+            None => self.other_msgs.inc(),
+        }
+        self.queue_depth_max.set_max(queued as i64);
+    }
+}
+
 /// Pumps messages from children until every channel disconnects.
 ///
 /// Basic node fault tolerance (Section 3.2): a child that disconnects
 /// without sending `Flush` — a crashed or removed node — is flushed on its
 /// behalf so mergers waiting for its contributions do not stall; the lost
 /// node ids are returned so the run can report them ("Desis will remove
-/// this node from the cluster and inform users").
+/// this node from the cluster and inform users"). A child that sends an
+/// undecodable frame is treated the same way (and counted in
+/// `net.{role}.decode_errors`) instead of panicking the pump thread.
 fn pump_children(
     receivers: &[(NodeId, LinkReceiver)],
+    obs: &PumpObs,
     mut handler: impl FnMut(NodeId, Message),
 ) -> Vec<NodeId> {
     let mut sel = Select::new();
@@ -271,13 +324,25 @@ fn pump_children(
         let idx = op.index();
         let (child, receiver) = &receivers[idx];
         match op.recv(receiver.raw()) {
-            Ok(frame) => {
-                let msg = receiver.decode(&frame).expect("peer sent valid frame");
-                if matches!(msg, Message::Flush) {
-                    flushed[idx] = true;
+            Ok(frame) => match receiver.decode(&frame) {
+                Ok(msg) => {
+                    obs.on_frame(frame.len(), msg.tag(), receiver.raw().len());
+                    if matches!(msg, Message::Flush) {
+                        flushed[idx] = true;
+                    }
+                    handler(*child, msg);
                 }
-                handler(*child, msg);
-            }
+                Err(_) => {
+                    obs.decode_errors.inc();
+                    sel.remove(idx);
+                    open -= 1;
+                    if !flushed[idx] {
+                        flushed[idx] = true;
+                        lost.push(*child);
+                        handler(*child, Message::Flush);
+                    }
+                }
+            },
             Err(_) => {
                 sel.remove(idx);
                 open -= 1;
@@ -369,17 +434,30 @@ pub fn run_cluster(
     let topology = cfg.topology.clone();
     let n_leaves = locals.len();
 
-    // Create the uplink of every non-root node.
+    // Every run gets a fresh registry; the snapshot lands in the report
+    // and is merged into the process-global registry at the end.
+    let registry = Arc::new(MetricsRegistry::new());
+
+    // Create the uplink of every non-root node; the link counters live in
+    // the registry as `net.node{id}.egress_*`.
     let mut senders: FxHashMap<NodeId, LinkSender> = FxHashMap::default();
     let mut stats: Vec<(NodeId, Arc<LinkStats>)> = Vec::new();
     let mut receivers_by_parent: FxHashMap<NodeId, Vec<(NodeId, LinkReceiver)>> =
         FxHashMap::default();
     for node in 0..topology.len() as NodeId {
         if let Some(parent) = topology.parent(node) {
-            let (tx, rx, st) = link(codec, cfg.channel_capacity, cfg.bandwidth);
+            let (tx, rx, st) = link_with_stats(
+                codec,
+                cfg.channel_capacity,
+                cfg.bandwidth,
+                Arc::new(LinkStats::registered(&registry, node)),
+            );
             senders.insert(node, tx);
             stats.push((node, st));
-            receivers_by_parent.entry(parent).or_default().push((node, rx));
+            receivers_by_parent
+                .entry(parent)
+                .or_default()
+                .push((node, rx));
         }
     }
 
@@ -461,11 +539,22 @@ pub fn run_cluster(
             let system = cfg.system;
             let coverage = topology.leaves_below(node).len() as u32;
             let child_ids: Vec<NodeId> = receivers.iter().map(|(c, _)| *c).collect();
+            let obs = PumpObs::new(&registry, "intermediate");
+            let merge_pending_max = registry.gauge("net.intermediate.merge_pending_max");
+            let merge_stalls = registry.counter("net.intermediate.merge_stalls");
             scope.spawn(move || {
                 let mut worker =
                     IntermediateWorker::new(node, system, &groups, coverage, child_ids);
-                let _lost = pump_children(&receivers, |child, msg| {
+                let _lost = pump_children(&receivers, &obs, |child, msg| {
+                    let tag = msg.tag();
                     let _ = worker.on_message(child, msg, &mut uplink);
+                    let pending = worker.pending_merges();
+                    merge_pending_max.set_max(pending as i64);
+                    if tag == "watermark" && pending > 0 {
+                        // A watermark advanced but merges still wait for
+                        // sibling streams: the merger is stalled.
+                        merge_stalls.inc();
+                    }
                 });
             });
         }
@@ -481,9 +570,15 @@ pub fn run_cluster(
         let system = cfg.system;
         let child_ids: Vec<NodeId> = receivers.iter().map(|(c, _)| *c).collect();
         let script = Arc::clone(&compiled);
-        let root_handle = scope.spawn(move || {
-            let mut worker =
-                RootWorker::new(system, &groups_root, &queries, n_leaves, child_ids);
+        let root_obs = PumpObs::new(&registry, "root");
+        let root_merge_pending_max = registry.gauge("net.root.merge_pending_max");
+        let root_merge_stalls = registry.counter("net.root.merge_stalls");
+        let root_handle = scope.spawn(move || -> Result<_, DesisError> {
+            // If the root cannot even be built (e.g. the centralized
+            // baseline rejects a query), the error propagates instead of
+            // panicking: dropping the receivers closes the uplinks, which
+            // the other node threads observe as failed sends and exit.
+            let mut worker = RootWorker::new(system, &groups_root, &queries, n_leaves, child_ids)?;
             // Added groups are registered up front so their partials are
             // never dropped; removals apply once the watermark passes.
             for (_, cmd) in script.iter() {
@@ -500,8 +595,14 @@ pub fn run_cluster(
                 .collect();
             pending_removals.sort_unstable();
             let mut stamped: Vec<(QueryResult, Instant)> = Vec::new();
-            let lost = pump_children(&receivers, |child, msg| {
+            let lost = pump_children(&receivers, &root_obs, |child, msg| {
+                let tag = msg.tag();
                 worker.on_message(child, msg);
+                let pending = worker.pending_merges();
+                root_merge_pending_max.set_max(pending as i64);
+                if tag == "watermark" && pending > 0 {
+                    root_merge_stalls.inc();
+                }
                 while let Some((at, id)) = pending_removals.first().copied() {
                     if worker.watermark() < at {
                         break;
@@ -514,28 +615,35 @@ pub fn run_cluster(
                     stamped.push((r, now));
                 }
             });
-            (stamped, worker.raw_events_processed(), lost)
+            Ok((stamped, worker.raw_events_processed(), lost))
         });
 
-        let (stamped, root_raw_events, lost_children) = root_handle.join().expect("root thread");
+        let (stamped, root_raw_events, lost_children) = root_handle.join().expect("root thread")?;
         let wall = started.elapsed();
 
+        let latency_hist = registry.histogram("cluster.result_latency_us");
         let mut latencies_ms = Vec::with_capacity(stamped.len());
         let mut results = Vec::with_capacity(stamped.len());
         for (result, emitted) in stamped {
             if let Some(generated) = latency_table.lookup(result.window_end) {
                 if emitted > generated {
-                    latencies_ms.push(emitted.duration_since(generated).as_secs_f64() * 1e3);
+                    let ms = emitted.duration_since(generated).as_secs_f64() * 1e3;
+                    latency_hist.record_secs(ms / 1e3);
+                    latencies_ms.push(ms);
                 }
             }
             results.push(result);
         }
 
-        let bytes_by_node = stats
-            .iter()
-            .map(|(node, st)| (*node, st.bytes()))
-            .collect();
+        let bytes_by_node = stats.iter().map(|(node, st)| (*node, st.bytes())).collect();
         let local_metrics = local_metrics.lock().clone();
+        local_metrics.publish(&registry, "cluster.local_engine");
+        registry
+            .counter("net.root.raw_events")
+            .raise_to(root_raw_events);
+        let metrics = registry.snapshot();
+        MetricsRegistry::global()
+            .merge_snapshot(&format!("cluster.{}.", cfg.system.label()), &metrics);
         Ok(ClusterReport {
             results,
             wall,
@@ -546,6 +654,7 @@ pub fn run_cluster(
             root_raw_events,
             lost_children,
             topology,
+            metrics,
         })
     })
 }
@@ -558,7 +667,11 @@ mod tests {
     use desis_core::window::WindowSpec;
 
     fn avg_query(len: DurationMs) -> Query {
-        Query::new(1, WindowSpec::tumbling_time(len).unwrap(), AggFunction::Average)
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(len).unwrap(),
+            AggFunction::Average,
+        )
     }
 
     fn feed(n: u64, key_mod: u32, offset: u64) -> Vec<Event> {
@@ -580,7 +693,11 @@ mod tests {
     }
 
     /// Reference: single engine over the time-merged streams.
-    fn reference(queries: Vec<Query>, feeds: &[Vec<Event>], horizon: DurationMs) -> Vec<QueryResult> {
+    fn reference(
+        queries: Vec<Query>,
+        feeds: &[Vec<Event>],
+        horizon: DurationMs,
+    ) -> Vec<QueryResult> {
         let mut all: Vec<Event> = feeds.iter().flatten().copied().collect();
         all.sort_by_key(|e| e.ts);
         let mut engine = desis_core::engine::AggregationEngine::new(queries).unwrap();
@@ -611,10 +728,7 @@ mod tests {
         );
         let report = run_cluster(cfg, feeds.clone()).unwrap();
         assert_eq!(report.events, 1_000);
-        assert_eq!(
-            sorted(report.results),
-            reference(queries, &feeds, 2_000)
-        );
+        assert_eq!(sorted(report.results), reference(queries, &feeds, 2_000));
     }
 
     #[test]
@@ -781,10 +895,7 @@ mod tests {
             Topology::three_tier(1, 2),
         );
         let report = run_cluster(cfg, feeds.clone()).unwrap();
-        assert_eq!(
-            sorted(report.results),
-            reference(queries, &feeds, 2_000)
-        );
+        assert_eq!(sorted(report.results), reference(queries, &feeds, 2_000));
         // No raw events at the root: sorted slice batches only.
         assert_eq!(report.root_raw_events, 0);
     }
@@ -804,10 +915,7 @@ mod tests {
         );
         let report = run_cluster(cfg, feeds.clone()).unwrap();
         assert_eq!(report.root_raw_events, 1_000);
-        assert_eq!(
-            sorted(report.results),
-            reference(queries, &feeds, 2_000)
-        );
+        assert_eq!(sorted(report.results), reference(queries, &feeds, 2_000));
     }
 
     #[test]
@@ -841,13 +949,53 @@ mod tests {
     }
 
     #[test]
+    fn report_metrics_cover_nodes_messages_and_latency() {
+        let queries = vec![avg_query(100)];
+        let cfg = ClusterConfig::new(DistributedSystem::Desis, queries, Topology::star(2));
+        let report = run_cluster(cfg, vec![feed(2_000, 1, 0), feed(2_000, 1, 5)]).unwrap();
+        let m = &report.metrics;
+        // Per-node egress counters agree with the report's byte map.
+        for (node, bytes) in &report.bytes_by_node {
+            assert_eq!(m.counters[&format!("net.node{node}.egress_bytes")], *bytes);
+            assert!(m.counters[&format!("net.node{node}.egress_msgs")] > 0);
+        }
+        // Role-level ingress accounting saw the slices and watermarks.
+        assert!(m.counters["net.root.ingress_bytes"] > 0);
+        assert!(m.counters["net.root.msgs.slice"] > 0);
+        assert!(m.counters["net.root.msgs.watermark"] > 0);
+        assert_eq!(m.counters["net.root.decode_errors"], 0);
+        // Local engine counters were published under the cluster prefix.
+        assert_eq!(m.counters["cluster.local_engine.events"], report.events);
+        // The latency histogram matches the sampled latency vector.
+        let hist = &m.histograms["cluster.result_latency_us"];
+        assert_eq!(hist.count, report.latencies_ms.len() as u64);
+        assert!(m.to_json().contains("cluster.result_latency_us"));
+    }
+
+    #[test]
+    fn undecodable_frame_marks_child_lost() {
+        let (raw_tx, rx) = crate::link::raw_link(CodecKind::Binary, 8);
+        raw_tx.send(vec![0xFF, 0x13, 0x37]).unwrap();
+        drop(raw_tx);
+        let registry = MetricsRegistry::new();
+        let obs = PumpObs::new(&registry, "root");
+        let receivers = vec![(3, rx)];
+        let mut flushes = 0;
+        let lost = pump_children(&receivers, &obs, |child, msg| {
+            assert_eq!(child, 3);
+            if matches!(msg, Message::Flush) {
+                flushes += 1;
+            }
+        });
+        assert_eq!(lost, vec![3]);
+        assert_eq!(flushes, 1, "lost child must be flushed exactly once");
+        assert_eq!(registry.snapshot().counters["net.root.decode_errors"], 1);
+    }
+
+    #[test]
     fn latency_is_measured() {
         let queries = vec![avg_query(100)];
-        let cfg = ClusterConfig::new(
-            DistributedSystem::Desis,
-            queries,
-            Topology::star(2),
-        );
+        let cfg = ClusterConfig::new(DistributedSystem::Desis, queries, Topology::star(2));
         let report = run_cluster(cfg, vec![feed(2_000, 1, 0), feed(2_000, 1, 5)]).unwrap();
         assert!(!report.latencies_ms.is_empty());
         assert!(report.mean_latency_ms().unwrap() >= 0.0);
@@ -891,19 +1039,43 @@ mod debug_bytes {
     #[ignore]
     fn print_bytes() {
         let queries = vec![
-            Query::new(1, WindowSpec::tumbling_time(500).unwrap(), AggFunction::Average),
-            Query::new(2, WindowSpec::sliding_time(1_000, 250).unwrap(), AggFunction::Average),
-            Query::new(3, WindowSpec::sliding_time(2_000, 500).unwrap(), AggFunction::Average),
+            Query::new(
+                1,
+                WindowSpec::tumbling_time(500).unwrap(),
+                AggFunction::Average,
+            ),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(1_000, 250).unwrap(),
+                AggFunction::Average,
+            ),
+            Query::new(
+                3,
+                WindowSpec::sliding_time(2_000, 500).unwrap(),
+                AggFunction::Average,
+            ),
         ];
         let feed = |offset: u64| -> Vec<Event> {
-            (0..1_000u64).map(|i| Event::new(i * 10 + offset, (i % 5) as u32, i as f64)).collect()
+            (0..1_000u64)
+                .map(|i| Event::new(i * 10 + offset, (i % 5) as u32, i as f64))
+                .collect()
         };
         let topo = Topology::three_tier(1, 2);
         for sys in [DistributedSystem::Desis, DistributedSystem::Disco] {
-            let r = run_cluster(ClusterConfig::new(sys, queries.clone(), topo.clone()), vec![feed(0), feed(5)]).unwrap();
+            let r = run_cluster(
+                ClusterConfig::new(sys, queries.clone(), topo.clone()),
+                vec![feed(0), feed(5)],
+            )
+            .unwrap();
             let mut by: Vec<_> = r.bytes_by_node.iter().collect();
             by.sort();
-            println!("{}: total={} per-node={:?} results={}", sys.label(), r.total_bytes(), by, r.results.len());
+            println!(
+                "{}: total={} per-node={:?} results={}",
+                sys.label(),
+                r.total_bytes(),
+                by,
+                r.results.len()
+            );
         }
     }
 }
@@ -997,6 +1169,7 @@ mod runtime_reconfig_tests {
     /// the loss.
     #[test]
     fn lost_child_is_flushed_and_reported() {
+        use crate::link::link;
         use crate::node::RootWorker;
         let queries = vec![Query::new(
             1,
@@ -1033,16 +1206,13 @@ mod runtime_reconfig_tests {
         }));
         drop(tx_b); // crash: no Flush
 
-        let mut worker = RootWorker::new(
-            DistributedSystem::Desis,
-            &groups,
-            &queries,
-            2,
-            vec![7, 9],
-        );
+        let mut worker =
+            RootWorker::new(DistributedSystem::Desis, &groups, &queries, 2, vec![7, 9]).unwrap();
         let mut results = Vec::new();
         let receivers = vec![(7, rx_a), (9, rx_b)];
-        let lost = pump_children(&receivers, |child, msg| {
+        let registry = MetricsRegistry::new();
+        let obs = PumpObs::new(&registry, "root");
+        let lost = pump_children(&receivers, &obs, |child, msg| {
             worker.on_message(child, msg);
             results.extend(worker.drain_results());
         });
@@ -1139,7 +1309,9 @@ mod shard_tests {
         let mut expected = engine.drain_results();
 
         let feeds = shard_by_key(&events, 4);
-        assert!(feeds.iter().all(|f| f.windows(2).all(|p| p[0].ts <= p[1].ts)));
+        assert!(feeds
+            .iter()
+            .all(|f| f.windows(2).all(|p| p[0].ts <= p[1].ts)));
         let cfg = ClusterConfig::new(DistributedSystem::Desis, queries, Topology::star(4));
         let report = run_cluster(cfg, feeds).unwrap();
         let mut actual = report.results;

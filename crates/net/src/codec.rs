@@ -322,7 +322,9 @@ fn get_slice_data<S: Source>(s: &mut S) -> Result<SliceData> {
     // Length fields come off the wire: bound allocations before trusting
     // them (a corrupted frame must fail, not exhaust memory).
     if selections > 1 << 12 {
-        return Err(CodecError(format!("implausible selection count {selections}")));
+        return Err(CodecError(format!(
+            "implausible selection count {selections}"
+        )));
     }
     let mut data = SliceData::new(selections);
     for sel in 0..selections {

@@ -57,7 +57,8 @@ pub mod topology;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::cluster::{
-        run_cluster, shard_by_key, ClusterCommand, ClusterConfig, ClusterReport, LatencyTable,
+        run_cluster, shard_by_key, ClusterCommand, ClusterConfig, ClusterMetrics, ClusterReport,
+        LatencyTable,
     };
     pub use crate::codec::CodecKind;
     pub use crate::message::{Message, WindowPartial};

@@ -8,31 +8,57 @@
 //! limiter models constrained links such as the Raspberry Pi cluster's 1G
 //! Ethernet (Figure 13).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, Sender};
+use desis_core::obs::{Counter, MetricsRegistry};
 
 use crate::codec::{CodecError, CodecKind};
 use crate::message::Message;
 
-/// Counters of one directed link.
-#[derive(Debug, Default)]
+/// Counters of one directed link, backed by the shared observability
+/// [`Counter`] type so they can live inside a [`MetricsRegistry`] and show
+/// up in metric snapshots without a separate accounting path.
+#[derive(Debug)]
 pub struct LinkStats {
-    bytes: AtomicU64,
-    messages: AtomicU64,
+    bytes: Arc<Counter>,
+    messages: Arc<Counter>,
+}
+
+impl Default for LinkStats {
+    fn default() -> Self {
+        Self {
+            bytes: Arc::new(Counter::default()),
+            messages: Arc::new(Counter::default()),
+        }
+    }
 }
 
 impl LinkStats {
+    /// Detached counters (not visible in any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters registered in `registry` as `net.node{id}.egress_bytes` /
+    /// `net.node{id}.egress_msgs`, so per-node uplink traffic appears in
+    /// registry snapshots (Figure 11's communication-cost metric).
+    pub fn registered(registry: &MetricsRegistry, node_id: u32) -> Self {
+        Self {
+            bytes: registry.counter(&format!("net.node{node_id}.egress_bytes")),
+            messages: registry.counter(&format!("net.node{node_id}.egress_msgs")),
+        }
+    }
+
     /// Total payload bytes sent over the link.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.get()
     }
 
     /// Total messages sent over the link.
     pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        self.messages.get()
     }
 }
 
@@ -93,8 +119,8 @@ impl LinkSender {
         if let Some(limiter) = &mut self.limiter {
             limiter.consume(frame.len());
         }
-        self.stats.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.add(frame.len() as u64);
+        self.stats.messages.inc();
         self.tx.send(frame).is_ok()
     }
 
@@ -130,14 +156,25 @@ impl LinkReceiver {
 }
 
 /// Creates a link with the given codec, queue capacity (messages), and
-/// optional bandwidth limit in bytes/second.
+/// optional bandwidth limit in bytes/second. Counters are detached; use
+/// [`link_with_stats`] to count into a registry.
 pub fn link(
     codec: CodecKind,
     capacity: usize,
     bandwidth: Option<u64>,
 ) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
+    link_with_stats(codec, capacity, bandwidth, Arc::new(LinkStats::default()))
+}
+
+/// Creates a link counting into caller-provided stats (e.g.
+/// [`LinkStats::registered`] counters living in a [`MetricsRegistry`]).
+pub fn link_with_stats(
+    codec: CodecKind,
+    capacity: usize,
+    bandwidth: Option<u64>,
+    stats: Arc<LinkStats>,
+) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
     let (tx, rx) = crossbeam_channel::bounded(capacity);
-    let stats = Arc::new(LinkStats::default());
     (
         LinkSender {
             tx,
@@ -148,6 +185,14 @@ pub fn link(
         LinkReceiver { rx, codec },
         stats,
     )
+}
+
+/// Test helper: a receiver plus the raw frame sender feeding it, for
+/// injecting arbitrary (possibly corrupt) frames.
+#[cfg(test)]
+pub(crate) fn raw_link(codec: CodecKind, capacity: usize) -> (Sender<Vec<u8>>, LinkReceiver) {
+    let (tx, rx) = crossbeam_channel::bounded(capacity);
+    (tx, LinkReceiver { rx, codec })
 }
 
 #[cfg(test)]
@@ -165,6 +210,17 @@ mod tests {
         assert!(stats.bytes() > 0);
         assert_eq!(rx.recv().unwrap().unwrap(), msg);
         assert_eq!(rx.recv().unwrap().unwrap(), Message::Flush);
+    }
+
+    #[test]
+    fn registered_stats_count_into_registry() {
+        let registry = MetricsRegistry::new();
+        let stats = Arc::new(LinkStats::registered(&registry, 7));
+        let (mut tx, _rx, _) = link_with_stats(CodecKind::Binary, 16, None, stats);
+        assert!(tx.send(&Message::Flush));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.node7.egress_msgs"], 1);
+        assert!(snap.counters["net.node7.egress_bytes"] > 0);
     }
 
     #[test]

@@ -163,11 +163,9 @@ impl AlignedSliceMerger {
         // Fixed-window ends are identical on every child (same specs, same
         // time base): keep one copy per (query, window).
         for end in partial.ends {
-            if !entry
-                .ends
-                .iter()
-                .any(|e| e.query == end.query && e.start_ts == end.start_ts && e.end_ts == end.end_ts)
-            {
+            if !entry.ends.iter().any(|e| {
+                e.query == end.query && e.start_ts == end.start_ts && e.end_ts == end.end_ts
+            }) {
                 entry.ends.push(end);
             }
         }
@@ -347,12 +345,7 @@ struct ChildStore {
 }
 
 impl ChildStore {
-    fn extract(
-        &self,
-        first: SliceId,
-        last: SliceId,
-        sel: usize,
-    ) -> FxHashMap<Key, OperatorBundle> {
+    fn extract(&self, first: SliceId, last: SliceId, sel: usize) -> FxHashMap<Key, OperatorBundle> {
         let mut merged = FxHashMap::default();
         for (id, data) in &self.slices {
             if *id >= first && *id <= last {
@@ -373,12 +366,64 @@ impl ChildStore {
     }
 }
 
-/// Accumulated state of one global session.
+/// One global session still open for merging: its event-time span
+/// (`end` is `last_event + gap`) and the merged per-key partials.
+#[derive(Debug)]
+struct PendingSession {
+    start: Timestamp,
+    end: Timestamp,
+    merged: KeyedBundles,
+}
+
+/// Session-merge state of one query (Section 5.1.2).
+///
+/// A child's local sessions are disjoint-or-touching: its next session
+/// starts at or after the previous one's `last_ts + gap`. Two local
+/// sessions therefore belong to the same global session exactly when
+/// their spans *strictly* overlap — spans touching at the boundary stay
+/// separate sessions (Section 2.1). Pending global sessions are the
+/// connected components of contributed spans under strict overlap; a
+/// pending session `[s, e)` is final once every child is known clear of
+/// `e` (its gaps and session ends passed `e`, so no later local session
+/// can start before `e`).
 #[derive(Debug, Default)]
-struct SessionAcc {
-    merged: FxHashMap<Key, OperatorBundle>,
-    span: Option<(Timestamp, Timestamp)>,
-    latest_gap: FxHashMap<NodeId, (Timestamp, Timestamp)>,
+struct SessionState {
+    /// Disjoint pending global sessions.
+    pending: Vec<PendingSession>,
+    /// Per child: the time before which it can open no further session
+    /// (end of its latest reported session or gap).
+    clear_until: FxHashMap<NodeId, Timestamp>,
+}
+
+impl SessionState {
+    /// Folds one child session contribution in, merging every pending
+    /// session whose span strictly overlaps (transitively bridging).
+    fn absorb(&mut self, start: Timestamp, end: Timestamp, contribution: &KeyedBundles) {
+        let mut merged = KeyedBundles::default();
+        merge_into(&mut merged, contribution);
+        let (mut start, mut end) = (start, end);
+        let mut keep = Vec::with_capacity(self.pending.len() + 1);
+        for p in self.pending.drain(..) {
+            if p.start < end && start < p.end {
+                start = start.min(p.start);
+                end = end.max(p.end);
+                merge_into(&mut merged, &p.merged);
+            } else {
+                keep.push(p);
+            }
+        }
+        keep.push(PendingSession { start, end, merged });
+        self.pending = keep;
+    }
+
+    /// The time below which no child can still open a session, or 0
+    /// while some of the `expected` children has not reported yet.
+    fn clear(&self, expected: usize) -> Timestamp {
+        if self.clear_until.len() < expected {
+            return 0;
+        }
+        self.clear_until.values().copied().min().unwrap_or(0)
+    }
 }
 
 /// Root-side merger for groups containing session or user-defined
@@ -390,7 +435,7 @@ pub struct UnfixedRootMerger {
     children: FxHashMap<NodeId, ChildStore>,
     expected_children: usize,
     fixed_pending: FxHashMap<(QueryId, Timestamp, Timestamp), (usize, KeyedBundles)>,
-    sessions: FxHashMap<QueryId, SessionAcc>,
+    sessions: FxHashMap<QueryId, SessionState>,
     ud_queues: FxHashMap<QueryId, FxHashMap<NodeId, VecDeque<SpannedBundles>>>,
     /// Per-child reorder buffer: the gap-covering protocol (Section
     /// 5.1.2) compares the children's *latest* gaps, which is only
@@ -422,6 +467,19 @@ impl UnfixedRootMerger {
         }
     }
 
+    /// Partials held back waiting for other children (buffered slices
+    /// plus windows awaiting more child contributions) — a merge-stall
+    /// depth for observability.
+    pub fn pending_len(&self) -> usize {
+        self.buffered.values().map(|q| q.len()).sum::<usize>()
+            + self.fixed_pending.len()
+            + self
+                .sessions
+                .values()
+                .map(|s| s.pending.len())
+                .sum::<usize>()
+    }
+
     /// Ingests one child partial (identified by its originating local
     /// node); completed windows are emitted once event time is aligned
     /// across children.
@@ -441,10 +499,12 @@ impl UnfixedRootMerger {
         }
     }
 
-    /// End of all streams: drain everything in event-time order.
+    /// End of all streams: drain everything in event-time order, then
+    /// finalize the sessions still pending (no stream can extend them).
     pub fn flush(&mut self, out: &mut Vec<QueryResult>) {
         self.global_wm = Timestamp::MAX;
         self.release(out);
+        self.emit_sessions(Timestamp::MAX, out);
     }
 
     /// Stops merging windows for `query` (runtime removal, Section 3.2).
@@ -528,12 +588,10 @@ impl UnfixedRootMerger {
                     }
                 }
                 WindowKind::Session { .. } => {
-                    let acc = self.sessions.entry(end.query).or_default();
-                    merge_into(&mut acc.merged, &contribution);
-                    acc.span = Some(match acc.span {
-                        None => (end.start_ts, end.end_ts),
-                        Some((s, e)) => (s.min(end.start_ts), e.max(end.end_ts)),
-                    });
+                    let state = self.sessions.entry(end.query).or_default();
+                    state.absorb(end.start_ts, end.end_ts, &contribution);
+                    let clear = state.clear_until.entry(origin).or_insert(0);
+                    *clear = (*clear).max(end.end_ts);
                 }
                 WindowKind::UserDefined { .. } => {
                     self.ud_queues
@@ -545,43 +603,22 @@ impl UnfixedRootMerger {
                 }
             }
         }
-        // Session gaps: the global session ends once the latest gaps of
-        // all children cover a common instant (Section 5.1.2).
+        // Session gaps advance the originating child's clear frontier:
+        // its next local session cannot start before the gap's end, so
+        // pending global sessions ending by then become final once every
+        // child is past them (the gap-covering condition of Section
+        // 5.1.2, evaluated per pending session).
         for gap in &partial.session_gaps {
-            let acc = self.sessions.entry(gap.query).or_default();
-            acc.latest_gap.insert(origin, (gap.gap_start, gap.gap_end));
-            if acc.latest_gap.len() == self.expected_children {
-                let max_start = acc
-                    .latest_gap
-                    .values()
-                    .map(|(s, _)| *s)
-                    .max()
-                    .expect("non-empty");
-                let min_end = acc
-                    .latest_gap
-                    .values()
-                    .map(|(_, e)| *e)
-                    .min()
-                    .expect("non-empty");
-                if max_start < min_end {
-                    if let Some(info) = self.queries.get(&gap.query) {
-                        if let Some((start, end)) = acc.span {
-                            finalize_map(gap.query, info, &acc.merged, start, end, out);
-                        }
-                    }
-                    acc.merged.clear();
-                    acc.span = None;
-                    acc.latest_gap.clear();
-                }
-            }
+            let state = self.sessions.entry(gap.query).or_default();
+            let clear = state.clear_until.entry(origin).or_insert(0);
+            *clear = (*clear).max(gap.gap_end);
         }
+        self.emit_sessions(0, out);
         // User-defined windows: merge one contribution per child once all
         // children reported one.
         let mut completed_ud: Vec<QueryId> = Vec::new();
         for (query, queues) in &self.ud_queues {
-            if queues.len() == self.expected_children
-                && queues.values().all(|q| !q.is_empty())
-            {
+            if queues.len() == self.expected_children && queues.values().all(|q| !q.is_empty()) {
                 completed_ud.push(*query);
             }
         }
@@ -604,6 +641,35 @@ impl UnfixedRootMerger {
         // GC this child's slices.
         let low = partial.low_watermark;
         self.children.get_mut(&origin).expect("inserted").gc(low);
+    }
+
+    /// Finalizes every pending global session that ends at or before the
+    /// larger of each query's per-child clear frontier and `force_clear`
+    /// (`Timestamp::MAX` at flush: the streams ended, nothing can extend
+    /// a session any more). Emission is ordered by query and span start
+    /// for determinism.
+    fn emit_sessions(&mut self, force_clear: Timestamp, out: &mut Vec<QueryResult>) {
+        let expected = self.expected_children;
+        let mut ids: Vec<QueryId> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        for query in ids {
+            let Some(info) = self.queries.get(&query) else {
+                continue;
+            };
+            let state = self.sessions.get_mut(&query).expect("listed");
+            let clear = state.clear(expected).max(force_clear);
+            if clear == 0 {
+                continue;
+            }
+            let (mut ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut state.pending)
+                .into_iter()
+                .partition(|p| p.end <= clear);
+            state.pending = rest;
+            ready.sort_by_key(|p| p.start);
+            for p in ready {
+                finalize_map(query, info, &p.merged, p.start, p.end, out);
+            }
+        }
     }
 }
 
@@ -667,7 +733,13 @@ impl EventMerger {
         }
         self.children
             .values()
-            .map(|c| if c.flushed { Timestamp::MAX } else { c.guarantee })
+            .map(|c| {
+                if c.flushed {
+                    Timestamp::MAX
+                } else {
+                    c.guarantee
+                }
+            })
             .min()
             .unwrap_or(0)
     }
@@ -794,6 +866,11 @@ impl WindowPartialMerger {
         }
     }
 
+    /// Windows still waiting for contributions from some covered stream.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Folds one child partial in; returns the merged partial when all
     /// streams contributed.
     pub fn on_partial(&mut self, partial: WindowPartial, coverage: u32) -> Option<WindowPartial> {
@@ -870,8 +947,7 @@ mod tests {
         let mut merger = AlignedSliceMerger::new(n);
         let mut assembler = TimeAssembler::new(&g);
         let mut results = Vec::new();
-        let mut slicers: Vec<GroupSlicer> =
-            (0..n).map(|_| GroupSlicer::new(g.clone())).collect();
+        let mut slicers: Vec<GroupSlicer> = (0..n).map(|_| GroupSlicer::new(g.clone())).collect();
         let mut out = Vec::new();
         let mut ready = Vec::new();
         for (slicer, events) in slicers.iter_mut().zip(&streams) {

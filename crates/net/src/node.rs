@@ -197,7 +197,10 @@ impl LocalWorker {
             }
             (DistributedSystem::Disco, GroupExecution::RootSorted) => LocalGroup::Raw,
             (DistributedSystem::Disco, GroupExecution::Decentralized) => {
-                LocalGroup::WindowPartials(GroupSlicer::new(group.clone()), PartialAssembler::new(group))
+                LocalGroup::WindowPartials(
+                    GroupSlicer::new(group.clone()),
+                    PartialAssembler::new(group),
+                )
             }
             (DistributedSystem::Desis, _) => {
                 LocalGroup::Slice(GroupSlicer::new(group.clone()), group.has_unfixed_windows())
@@ -483,10 +486,12 @@ impl IntermediateWorker {
             Message::WindowPartials {
                 partials, coverage, ..
             } => {
-                let merger = self
-                    .window_merger
-                    .as_mut()
-                    .expect("window partials only under Disco");
+                // Window partials are a Disco-only message; a child
+                // speaking the wrong protocol must not bring the node
+                // down, so the message is dropped.
+                let Some(merger) = self.window_merger.as_mut() else {
+                    return true;
+                };
                 let mut merged = Vec::new();
                 for p in partials {
                     if let Some(done) = merger.on_partial(p, coverage) {
@@ -561,6 +566,20 @@ impl IntermediateWorker {
     pub fn finished(&self) -> bool {
         self.clock.all_flushed()
     }
+
+    /// Partials currently held back waiting for sibling streams (the
+    /// merge-stall depth reported to the metrics registry).
+    pub fn pending_merges(&self) -> usize {
+        let slices: usize = self
+            .slice_groups
+            .values()
+            .map(|g| match g {
+                IntermediateGroup::Merge(m) => m.pending_len(),
+                IntermediateGroup::PassThrough => 0,
+            })
+            .sum();
+        slices + self.window_merger.as_ref().map_or(0, |m| m.pending_len())
+    }
 }
 
 /// Merges multiple groups into one pseudo-group for per-query lookups
@@ -582,8 +601,9 @@ enum RootGroup {
     Aligned(AlignedSliceMerger, TimeAssembler),
     /// Per-child merging for groups with session/user-defined windows.
     Unfixed(UnfixedRootMerger),
-    /// Raw events re-sliced and assembled at the root.
-    Raw(GroupSlicer, Assembler),
+    /// Raw events re-sliced and assembled at the root (boxed: the raw
+    /// pipeline is much larger than the merge-only variants).
+    Raw(Box<GroupSlicer>, Box<Assembler>),
 }
 
 impl std::fmt::Debug for RootGroup {
@@ -632,7 +652,7 @@ impl RootWorker {
         all_queries: &[Query],
         n_leaves: usize,
         children: Vec<NodeId>,
-    ) -> Self {
+    ) -> Result<Self, desis_core::DesisError> {
         let mut slice_groups = FxHashMap::default();
         let mut window_merger = None;
         let mut event_merger = None;
@@ -661,10 +681,10 @@ impl RootWorker {
             }
             DistributedSystem::Centralized(kind) => {
                 event_merger = Some(EventMerger::new(children.len()));
-                centralized = Some(kind.build(all_queries.to_vec()).expect("valid queries"));
+                centralized = Some(kind.build(all_queries.to_vec())?);
             }
         }
-        Self {
+        Ok(Self {
             slice_groups,
             window_merger,
             event_merger,
@@ -677,7 +697,7 @@ impl RootWorker {
             slice_scratch: Vec::new(),
             merged_scratch: Vec::new(),
             processed_raw_events: 0,
-        }
+        })
     }
 
     /// Registers one group's root-side machinery; returns whether the
@@ -693,7 +713,10 @@ impl RootWorker {
             | (DistributedSystem::Disco, GroupExecution::RootSorted) => {
                 slice_groups.insert(
                     g.id,
-                    RootGroup::Raw(GroupSlicer::new(g.clone()), Assembler::new(g)),
+                    RootGroup::Raw(
+                        Box::new(GroupSlicer::new(g.clone())),
+                        Box::new(Assembler::new(g)),
+                    ),
                 );
                 true
             }
@@ -895,6 +918,21 @@ impl RootWorker {
     pub fn raw_events_processed(&self) -> u64 {
         self.processed_raw_events
     }
+
+    /// Partials currently held back waiting for sibling streams (the
+    /// merge-stall depth reported to the metrics registry).
+    pub fn pending_merges(&self) -> usize {
+        let slices: usize = self
+            .slice_groups
+            .values()
+            .map(|g| match g {
+                RootGroup::Aligned(m, _) => m.pending_len(),
+                RootGroup::Unfixed(m) => m.pending_len(),
+                RootGroup::Raw(..) => 0,
+            })
+            .sum();
+        slices + self.window_merger.as_ref().map_or(0, |m| m.pending_len())
+    }
 }
 
 /// Analyzes queries the way each distributed system groups them: Desis
@@ -1093,7 +1131,7 @@ mod tests {
         let groups = analyze_for(DistributedSystem::Desis, queries.clone()).unwrap();
         let gid = groups[0].id;
         let mut root =
-            RootWorker::new(DistributedSystem::Desis, &groups, &queries, 2, vec![0, 1]);
+            RootWorker::new(DistributedSystem::Desis, &groups, &queries, 2, vec![0, 1]).unwrap();
         for child in 0..2u32 {
             let mut slicer = GroupSlicer::new(groups[0].clone());
             let mut out = Vec::new();
@@ -1127,7 +1165,7 @@ mod tests {
         )];
         let system = DistributedSystem::Centralized(desis_baselines::SystemKind::Scotty);
         let groups = analyze_for(system, queries.clone()).unwrap();
-        let mut root = RootWorker::new(system, &groups, &queries, 2, vec![0, 1]);
+        let mut root = RootWorker::new(system, &groups, &queries, 2, vec![0, 1]).unwrap();
         root.on_message(0, Message::Events(vec![Event::new(0, 0, 1.0)]));
         root.on_message(1, Message::Events(vec![Event::new(50, 0, 2.0)]));
         root.on_message(0, Message::Watermark(500));
@@ -1193,11 +1231,7 @@ mod runtime_tests {
     fn local_worker_remove_query_stops_its_windows() {
         let queries = vec![
             Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Sum),
-            Query::new(
-                2,
-                WindowSpec::session(50).unwrap(),
-                AggFunction::Count,
-            ),
+            Query::new(2, WindowSpec::session(50).unwrap(), AggFunction::Count),
         ];
         let groups = analyze_for(DistributedSystem::Desis, queries).unwrap();
         let mut local = LocalWorker::new(0, DistributedSystem::Desis, &groups, 64, 10_000);
@@ -1237,7 +1271,12 @@ mod runtime_tests {
         let mut non_empty = 0;
         let mut total = 0;
         while let Some(msg) = rx.recv() {
-            if let Message::WindowPartials { partials: p, origin, .. } = msg.unwrap() {
+            if let Message::WindowPartials {
+                partials: p,
+                origin,
+                ..
+            } = msg.unwrap()
+            {
                 assert_eq!(origin, 4);
                 total += p.len();
                 non_empty += p.iter().filter(|w| !w.data.is_empty()).count();

@@ -62,10 +62,7 @@ impl std::error::Error for TopologyError {}
 
 impl Topology {
     /// Builds and validates a topology from roles and parent edges.
-    pub fn new(
-        roles: Vec<NodeRole>,
-        parents: Vec<Option<NodeId>>,
-    ) -> Result<Self, TopologyError> {
+    pub fn new(roles: Vec<NodeRole>, parents: Vec<Option<NodeId>>) -> Result<Self, TopologyError> {
         assert_eq!(roles.len(), parents.len());
         let n = roles.len();
         let roots = roles.iter().filter(|r| **r == NodeRole::Root).count();
@@ -99,7 +96,10 @@ impl Topology {
             }
         }
         // Reachability check from the root (detects cycles among parents).
-        let root = roles.iter().position(|r| *r == NodeRole::Root).expect("checked") as NodeId;
+        let root = roles
+            .iter()
+            .position(|r| *r == NodeRole::Root)
+            .expect("checked") as NodeId;
         let mut seen = vec![false; n];
         let mut stack = vec![root];
         while let Some(node) = stack.pop() {

@@ -87,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // floating-point summation order, which differs between merge trees).
     assert_eq!(desis_results.len(), central_results.len());
     for (a, b) in desis_results.iter().zip(central_results) {
-        assert_eq!((a.query, a.key, a.window_start), (b.query, b.key, b.window_start));
+        assert_eq!(
+            (a.query, a.key, a.window_start),
+            (b.query, b.key, b.window_start)
+        );
         for (x, y) in a.values.iter().zip(&b.values) {
             let (x, y) = (x.expect("value"), y.expect("value"));
             assert!((x - y).abs() < 1e-6, "{x} vs {y}");

@@ -23,7 +23,11 @@ fn main() -> Result<(), DesisError> {
         // marker channel 0): 90th percentile.
         Query::new(3, WindowSpec::user_defined(0), AggFunction::Quantile(0.9)),
         // Broadcast ticker: average speed every 5 s regardless of phases.
-        Query::new(4, WindowSpec::tumbling_time(5 * SECOND)?, AggFunction::Average),
+        Query::new(
+            4,
+            WindowSpec::tumbling_time(5 * SECOND)?,
+            AggFunction::Average,
+        ),
     ];
 
     let mut engine = AggregationEngine::new(queries)?;

@@ -30,13 +30,21 @@ fn main() -> Result<(), DesisError> {
         )
         .filtered(Predicate::ValueAbove(80.0)),
         // Congestion: average crawl speed over the same windows.
-        Query::new(3, WindowSpec::tumbling_time(10 * SECOND)?, AggFunction::Average)
-            .filtered(Predicate::ValueBelow(25.0)),
+        Query::new(
+            3,
+            WindowSpec::tumbling_time(10 * SECOND)?,
+            AggFunction::Average,
+        )
+        .filtered(Predicate::ValueBelow(25.0)),
         // City dashboard: median over everything below highway speed —
         // partially overlaps both selections above, so the analyzer gives
         // it its own query-group.
-        Query::new(4, WindowSpec::tumbling_time(10 * SECOND)?, AggFunction::Median)
-            .filtered(Predicate::ValueBelow(90.0)),
+        Query::new(
+            4,
+            WindowSpec::tumbling_time(10 * SECOND)?,
+            AggFunction::Median,
+        )
+        .filtered(Predicate::ValueBelow(90.0)),
     ];
 
     let mut engine = AggregationEngine::new(queries)?;

@@ -27,7 +27,10 @@ fn assert_close(a: &[QueryResult], b: &[QueryResult], context: &str) {
         for (v, w) in x.values.iter().zip(&y.values) {
             match (v, w) {
                 (Some(v), Some(w)) => {
-                    assert!((v - w).abs() <= 1e-6 * (1.0 + v.abs()), "{context}: {v} vs {w}")
+                    assert!(
+                        (v - w).abs() <= 1e-6 * (1.0 + v.abs()),
+                        "{context}: {v} vs {w}"
+                    )
                 }
                 (v, w) => assert_eq!(v, w, "{context}"),
             }
@@ -75,8 +78,16 @@ fn mixed_queries() -> Vec<Query> {
             WindowSpec::sliding_time(2_000, 500).unwrap(),
             AggFunction::Max,
         ),
-        Query::new(3, WindowSpec::tumbling_time(2_000).unwrap(), AggFunction::Median),
-        Query::new(4, WindowSpec::tumbling_count(700).unwrap(), AggFunction::Sum),
+        Query::new(
+            3,
+            WindowSpec::tumbling_time(2_000).unwrap(),
+            AggFunction::Median,
+        ),
+        Query::new(
+            4,
+            WindowSpec::tumbling_count(700).unwrap(),
+            AggFunction::Sum,
+        ),
     ]
 }
 

@@ -132,7 +132,10 @@ fn operator_sharing_keeps_calculations_flat() {
     // DeBucket: ~100x the work.
     let one = calcs(SystemKind::DeBucket, 1);
     let hundred = calcs(SystemKind::DeBucket, 100);
-    assert!(hundred > one * 50, "expected linear growth: {one} -> {hundred}");
+    assert!(
+        hundred > one * 50,
+        "expected linear growth: {one} -> {hundred}"
+    );
 }
 
 /// Queries can be added and removed while the stream runs (Section 3.2).

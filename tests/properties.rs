@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Randomized property tests on the core invariants:
 //!
 //! * slicing correctness — the slicing engine and the naive per-window
 //!   baseline agree on every result for arbitrary query mixes and streams;
@@ -7,57 +7,86 @@
 //! * slice structure — slices partition the stream and windows are exact
 //!   unions of slices;
 //! * codec — wire round-trips are lossless for arbitrary messages.
+//!
+//! Cases are drawn from a seeded generator (`rand` shim, deterministic
+//! per seed) and every assertion message carries the failing case's seed,
+//! so a red run can be replayed exactly. Minimized failures graduate to
+//! named regression tests in `tests/end_to_end.rs` / unit tests.
 
 use desis::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs `cases` generated cases, seeding each deterministically.
+fn for_cases(cases: u64, mut body: impl FnMut(u64, &mut SmallRng)) {
+    for case in 0..cases {
+        // Decorrelate case streams: consecutive ints make poor seeds for
+        // eyeballing, and a fixed offset keeps suites independent.
+        let seed = 0xD515_0000 + case;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        body(seed, &mut rng);
+    }
+}
 
 // ---------------------------------------------------------------------
 // Generators.
 // ---------------------------------------------------------------------
 
-fn arb_function() -> impl Strategy<Value = AggFunction> {
-    prop_oneof![
-        Just(AggFunction::Sum),
-        Just(AggFunction::Count),
-        Just(AggFunction::Average),
-        Just(AggFunction::Min),
-        Just(AggFunction::Max),
-        Just(AggFunction::Median),
-        (1u32..100).prop_map(|p| AggFunction::Quantile(f64::from(p) / 100.0)),
-    ]
+fn arb_function(rng: &mut SmallRng) -> AggFunction {
+    match rng.gen_range(0u32..7) {
+        0 => AggFunction::Sum,
+        1 => AggFunction::Count,
+        2 => AggFunction::Average,
+        3 => AggFunction::Min,
+        4 => AggFunction::Max,
+        5 => AggFunction::Median,
+        _ => AggFunction::Quantile(f64::from(rng.gen_range(1u32..100)) / 100.0),
+    }
 }
 
-fn arb_window() -> impl Strategy<Value = WindowSpec> {
-    prop_oneof![
-        (50u64..500).prop_map(|l| WindowSpec::tumbling_time(l).unwrap()),
-        ((2u64..6), (25u64..100)).prop_map(|(k, s)| WindowSpec::sliding_time(k * s, s).unwrap()),
-        (30u64..200).prop_map(|g| WindowSpec::session(g).unwrap()),
-        (5u64..50).prop_map(|l| WindowSpec::tumbling_count(l).unwrap()),
-        ((2u64..5), (3u64..15)).prop_map(|(k, s)| WindowSpec::sliding_count(k * s, s).unwrap()),
-    ]
+fn arb_window(rng: &mut SmallRng) -> WindowSpec {
+    match rng.gen_range(0u32..5) {
+        0 => WindowSpec::tumbling_time(rng.gen_range(50u64..500)).unwrap(),
+        1 => {
+            let slide = rng.gen_range(25u64..100);
+            let k = rng.gen_range(2u64..6);
+            WindowSpec::sliding_time(k * slide, slide).unwrap()
+        }
+        2 => WindowSpec::session(rng.gen_range(30u64..200)).unwrap(),
+        3 => WindowSpec::tumbling_count(rng.gen_range(5u64..50)).unwrap(),
+        _ => {
+            let slide = rng.gen_range(3u64..15);
+            let k = rng.gen_range(2u64..5);
+            WindowSpec::sliding_count(k * slide, slide).unwrap()
+        }
+    }
 }
 
-fn arb_queries(max: usize) -> impl Strategy<Value = Vec<Query>> {
-    prop::collection::vec((arb_window(), arb_function()), 1..=max).prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (w, f))| Query::new(i as u64 + 1, w, f))
-            .collect()
-    })
+fn arb_queries(rng: &mut SmallRng, max: usize) -> Vec<Query> {
+    let n = rng.gen_range(1..=max);
+    (0..n)
+        .map(|i| {
+            let w = arb_window(rng);
+            let f = arb_function(rng);
+            Query::new(i as u64 + 1, w, f)
+        })
+        .collect()
 }
 
-/// Streams as (delta_ts, key, value) triples: deltas keep time monotone.
-fn arb_events(max: usize) -> impl Strategy<Value = Vec<Event>> {
-    prop::collection::vec((0u64..40, 0u32..3, -100i32..100), 1..=max).prop_map(|raw| {
-        let mut ts = 0;
-        raw.into_iter()
-            .map(|(delta, key, value)| {
-                ts += delta;
-                Event::new(ts, key, f64::from(value))
-            })
-            .collect()
-    })
+/// Streams as (delta_ts, key, value) draws: deltas keep time monotone.
+fn arb_events(rng: &mut SmallRng, max: usize) -> Vec<Event> {
+    let n = rng.gen_range(1..=max);
+    let mut ts = 0u64;
+    (0..n)
+        .map(|_| {
+            ts += rng.gen_range(0u64..40);
+            Event::new(
+                ts,
+                rng.gen_range(0u32..3),
+                f64::from(rng.gen_range(-100i32..100)),
+            )
+        })
+        .collect()
 }
 
 fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
@@ -86,48 +115,52 @@ fn run_kind(kind: SystemKind, queries: Vec<Query>, events: &[Event]) -> Vec<Quer
 // Properties.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Desis' shared slicing must agree with the naive per-window
-    /// baseline for arbitrary query mixes and irregular streams.
-    #[test]
-    fn slicing_matches_naive_windows(
-        queries in arb_queries(5),
-        events in arb_events(400),
-    ) {
+/// Desis' shared slicing must agree with the naive per-window baseline
+/// for arbitrary query mixes and irregular streams.
+#[test]
+fn slicing_matches_naive_windows() {
+    for_cases(64, |seed, rng| {
+        let queries = arb_queries(rng, 5);
+        let events = arb_events(rng, 400);
         let desis = run_kind(SystemKind::Desis, queries.clone(), &events);
-        let naive = run_kind(SystemKind::DeBucket, queries, &events);
-        prop_assert_eq!(desis.len(), naive.len());
+        let naive = run_kind(SystemKind::DeBucket, queries.clone(), &events);
+        assert_eq!(desis.len(), naive.len(), "seed {seed}: {queries:?}");
         for (a, b) in desis.iter().zip(&naive) {
-            prop_assert_eq!(
+            assert_eq!(
                 (a.query, a.key, a.window_start, a.window_end),
-                (b.query, b.key, b.window_start, b.window_end)
+                (b.query, b.key, b.window_start, b.window_end),
+                "seed {seed}"
             );
             for (x, y) in a.values.iter().zip(&b.values) {
                 match (x, y) {
                     (Some(x), Some(y)) => {
-                        prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
-                            "{} vs {}", x, y);
+                        assert!(
+                            (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                            "seed {seed}: {x} vs {y} for query {} window [{}, {})",
+                            a.query,
+                            a.window_start,
+                            a.window_end
+                        );
                     }
-                    (x, y) => prop_assert_eq!(x, y),
+                    (x, y) => assert_eq!(x, y, "seed {seed}"),
                 }
             }
         }
-    }
+    });
+}
 
-    /// Merging operator partials is order-insensitive and matches the
-    /// single-pass aggregate for any 3-way split of the values.
-    #[test]
-    fn operator_merge_is_split_invariant(
-        values in prop::collection::vec(-1_000i32..1_000, 1..200),
-        cut_a in 0usize..200,
-        cut_b in 0usize..200,
-        func in arb_function(),
-    ) {
-        let values: Vec<f64> = values.into_iter().map(f64::from).collect();
-        let a = cut_a.min(values.len());
-        let b = cut_b.min(values.len()).max(a);
+/// Merging operator partials is order-insensitive and matches the
+/// single-pass aggregate for any 3-way split of the values.
+#[test]
+fn operator_merge_is_split_invariant() {
+    for_cases(64, |seed, rng| {
+        let n = rng.gen_range(1usize..200);
+        let values: Vec<f64> = (0..n)
+            .map(|_| f64::from(rng.gen_range(-1_000i32..1_000)))
+            .collect();
+        let a = rng.gen_range(0usize..200).min(values.len());
+        let b = rng.gen_range(0usize..200).min(values.len()).max(a);
+        let func = arb_function(rng);
         let set = func.operators();
         let fold = |chunk: &[f64]| {
             let mut bundle = OperatorBundle::new(set);
@@ -156,20 +189,24 @@ proptest! {
                 (Some(x), Some(y)) => {
                     // min/max/median/quantile are exact; sums accumulate
                     // rounding differences under reordering.
-                    prop_assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{} vs {}", x, y);
+                    assert!(
+                        (x - y).abs() <= 1e-6 * (1.0 + x.abs()),
+                        "seed {seed}: {x} vs {y} under {func:?}"
+                    );
                 }
-                (x, y) => prop_assert_eq!(x, y),
+                (x, y) => assert_eq!(x, y, "seed {seed}: {func:?}"),
             }
         }
-    }
+    });
+}
 
-    /// Quantiles always lie within [min, max] of the input.
-    #[test]
-    fn quantiles_are_bounded(
-        values in prop::collection::vec(-1e6f64..1e6, 1..300),
-        level in 1u32..1000,
-    ) {
-        let func = AggFunction::Quantile(f64::from(level) / 1000.0);
+/// Quantiles always lie within [min, max] of the input.
+#[test]
+fn quantiles_are_bounded() {
+    for_cases(64, |seed, rng| {
+        let n = rng.gen_range(1usize..300);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let func = AggFunction::Quantile(f64::from(rng.gen_range(1u32..1000)) / 1000.0);
         let mut bundle = OperatorBundle::new(func.operators());
         for v in &values {
             bundle.update(*v);
@@ -178,17 +215,21 @@ proptest! {
         let q = bundle.finalize(&func).expect("non-empty");
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(q >= min && q <= max, "{} outside [{}, {}]", q, min, max);
-    }
+        assert!(
+            q >= min && q <= max,
+            "seed {seed}: {q} outside [{min}, {max}] for {func:?}"
+        );
+    });
+}
 
-    /// Slices partition the stream: consecutive, non-overlapping, and
-    /// every window's slice range is well-formed.
-    #[test]
-    fn slices_partition_the_stream(
-        queries in arb_queries(4),
-        events in arb_events(300),
-    ) {
-        use desis::core::engine::{GroupSlicer, QueryAnalyzer};
+/// Slices partition the stream: consecutive, non-overlapping, and every
+/// window's slice range is well-formed.
+#[test]
+fn slices_partition_the_stream() {
+    use desis::core::engine::{GroupSlicer, QueryAnalyzer};
+    for_cases(64, |seed, rng| {
+        let queries = arb_queries(rng, 4);
+        let events = arb_events(rng, 300);
         let groups = QueryAnalyzer::default().analyze(queries).unwrap();
         for group in groups {
             let mut slicer = GroupSlicer::new(group);
@@ -199,81 +240,88 @@ proptest! {
             slicer.on_watermark(events.last().map_or(0, |e| e.ts) + 10_000, &mut slices);
             // Ids are consecutive from 0; ranges are ordered and abut.
             for (i, s) in slices.iter().enumerate() {
-                prop_assert_eq!(s.id, i as u64);
-                prop_assert!(s.start_ts <= s.end_ts);
+                assert_eq!(s.id, i as u64, "seed {seed}");
+                assert!(s.start_ts <= s.end_ts, "seed {seed}");
                 for end in &s.ends {
-                    prop_assert!(end.first_slice <= end.last_slice);
-                    prop_assert!(end.last_slice <= s.id);
+                    assert!(end.first_slice <= end.last_slice, "seed {seed}");
+                    assert!(end.last_slice <= s.id, "seed {seed}");
                 }
             }
             for pair in slices.windows(2) {
-                prop_assert!(pair[0].end_ts <= pair[1].start_ts + 1,
-                    "slices overlap: {:?} then {:?}",
+                assert!(
+                    pair[0].end_ts <= pair[1].start_ts + 1,
+                    "seed {seed}: slices overlap: {:?} then {:?}",
                     (pair[0].start_ts, pair[0].end_ts),
-                    (pair[1].start_ts, pair[1].end_ts));
+                    (pair[1].start_ts, pair[1].end_ts)
+                );
             }
         }
-    }
+    });
+}
 
-    /// Wire round-trip is lossless for arbitrary event batches in both
-    /// codecs.
-    #[test]
-    fn codec_roundtrips_event_batches(
-        raw in prop::collection::vec((0u64..u64::MAX / 2, 0u32..1000, -1e9f64..1e9), 0..100),
-    ) {
-        use desis::net::codec::CodecKind;
-        use desis::net::message::Message;
-        let events: Vec<Event> = raw
-            .into_iter()
-            .map(|(ts, key, value)| Event::new(ts, key, value))
+/// Wire round-trip is lossless for arbitrary event batches in both
+/// codecs.
+#[test]
+fn codec_roundtrips_event_batches() {
+    use desis::net::codec::CodecKind;
+    use desis::net::message::Message;
+    for_cases(64, |seed, rng| {
+        let n = rng.gen_range(0usize..100);
+        let events: Vec<Event> = (0..n)
+            .map(|_| {
+                Event::new(
+                    rng.gen_range(0u64..u64::MAX / 2),
+                    rng.gen_range(0u32..1000),
+                    rng.gen_range(-1e9f64..1e9),
+                )
+            })
             .collect();
         let msg = Message::Events(events);
         for codec in [CodecKind::Binary, CodecKind::Text] {
             let frame = codec.encode(&msg);
             let back = codec.decode(&frame).expect("roundtrip");
-            prop_assert_eq!(&back, &msg);
+            assert_eq!(back, msg, "seed {seed}: {codec:?}");
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// `to_dsl` followed by `parse_query` reproduces the query exactly.
-    #[test]
-    fn dsl_round_trips_arbitrary_queries(
-        window in arb_window(),
-        funcs in prop::collection::vec(arb_function(), 1..4),
-        pred_pick in 0u8..5,
-        key in 0u32..100,
-        lo in -1000i32..1000,
-        span in 0i32..1000,
-    ) {
-        use desis::core::dsl::{parse_query, to_dsl};
-        let predicate = match pred_pick {
+/// `to_dsl` followed by `parse_query` reproduces the query exactly.
+#[test]
+fn dsl_round_trips_arbitrary_queries() {
+    use desis::core::dsl::{parse_query, to_dsl};
+    for_cases(128, |seed, rng| {
+        let window = arb_window(rng);
+        let n_funcs = rng.gen_range(1usize..4);
+        let funcs: Vec<AggFunction> = (0..n_funcs).map(|_| arb_function(rng)).collect();
+        let key = rng.gen_range(0u32..100);
+        let lo = f64::from(rng.gen_range(-1000i32..1000));
+        let span = f64::from(rng.gen_range(0i32..1000));
+        let predicate = match rng.gen_range(0u8..5) {
             0 => Predicate::True,
             1 => Predicate::KeyEquals(key),
-            2 => Predicate::ValueAbove(f64::from(lo)),
-            3 => Predicate::ValueBelow(f64::from(lo)),
-            _ => Predicate::ValueBetween(f64::from(lo), f64::from(lo + span)),
+            2 => Predicate::ValueAbove(lo),
+            3 => Predicate::ValueBelow(lo),
+            _ => Predicate::ValueBetween(lo, lo + span),
         };
         let query = Query::with_functions(9, window, funcs).filtered(predicate);
         let text = to_dsl(&query);
         let reparsed = parse_query(9, &text).expect("formatted query parses");
-        prop_assert_eq!(query, reparsed, "{}", text);
-    }
+        assert_eq!(query, reparsed, "seed {seed}: {text}");
+    });
+}
 
-    /// The reorder buffer restores any boundedly-disordered stream.
-    #[test]
-    fn reorder_buffer_restores_bounded_disorder(
-        deltas in prop::collection::vec((0u64..30, 0u64..20), 1..300),
-    ) {
-        use desis::core::engine::ReorderBuffer;
+/// The reorder buffer restores any boundedly-disordered stream.
+#[test]
+fn reorder_buffer_restores_bounded_disorder() {
+    use desis::core::engine::ReorderBuffer;
+    for_cases(128, |seed, rng| {
         // Build a disordered stream with bounded displacement.
+        let n = rng.gen_range(1usize..300);
         let mut ts = 100u64;
         let mut events = Vec::new();
-        for (advance, jitter) in deltas {
-            ts += advance;
+        for _ in 0..n {
+            ts += rng.gen_range(0u64..30);
+            let jitter = rng.gen_range(0u64..20);
             events.push(Event::new(ts.saturating_sub(jitter.min(20)), 0, 1.0));
         }
         let mut buf = ReorderBuffer::new(60);
@@ -285,114 +333,106 @@ proptest! {
             }
         }
         buf.flush(&mut out);
-        prop_assert_eq!(dropped, buf.late_dropped());
-        prop_assert_eq!(out.len() + dropped as usize, events.len());
+        assert_eq!(dropped, buf.late_dropped(), "seed {seed}");
+        assert_eq!(out.len() + dropped as usize, events.len(), "seed {seed}");
         for pair in out.windows(2) {
-            prop_assert!(pair[0].ts <= pair[1].ts);
+            assert!(pair[0].ts <= pair[1].ts, "seed {seed}");
         }
         // Displacement is at most 20+29 < 60, so nothing may be dropped.
-        prop_assert_eq!(dropped, 0);
+        assert_eq!(dropped, 0, "seed {seed}");
+    });
+}
+
+/// Builds an arbitrary slice-partial message with sealed bundles,
+/// delta-encodable window ends, and session gaps.
+fn arb_slice_message(rng: &mut SmallRng) -> desis::net::message::Message {
+    use desis::core::engine::{SealedSlice, SessionGap, SliceData, WindowEnd};
+    use desis::net::message::Message;
+    let arb_bundle = |rng: &mut SmallRng| {
+        let n_funcs = rng.gen_range(1usize..4);
+        let set = (0..n_funcs)
+            .map(|_| arb_function(rng).operators())
+            .fold(OperatorSet::EMPTY, |a, b| a | b)
+            .subsume_sorts();
+        let mut bundle = OperatorBundle::new(set);
+        for _ in 0..rng.gen_range(0usize..30) {
+            bundle.update(rng.gen_range(-1e6f64..1e6));
+        }
+        bundle.seal();
+        bundle
+    };
+    let id = rng.gen_range(0u64..1_000);
+    let start = rng.gen_range(0u64..1_000_000);
+    let end_ts = start + rng.gen_range(0u64..10_000);
+    let selections = rng.gen_range(1usize..3);
+    let mut slice_data = SliceData::new(selections);
+    for sel in 0..selections {
+        for _ in 0..rng.gen_range(0usize..8) {
+            let key = rng.gen_range(0u32..50);
+            let bundle = arb_bundle(rng);
+            slice_data.per_selection[sel].insert(key, bundle);
+        }
+    }
+    let ends = (0..rng.gen_range(0usize..5))
+        .map(|_| {
+            let query = rng.gen_range(0u64..100);
+            let len_slices = rng.gen_range(0u64..20);
+            let back = rng.gen_range(0u64..5_000);
+            let wlen = rng.gen_range(0u64..5_000);
+            let last_slice = id.saturating_sub(back % (id + 1));
+            let w_end = end_ts.saturating_sub(back);
+            WindowEnd {
+                query,
+                first_slice: last_slice.saturating_sub(len_slices),
+                last_slice,
+                start_ts: w_end.saturating_sub(wlen),
+                end_ts: w_end,
+            }
+        })
+        .collect();
+    let session_gaps = (0..rng.gen_range(0usize..3))
+        .map(|_| {
+            let query = rng.gen_range(0u64..100);
+            let back = rng.gen_range(0u64..5_000);
+            let glen = rng.gen_range(0u64..5_000);
+            let gap_end = end_ts.saturating_sub(back);
+            SessionGap {
+                query,
+                gap_start: gap_end.saturating_sub(glen),
+                gap_end,
+            }
+        })
+        .collect();
+    Message::Slice {
+        group: (id % 7) as u32,
+        origin: (id % 11) as u32,
+        coverage: 1 + (id % 3) as u32,
+        partial: SealedSlice {
+            id,
+            start_ts: start,
+            end_ts,
+            data: slice_data,
+            ends,
+            session_gaps,
+            low_watermark: id.saturating_sub(2),
+            low_watermark_ts: start.saturating_sub(10),
+        },
     }
 }
 
-/// Builds an arbitrary sealed bundle over the given values and functions.
-fn arb_slice_message() -> impl Strategy<Value = desis::net::message::Message> {
-    use desis::net::message::Message;
-    let bundle = (
-        prop::collection::vec(arb_function(), 1..4),
-        prop::collection::vec(-1e6f64..1e6, 0..30),
-    )
-        .prop_map(|(funcs, values)| {
-            let set = funcs
-                .iter()
-                .map(AggFunction::operators)
-                .fold(OperatorSet::EMPTY, |a, b| a | b)
-                .subsume_sorts();
-            let mut bundle = OperatorBundle::new(set);
-            for v in values {
-                bundle.update(v);
-            }
-            bundle.seal();
-            bundle
-        });
-    let data = prop::collection::vec(
-        prop::collection::vec((0u32..50, bundle), 0..8),
-        1..3,
-    );
-    (
-        data,
-        0u64..1_000,          // id
-        0u64..1_000_000,      // start
-        0u64..10_000,         // len
-        prop::collection::vec((0u64..100, 0u64..20, 0u64..5_000, 0u64..5_000), 0..5),
-        prop::collection::vec((0u64..100, 0u64..5_000, 0u64..5_000), 0..3),
-    )
-        .prop_map(|(data, id, start, len, raw_ends, raw_gaps)| {
-            use desis::core::engine::{SealedSlice, SliceData};
-            let end_ts = start + len;
-            let mut slice_data = SliceData::new(data.len());
-            for (sel, entries) in data.into_iter().enumerate() {
-                for (key, bundle) in entries {
-                    slice_data.per_selection[sel].insert(key, bundle);
-                }
-            }
-            let ends = raw_ends
-                .into_iter()
-                .map(|(query, len_slices, back, wlen)| {
-                    let last_slice = id.saturating_sub(back % (id + 1));
-                    let w_end = end_ts.saturating_sub(back);
-                    desis::core::engine::WindowEnd {
-                        query,
-                        first_slice: last_slice.saturating_sub(len_slices),
-                        last_slice,
-                        start_ts: w_end.saturating_sub(wlen),
-                        end_ts: w_end,
-                    }
-                })
-                .collect();
-            let session_gaps = raw_gaps
-                .into_iter()
-                .map(|(query, back, glen)| {
-                    let gap_end = end_ts.saturating_sub(back);
-                    desis::core::engine::SessionGap {
-                        query,
-                        gap_start: gap_end.saturating_sub(glen),
-                        gap_end,
-                    }
-                })
-                .collect();
-            Message::Slice {
-                group: (id % 7) as u32,
-                origin: (id % 11) as u32,
-                coverage: 1 + (id % 3) as u32,
-                partial: SealedSlice {
-                    id,
-                    start_ts: start,
-                    end_ts,
-                    data: slice_data,
-                    ends,
-                    session_gaps,
-                    low_watermark: id.saturating_sub(2),
-                    low_watermark_ts: start.saturating_sub(10),
-                },
-            }
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Slice partials — including delta-encoded window ends and session
-    /// gaps — survive both wire formats bit-exactly.
-    #[test]
-    fn codec_roundtrips_arbitrary_slice_partials(msg in arb_slice_message()) {
-        use desis::net::codec::CodecKind;
+/// Slice partials — including delta-encoded window ends and session gaps
+/// — survive both wire formats bit-exactly.
+#[test]
+fn codec_roundtrips_arbitrary_slice_partials() {
+    use desis::net::codec::CodecKind;
+    for_cases(96, |seed, rng| {
+        let msg = arb_slice_message(rng);
         for codec in [CodecKind::Binary, CodecKind::Text] {
             let frame = codec.encode(&msg);
             let back = codec.decode(&frame).expect("roundtrip");
-            prop_assert_eq!(&back, &msg);
+            assert_eq!(back, msg, "seed {seed}: {codec:?}");
         }
-    }
+    });
 }
 
 /// Long-running sliding windows must not accumulate slices: the
@@ -401,8 +441,16 @@ proptest! {
 fn memory_stays_bounded_over_long_streams() {
     use desis::core::engine::{Assembler, GroupSlicer, QueryAnalyzer};
     let queries = vec![
-        Query::new(1, WindowSpec::sliding_time(5_000, 500).unwrap(), AggFunction::Average),
-        Query::new(2, WindowSpec::tumbling_time(1_000).unwrap(), AggFunction::Max),
+        Query::new(
+            1,
+            WindowSpec::sliding_time(5_000, 500).unwrap(),
+            AggFunction::Average,
+        ),
+        Query::new(
+            2,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Max,
+        ),
     ];
     let mut groups = QueryAnalyzer::default().analyze(queries).unwrap();
     let group = groups.remove(0);
@@ -423,18 +471,18 @@ fn memory_stays_bounded_over_long_streams() {
     assert!(max_retained <= 12, "retained {max_retained} slices");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Decoding corrupted frames must fail gracefully (error, never panic,
-    /// never runaway allocation).
-    #[test]
-    fn codec_survives_corrupted_frames(
-        msg in arb_slice_message(),
-        flips in prop::collection::vec((0usize..4096, 0u8..255), 1..8),
-        truncate_to in 0usize..4096,
-    ) {
-        use desis::net::codec::CodecKind;
+/// Decoding corrupted frames must fail gracefully (error, never panic,
+/// never runaway allocation).
+#[test]
+fn codec_survives_corrupted_frames() {
+    use desis::net::codec::CodecKind;
+    for_cases(128, |_seed, rng| {
+        let msg = arb_slice_message(rng);
+        let n_flips = rng.gen_range(1usize..8);
+        let flips: Vec<(usize, u8)> = (0..n_flips)
+            .map(|_| (rng.gen_range(0usize..4096), rng.gen_range(0u8..255)))
+            .collect();
+        let truncate_to = rng.gen_range(0usize..4096);
         for codec in [CodecKind::Binary, CodecKind::Text] {
             let mut frame = codec.encode(&msg);
             for (pos, xor) in &flips {
@@ -448,5 +496,5 @@ proptest! {
             // are both acceptable.
             let _ = codec.decode(&frame);
         }
-    }
+    });
 }

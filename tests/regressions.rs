@@ -1,0 +1,268 @@
+//! Named regression tests pinning semantic edge cases:
+//!
+//! * Session-gap boundaries (paper Section 2.1): an event arriving at
+//!   exactly `last_ts + gap` starts a *new* session — in the single-node
+//!   engine, in the naive baselines, and across decentralized streams.
+//! * Quantile/median edges: `quantile(0)` / `quantile(1)` are min/max,
+//!   single-element windows, and even-length median interpolation must
+//!   agree between merge-then-finalize and naive single-pass execution.
+
+use desis::prelude::*;
+
+fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
+    results.sort_by(|a, b| {
+        (a.query, a.window_start, a.window_end, a.key).cmp(&(
+            b.query,
+            b.window_start,
+            b.window_end,
+            b.key,
+        ))
+    });
+    results
+}
+
+fn run_engine(queries: Vec<Query>, events: &[Event], final_wm: Timestamp) -> Vec<QueryResult> {
+    let mut engine = AggregationEngine::new(queries).unwrap();
+    for ev in events {
+        engine.on_event(ev);
+    }
+    engine.on_watermark(final_wm);
+    canon(engine.drain_results())
+}
+
+fn run_system(kind: SystemKind, queries: Vec<Query>, events: &[Event]) -> Vec<QueryResult> {
+    let mut system = kind.build(queries).expect("valid queries");
+    let mut out = Vec::new();
+    for ev in events {
+        system.on_event(ev);
+        out.extend(system.drain_results());
+    }
+    let last = events.last().map_or(0, |e| e.ts);
+    system.on_watermark(last + 60_000);
+    out.extend(system.drain_results());
+    canon(out)
+}
+
+/// Section 2.1: a session covers events closer than `gap`; an event at
+/// exactly `last_ts + gap` no longer belongs to it.
+#[test]
+fn session_closes_exactly_at_gap_boundary() {
+    let queries = || {
+        vec![Query::new(
+            1,
+            WindowSpec::session(100).unwrap(),
+            AggFunction::Count,
+        )]
+    };
+    // ts 150 == 50 + gap: boundary-touching, so a second session starts.
+    let touching = [
+        Event::new(0, 0, 1.0),
+        Event::new(50, 0, 1.0),
+        Event::new(150, 0, 1.0),
+    ];
+    let results = run_engine(queries(), &touching, 1_000);
+    assert_eq!(results.len(), 2, "{results:?}");
+    assert_eq!(
+        (results[0].window_start, results[0].window_end),
+        (0, 150),
+        "first session is [0, 50+gap)"
+    );
+    assert_eq!(results[0].values, vec![Some(2.0)]);
+    assert_eq!((results[1].window_start, results[1].window_end), (150, 250));
+    assert_eq!(results[1].values, vec![Some(1.0)]);
+
+    // One tick earlier the session is extended instead.
+    let extending = [
+        Event::new(0, 0, 1.0),
+        Event::new(50, 0, 1.0),
+        Event::new(149, 0, 1.0),
+    ];
+    let results = run_engine(queries(), &extending, 1_000);
+    assert_eq!(results.len(), 1, "{results:?}");
+    assert_eq!((results[0].window_start, results[0].window_end), (0, 249));
+    assert_eq!(results[0].values, vec![Some(3.0)]);
+}
+
+/// The boundary semantics hold identically in every baseline system.
+#[test]
+fn session_boundary_agrees_with_naive_baselines() {
+    let queries = || {
+        vec![Query::new(
+            1,
+            WindowSpec::session(100).unwrap(),
+            AggFunction::Sum,
+        )]
+    };
+    // Sessions that touch at the boundary, twice, plus a clear gap.
+    let events: Vec<Event> = [0u64, 60, 160, 260, 1_000, 1_099, 1_199]
+        .iter()
+        .map(|&ts| Event::new(ts, 0, 1.0))
+        .collect();
+    let reference = run_engine(queries(), &events, 60_000);
+    assert!(!reference.is_empty());
+    for kind in [
+        SystemKind::Desis,
+        SystemKind::DeSw,
+        SystemKind::Scotty,
+        SystemKind::DeBucket,
+        SystemKind::CeBuffer,
+    ] {
+        let got = run_system(kind, queries(), &events);
+        assert_eq!(
+            got,
+            reference,
+            "{} disagrees on session boundaries",
+            kind.label()
+        );
+    }
+}
+
+/// Gap-covering merges at the decentralized root (Section 5.1.2): two
+/// local streams whose sessions touch exactly at the gap boundary stay
+/// separate sessions; overlapping ones merge into one.
+#[test]
+fn decentralized_touching_session_gaps_stay_separate() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::session(100).unwrap(),
+        AggFunction::Count,
+    )];
+    let run = |feed_b: Vec<Event>| {
+        let feed_a = vec![Event::new(0, 0, 1.0), Event::new(10, 0, 1.0)];
+        let cfg = ClusterConfig::new(DistributedSystem::Desis, queries.clone(), Topology::star(2));
+        let mut engine = AggregationEngine::new(queries.clone()).unwrap();
+        let mut merged: Vec<Event> = feed_a.iter().chain(&feed_b).copied().collect();
+        merged.sort_by_key(|e| e.ts);
+        for ev in &merged {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(60_000);
+        let reference = canon(engine.drain_results());
+        let report = run_cluster(cfg, vec![feed_a, feed_b]).unwrap();
+        (canon(report.results), reference)
+    };
+
+    // Stream B starts at exactly 10 + gap: two separate sessions.
+    let (touching, reference) = run(vec![Event::new(110, 0, 1.0), Event::new(120, 0, 1.0)]);
+    assert_eq!(touching, reference);
+    assert_eq!(touching.len(), 2, "{touching:?}");
+    assert_eq!((touching[0].window_start, touching[0].window_end), (0, 110));
+    assert_eq!(
+        (touching[1].window_start, touching[1].window_end),
+        (110, 220)
+    );
+
+    // One tick earlier the cross-stream sessions overlap and merge.
+    let (overlapping, reference) = run(vec![Event::new(109, 0, 1.0), Event::new(120, 0, 1.0)]);
+    assert_eq!(overlapping, reference);
+    assert_eq!(overlapping.len(), 1, "{overlapping:?}");
+    assert_eq!(
+        (overlapping[0].window_start, overlapping[0].window_end),
+        (0, 220)
+    );
+    assert_eq!(overlapping[0].values, vec![Some(4.0)]);
+}
+
+/// `quantile(1)` equals max and `quantile(0)` equals min, per window.
+#[test]
+fn quantile_one_is_max_and_zero_is_min() {
+    let queries = vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Quantile(1.0),
+        ),
+        Query::new(2, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Max),
+        Query::new(
+            3,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Quantile(0.0),
+        ),
+        Query::new(4, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Min),
+    ];
+    let events: Vec<Event> = (0..400u64)
+        .map(|i| Event::new(i, 0, ((i * 37) % 101) as f64))
+        .collect();
+    let results = run_engine(queries, &events, 1_000);
+    let series = |q: u64| -> Vec<Option<f64>> {
+        results
+            .iter()
+            .filter(|r| r.query == q)
+            .flat_map(|r| r.values.clone())
+            .collect()
+    };
+    let max = series(2);
+    assert_eq!(max.len(), 4);
+    assert_eq!(series(1), max, "quantile(1) must equal max");
+    assert_eq!(series(3), series(4), "quantile(0) must equal min");
+}
+
+/// A single-element window returns its element for every quantile level.
+#[test]
+fn quantile_single_element_window() {
+    let queries = vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Quantile(0.37),
+        ),
+        Query::new(
+            2,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Median,
+        ),
+        Query::new(
+            3,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Quantile(1.0),
+        ),
+    ];
+    let events = [Event::new(10, 0, 42.5)];
+    let results = run_engine(queries, &events, 1_000);
+    assert_eq!(results.len(), 3, "{results:?}");
+    for r in &results {
+        assert_eq!(r.values, vec![Some(42.5)], "query {}", r.query);
+    }
+}
+
+/// Even-length windows interpolate the median (type-7, like numpy), and
+/// merge-then-finalize agrees with the naive single-pass baselines.
+#[test]
+fn even_length_median_interpolates_and_matches_naive() {
+    let queries = || {
+        vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(100).unwrap(),
+            AggFunction::Median,
+        )]
+    };
+    // Window [0, 100) holds {1, 2, 3, 4} out of order: median 2.5.
+    let events = [
+        Event::new(0, 0, 3.0),
+        Event::new(20, 0, 1.0),
+        Event::new(40, 0, 4.0),
+        Event::new(60, 0, 2.0),
+    ];
+    let results = run_engine(queries(), &events, 1_000);
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].values, vec![Some(2.5)]);
+    for kind in [
+        SystemKind::Desis,
+        SystemKind::DeBucket,
+        SystemKind::CeBuffer,
+    ] {
+        let got = run_system(kind, queries(), &events);
+        assert_eq!(got, results, "{} median disagrees", kind.label());
+    }
+    // The same window assembled from decentralized per-stream partials
+    // (sorted-run merge at the root) produces the same interpolation.
+    let cfg = ClusterConfig::new(DistributedSystem::Desis, queries(), Topology::star(2));
+    let feeds = vec![
+        vec![Event::new(0, 0, 3.0), Event::new(40, 0, 4.0)],
+        vec![Event::new(20, 0, 1.0), Event::new(60, 0, 2.0)],
+    ];
+    let report = run_cluster(cfg, feeds).unwrap();
+    let cluster_results = canon(report.results);
+    assert_eq!(cluster_results.len(), 1);
+    assert_eq!(cluster_results[0].values, vec![Some(2.5)]);
+}
