@@ -41,6 +41,7 @@ fn slice_message(keys: u32, values_per_key: u64) -> Message {
             session_gaps: vec![],
             low_watermark: 7,
             low_watermark_ts: 1_000,
+            trace: None,
         },
     }
 }

@@ -2,21 +2,28 @@
 //!
 //! ```text
 //! experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]
+//!             [--trace-out <path>] [--trace-sample <N>]
 //!             <figure-id>... | all | list
 //! ```
 //!
 //! Each figure prints the series the paper plots (one row per x-value,
 //! one column per system). With `--csv <dir>`, a `<figure-id>.csv` file is
-//! written per figure. With `--metrics-out <path>`, the process-global
-//! metrics snapshot (per-node bytes, message counts, engine counters,
-//! latency histograms with p50/p95/p99) is written as JSON after all
-//! selected figures ran.
+//! written per figure. With `--metrics-out <path>`, a JSON report is
+//! written after all selected figures ran: per-figure metric deltas
+//! (counter deltas and per-second rates over that figure's wall time)
+//! plus the process-global snapshot (per-node bytes, message counts,
+//! latency histograms with p50/p95/p99). With `--trace-out <path>`,
+//! causal slice tracing is enabled (sampling every `--trace-sample`-th
+//! slice, default 1) and the stitched cross-node timeline is written as
+//! Chrome trace-event JSON loadable in Perfetto or `chrome://tracing`.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use desis_bench::experiments::all_figures;
-use desis_bench::measure::{write_global_metrics, Scale};
+use desis_bench::measure::{write_metrics_report, Scale};
+use desis_core::obs::trace::{TraceCollector, DEFAULT_RING_CAPACITY};
+use desis_core::obs::{MetricsDiff, MetricsRegistry};
 
 /// Prints Table 1 (function -> operator lowering) straight from the code.
 fn print_table1() {
@@ -47,6 +54,8 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut csv_dir: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_sample = 1u64;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -70,12 +79,30 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--trace-out" => {
+                trace_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-sample" => {
+                let value = it.next().unwrap_or_default();
+                trace_sample = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--trace-sample requires a positive integer, got {value:?}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    // Install the process-global collector before any figure runs so
+    // every cluster the figures spin up records into it.
+    if trace_out.is_some() {
+        TraceCollector::install_global(trace_sample, DEFAULT_RING_CAPACITY);
     }
 
     let registry = all_figures();
@@ -90,7 +117,7 @@ fn main() {
         print_table1();
         wanted.retain(|w| w != "table1");
         if wanted.is_empty() {
-            dump_metrics(metrics_out.as_deref());
+            finish(metrics_out.as_deref(), trace_out.as_deref(), &[]);
             return;
         }
     }
@@ -115,11 +142,19 @@ fn main() {
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
+    let mut figure_diffs: Vec<(String, f64, MetricsDiff)> = Vec::new();
     for (id, generator) in selected {
+        let before = MetricsRegistry::global().snapshot();
         let started = Instant::now();
         let figure = generator(scale);
+        let elapsed = started.elapsed().as_secs_f64();
+        figure_diffs.push((
+            id.to_string(),
+            elapsed,
+            MetricsRegistry::global().snapshot().diff(&before),
+        ));
         print!("{}", figure.render());
-        println!("   [{:.1}s]\n", started.elapsed().as_secs_f64());
+        println!("   [{elapsed:.1}s]\n");
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{id}.csv");
             let mut file = std::fs::File::create(&path).expect("create csv");
@@ -128,25 +163,50 @@ fn main() {
             eprintln!("wrote {path}");
         }
     }
-    dump_metrics(metrics_out.as_deref());
+    finish(metrics_out.as_deref(), trace_out.as_deref(), &figure_diffs);
 }
 
-/// Writes the process-global metrics snapshot if `--metrics-out` was given.
-fn dump_metrics(path: Option<&str>) {
-    let Some(path) = path else { return };
-    if let Err(err) = write_global_metrics(std::path::Path::new(path)) {
-        eprintln!("cannot write metrics to {path}: {err}");
-        std::process::exit(2);
+/// Drains the trace timeline (publishing per-stage latency histograms
+/// into the global registry first, so the metrics report includes them)
+/// and writes the requested output files.
+fn finish(
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+    figures: &[(String, f64, MetricsDiff)],
+) {
+    if let Some(path) = trace_out {
+        let collector = TraceCollector::global().expect("installed at startup");
+        let timeline = collector.drain_timeline();
+        timeline.publish(MetricsRegistry::global());
+        if let Err(err) = std::fs::write(path, timeline.to_chrome_json()) {
+            eprintln!("cannot write trace to {path}: {err}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {path} ({} chains, {} complete, {} events dropped)",
+            timeline.chains.len(),
+            timeline.complete_chains(),
+            timeline.dropped
+        );
     }
-    eprintln!("wrote {path}");
+    if let Some(path) = metrics_out {
+        if let Err(err) = write_metrics_report(std::path::Path::new(path), figures) {
+            eprintln!("cannot write metrics to {path}: {err}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+    }
 }
 
 fn print_usage() {
     println!(
         "usage: experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]\n\
+         \x20                  [--trace-out <path>] [--trace-sample <N>]\n\
          \x20                  <figure-id>... | all | list\n\
          reproduces the Desis (EDBT 2023) evaluation figures; see EXPERIMENTS.md\n\
-         --metrics-out writes the unified metrics snapshot (bytes, message\n\
-         counts, latency histograms) as JSON after the selected figures ran"
+         --metrics-out writes per-figure metric deltas plus the process\n\
+         snapshot (bytes, message counts, latency histograms) as JSON\n\
+         --trace-out enables causal slice tracing (every --trace-sample'th\n\
+         slice, default 1) and writes Chrome trace-event JSON for Perfetto"
     );
 }

@@ -137,6 +137,7 @@ fn empty_slice() -> SealedSlice {
         session_gaps: vec![],
         low_watermark: 0,
         low_watermark_ts: 0,
+        trace: None,
     }
 }
 

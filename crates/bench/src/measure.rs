@@ -140,6 +140,29 @@ pub fn write_global_metrics(path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, MetricsRegistry::global().snapshot().to_json())
 }
 
+/// Writes per-figure metric deltas plus the process-global snapshot as
+/// JSON: `{"figures":{id:<MetricsDiff>},"process":<MetricsSnapshot>}`.
+/// Each figure entry carries the counters/histograms that moved while
+/// that figure ran (with per-second rates over its wall time), so a
+/// figure's numbers are separable from the process totals.
+pub fn write_metrics_report(
+    path: &std::path::Path,
+    figures: &[(String, f64, desis_core::obs::MetricsDiff)],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"figures\":{");
+    for (i, (id, elapsed_secs, diff)) in figures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{id}\":{}", diff.to_json(*elapsed_secs));
+    }
+    out.push_str("},\"process\":");
+    out.push_str(&MetricsRegistry::global().snapshot().to_json());
+    out.push('}');
+    std::fs::write(path, out)
+}
+
 /// Mean of a sample set.
 pub fn mean(samples: &[f64]) -> f64 {
     if samples.is_empty() {

@@ -17,6 +17,7 @@ use crate::aggregate::{AggFunction, OperatorBundle};
 use crate::engine::group::{QueryGroup, SelectionId};
 use crate::engine::slice::{SealedSlice, SliceId, WindowEnd};
 use crate::event::Key;
+use crate::obs::trace::{SpanKind, TraceRecorder};
 use crate::obs::{LogHistogram, MetricsRegistry};
 use crate::query::{QueryId, QueryResult};
 
@@ -49,6 +50,8 @@ pub struct Assembler {
     /// Cached per-query latency histogram handles
     /// (`engine.result_latency_us.q<id>`).
     latency: FxHashMap<QueryId, Arc<LogHistogram>>,
+    /// Provenance span recorder; `None` (the default) disables tracing.
+    tracer: Option<TraceRecorder>,
 }
 
 impl Assembler {
@@ -79,7 +82,14 @@ impl Assembler {
             merges: 0,
             registry,
             latency: FxHashMap::default(),
+            tracer: None,
         }
+    }
+
+    /// Enables causal slice tracing: traced slices that terminate windows
+    /// record `WindowAssembled`/`ResultEmitted` spans.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.tracer = Some(recorder);
     }
 
     /// Number of slice partials currently retained.
@@ -118,6 +128,7 @@ impl Assembler {
     pub fn on_slice(&mut self, slice: SealedSlice, out: &mut Vec<QueryResult>) {
         let low = slice.low_watermark;
         let ends = slice.ends.clone();
+        let trace = slice.trace;
         self.slices.push_back(StoredSlice {
             id: slice.id,
             data: slice.data,
@@ -127,7 +138,14 @@ impl Assembler {
             FxHashMap<Key, OperatorBundle>,
         > = FxHashMap::default();
         for end in &ends {
+            let before = out.len();
             self.assemble_cached(end, &mut merge_cache, out);
+            if let (Some(rec), Some(id)) = (&mut self.tracer, trace) {
+                if out.len() > before {
+                    rec.record(id, SpanKind::WindowAssembled);
+                    rec.record(id, SpanKind::ResultEmitted { query: end.query });
+                }
+            }
         }
         self.gc(low);
     }

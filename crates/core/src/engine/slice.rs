@@ -10,6 +10,7 @@ use rustc_hash::FxHashMap;
 
 use crate::aggregate::OperatorBundle;
 use crate::event::Key;
+use crate::obs::trace::TraceId;
 use crate::query::QueryId;
 use crate::time::Timestamp;
 
@@ -125,6 +126,10 @@ pub struct SealedSlice {
     /// active. Decentralized roots garbage-collect by time, since slice
     /// ids are child-local (Section 5.1).
     pub low_watermark_ts: Timestamp,
+    /// Provenance identity minted at slice creation when tracing is
+    /// sampled; follows the slice over the wire and through every merge
+    /// level (see [`crate::obs::trace`]). `None` for untraced slices.
+    pub trace: Option<TraceId>,
 }
 
 #[cfg(test)]

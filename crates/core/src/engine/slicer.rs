@@ -20,6 +20,7 @@ use crate::engine::group::QueryGroup;
 use crate::engine::slice::{SealedSlice, SessionGap, SliceData, SliceId, WindowEnd};
 use crate::event::{Event, MarkerChannel, MarkerKind};
 use crate::metrics::EngineMetrics;
+use crate::obs::trace::{SpanKind, TraceId, TraceRecorder};
 use crate::time::{DurationMs, Timestamp};
 use crate::window::{WindowKind, WindowSpec};
 
@@ -104,6 +105,19 @@ pub struct GroupSlicer {
     /// Per-query-index draining flag (Section 3.2): a draining query opens
     /// no new windows but its in-flight windows still complete.
     draining: Vec<bool>,
+    /// Provenance span recorder; `None` (the default) disables tracing.
+    /// Boxed so the disabled hot path is a null check and the slicer's
+    /// layout stays compact.
+    tracer: Option<Box<TracerState>>,
+}
+
+/// Tracing state, kept behind one pointer in [`GroupSlicer`].
+#[derive(Debug, Clone)]
+struct TracerState {
+    recorder: TraceRecorder,
+    /// Trace id of the slice currently accumulating, minted (subject to
+    /// sampling) at its first event.
+    cur_trace: Option<TraceId>,
 }
 
 impl GroupSlicer {
@@ -162,6 +176,30 @@ impl GroupSlicer {
             last_seen_ts: 0,
             metrics: EngineMetrics::default(),
             draining,
+            tracer: None,
+        }
+    }
+
+    /// Enables causal slice tracing: slices sampled by the recorder's
+    /// collector are minted a [`TraceId`] at creation and record
+    /// `SliceCreated`/`SliceSealed` spans.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.tracer = Some(Box::new(TracerState {
+            recorder,
+            cur_trace: None,
+        }));
+    }
+
+    /// Mints a trace id for the slice opening at this event. Out of line:
+    /// only reached when tracing is enabled and a slice begins.
+    #[cold]
+    #[inline(never)]
+    fn mint_trace(&mut self) {
+        if let Some(t) = &mut self.tracer {
+            if let Some(id) = t.recorder.maybe_mint() {
+                t.recorder.record(id, SpanKind::SliceCreated);
+                t.cur_trace = Some(id);
+            }
         }
     }
 
@@ -314,6 +352,21 @@ impl GroupSlicer {
         );
         self.last_seen_ts = ev.ts;
 
+        // Fast path: no marker to interpret, no session/user-defined/count
+        // bookkeeping to scan, and no time punctuation due — the event
+        // only feeds incremental aggregation. Keeping this block small
+        // (steps 1–3 and 5 are all no-ops under these conditions) keeps
+        // the per-event footprint inside the front-end's sweet spot.
+        if ev.marker.is_none()
+            && self.sessions.is_empty()
+            && self.uds.is_empty()
+            && self.counts.is_empty()
+            && self.next_time_punct.is_none_or(|p| p > ev.ts)
+        {
+            self.aggregate(ev);
+            return;
+        }
+
         // 1. Fire every time-domain punctuation at or before this event.
         self.fire_time_puncts(ev.ts, out);
 
@@ -357,16 +410,7 @@ impl GroupSlicer {
 
         // 4. Incremental aggregation: each selection evaluated once, each
         //    operator of the selection executed once.
-        self.cur_events += 1;
-        self.metrics.events += 1;
-        for (sel_idx, sel) in self.group.selections.iter().enumerate() {
-            if sel.predicate.matches(ev) {
-                let bundle = self.cur_data.per_selection[sel_idx]
-                    .entry(ev.key)
-                    .or_insert_with(|| OperatorBundle::new(sel.operators));
-                self.metrics.calculations += bundle.update(ev.value);
-            }
-        }
+        self.aggregate(ev);
 
         // 5. Count-domain punctuations (boundary lies just after this
         //    event) and end markers (this event is the window's last).
@@ -389,6 +433,26 @@ impl GroupSlicer {
         };
         if needs_seal || ud_end {
             self.seal_data_boundary(ev, out);
+        }
+    }
+
+    /// Incremental aggregation for one event: each selection evaluated
+    /// once, each operator of the matching selections executed once. The
+    /// first event of a slice mints its trace id (when tracing is on).
+    #[inline]
+    fn aggregate(&mut self, ev: &Event) {
+        if self.cur_events == 0 && self.tracer.is_some() {
+            self.mint_trace();
+        }
+        self.cur_events += 1;
+        self.metrics.events += 1;
+        for (sel_idx, sel) in self.group.selections.iter().enumerate() {
+            if sel.predicate.matches(ev) {
+                let bundle = self.cur_data.per_selection[sel_idx]
+                    .entry(ev.key)
+                    .or_insert_with(|| OperatorBundle::new(sel.operators));
+                self.metrics.calculations += bundle.update(ev.value);
+            }
         }
     }
 
@@ -418,6 +482,7 @@ impl GroupSlicer {
 
     /// Fires all fixed-time and session punctuations `<= up_to`, in
     /// timestamp order, sealing one slice per distinct punctuation time.
+    #[inline]
     fn fire_time_puncts(&mut self, up_to: Timestamp, out: &mut Vec<SealedSlice>) {
         loop {
             let mut t: Option<Timestamp> = None;
@@ -654,6 +719,13 @@ impl GroupSlicer {
         self.cur_events = 0;
         let low_watermark = self.low_watermark();
         let low_watermark_ts = self.low_watermark_ts(end_ts);
+        let mut trace = None;
+        if let Some(t) = &mut self.tracer {
+            trace = t.cur_trace.take();
+            if let Some(id) = trace {
+                t.recorder.record(id, SpanKind::SliceSealed);
+            }
+        }
         out.push(SealedSlice {
             id,
             start_ts,
@@ -663,6 +735,7 @@ impl GroupSlicer {
             session_gaps: gaps,
             low_watermark,
             low_watermark_ts,
+            trace,
         });
     }
 

@@ -83,8 +83,12 @@ pub mod prelude {
     pub use crate::error::DesisError;
     pub use crate::event::{Event, Key, Marker, MarkerKind, Watermark};
     pub use crate::metrics::EngineMetrics;
+    pub use crate::obs::trace::{
+        SpanKind, TraceChain, TraceCollector, TraceId, TraceRecorder, TraceTimeline,
+    };
     pub use crate::obs::{
-        Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot,
+        Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsDiff, MetricsRegistry,
+        MetricsSnapshot,
     };
     pub use crate::predicate::Predicate;
     pub use crate::query::{Query, QueryId, QueryResult};

@@ -20,6 +20,8 @@
 //! [`MetricsSnapshot`] that serializes to JSON with no external
 //! dependencies.
 
+pub mod trace;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -262,6 +264,44 @@ impl MetricsSnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Difference against an `earlier` snapshot of the same registry:
+    /// counters and histogram counts/sums become deltas (saturating, so
+    /// instruments that only exist in `self` diff against zero), gauges
+    /// keep their later level. Drives per-figure (rather than
+    /// process-lifetime) reporting in the experiments harness.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsDiff {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let mut d = h.clone();
+                if let Some(before) = earlier.histograms.get(name) {
+                    d.count = d.count.saturating_sub(before.count);
+                    d.sum = d.sum.saturating_sub(before.sum);
+                    for (i, c) in before.buckets.iter().enumerate() {
+                        if let Some(b) = d.buckets.get_mut(i) {
+                            *b = b.saturating_sub(*c);
+                        }
+                    }
+                }
+                (name.clone(), d)
+            })
+            .collect();
+        MetricsDiff {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
     /// Serializes the snapshot as a JSON object:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
     /// {count, sum, max, mean, p50, p95, p99, buckets}}}`.
@@ -273,6 +313,72 @@ impl MetricsSnapshot {
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", json_escape(name));
+            h.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The change between two [`MetricsSnapshot`]s of the same registry:
+/// counter deltas (plus derived rates), latest gauge levels, and
+/// histogram deltas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDiff {
+    /// Per-counter increase since the earlier snapshot.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels at the later snapshot.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram activity since the earlier snapshot (count/sum/bucket
+    /// deltas; `max` stays the later lifetime maximum).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsDiff {
+    /// The delta of one counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A counter's rate in events per second over `elapsed_secs`.
+    pub fn rate(&self, name: &str, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.counter(name) as f64 / elapsed_secs
+    }
+
+    /// Serializes as JSON. Each counter reports both its delta and its
+    /// rate over `elapsed_secs`:
+    /// `{"elapsed_secs":s,"counters":{name:{"delta":n,"per_sec":r}},
+    /// "gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self, elapsed_secs: f64) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(out, "{{\"elapsed_secs\":{elapsed_secs:.3},\"counters\":{{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"delta\":{v},\"per_sec\":{:.3}}}",
+                json_escape(name),
+                self.rate(name, elapsed_secs),
+            );
         }
         out.push_str("},\"gauges\":{");
         for (i, (name, v)) in self.gauges.iter().enumerate() {
@@ -497,6 +603,104 @@ mod tests {
         assert_eq!(snap.counters["run1.bytes"], 20);
         assert_eq!(snap.histograms["run1.lat"].count, 2);
         assert_eq!(snap.histograms["run1.lat"].max, 8);
+    }
+
+    #[test]
+    fn snapshot_diff_reports_deltas_and_rates() {
+        let reg = MetricsRegistry::new();
+        reg.counter("events").add(100);
+        reg.gauge("depth").set(4);
+        reg.histogram("lat").record(10);
+        let earlier = reg.snapshot();
+        reg.counter("events").add(50);
+        reg.counter("fresh").add(7);
+        reg.gauge("depth").set(9);
+        reg.histogram("lat").record(20);
+        reg.histogram("lat").record(30);
+        let diff = reg.snapshot().diff(&earlier);
+        assert_eq!(diff.counter("events"), 50);
+        assert_eq!(diff.counter("fresh"), 7, "new counters diff against 0");
+        assert_eq!(diff.counter("missing"), 0);
+        assert_eq!(diff.gauges["depth"], 9, "gauges keep the later level");
+        assert_eq!(diff.histograms["lat"].count, 2);
+        assert_eq!(diff.histograms["lat"].sum, 50);
+        assert!((diff.rate("events", 2.0) - 25.0).abs() < 1e-9);
+        assert_eq!(diff.rate("events", 0.0), 0.0);
+        let json = diff.to_json(2.0);
+        assert!(
+            json.contains("\"events\":{\"delta\":50,\"per_sec\":25.000"),
+            "{json}"
+        );
+        assert!(json.contains("\"elapsed_secs\":2.000"), "{json}");
+    }
+
+    /// Exact quantile of a sorted sample at the same rank the histogram
+    /// estimator targets (ceil(q*n), 1-based).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Asserts the histogram estimate obeys the documented one-sided
+    /// bound for p50/p95/p99: `exact <= estimate <= 2 * exact` (the
+    /// estimate is a bucket upper edge clamped to the observed max).
+    fn assert_quantile_bounds(values: &[u64], label: &str) {
+        let h = LogHistogram::default();
+        for v in values {
+            h.record(*v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        for q in [0.50, 0.95, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            assert!(
+                est >= exact,
+                "{label} p{}: estimate {est} below exact {exact}",
+                (q * 100.0) as u32
+            );
+            assert!(
+                est <= exact.saturating_mul(2).max(1),
+                "{label} p{}: estimate {est} above 2x exact {exact}",
+                (q * 100.0) as u32
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_on_uniform_distribution() {
+        let values: Vec<u64> = (1..=10_000).collect();
+        assert_quantile_bounds(&values, "uniform");
+    }
+
+    #[test]
+    fn quantile_bounds_on_exponential_distribution() {
+        // Deterministic exponential-ish sample: inverse-CDF over an
+        // evenly spaced grid, scaled to ~1ms mean in microseconds.
+        let n = 8_192u64;
+        let values: Vec<u64> = (1..n)
+            .map(|i| {
+                let u = i as f64 / n as f64;
+                (-(1.0 - u).ln() * 1_000.0) as u64
+            })
+            .collect();
+        assert_quantile_bounds(&values, "exponential");
+    }
+
+    #[test]
+    fn quantile_bounds_on_single_bucket_distribution() {
+        // All values land in one bucket: estimates clamp to the max.
+        let values = vec![7u64; 1_000];
+        assert_quantile_bounds(&values, "single-bucket");
+        let h = LogHistogram::default();
+        for v in &values {
+            h.record(*v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 7);
+        assert_eq!(s.p95(), 7);
+        assert_eq!(s.p99(), 7);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use rustc_hash::FxHashMap;
 use desis_core::error::DesisError;
 use desis_core::event::Event;
 use desis_core::metrics::EngineMetrics;
+use desis_core::obs::trace::{SpanKind, TraceCollector, TraceRecorder};
 use desis_core::obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 use desis_core::query::{Query, QueryResult};
 use desis_core::time::{DurationMs, Timestamp};
@@ -80,6 +81,11 @@ pub struct ClusterConfig {
     /// one unit of wall time (divided by this speed-up factor). The paper
     /// measures latency at a sustainable rate rather than at saturation.
     pub pace_speedup: Option<f64>,
+    /// Causal slice tracing: when set, every node records provenance
+    /// spans into this collector (falling back to
+    /// [`TraceCollector::global`] when unset). The caller owns draining
+    /// the stitched timeline after the run.
+    pub trace: Option<TraceCollector>,
 }
 
 impl ClusterConfig {
@@ -98,6 +104,7 @@ impl ClusterConfig {
             script: Vec::new(),
             latency_sample_every: 256,
             pace_speedup: None,
+            trace: None,
         }
     }
 
@@ -298,6 +305,16 @@ impl PumpObs {
     }
 }
 
+/// Records a `LinkRecv` span for a traced slice message arriving at a
+/// pump loop (the receive side of the ship stage).
+fn record_link_recv(recorder: &mut Option<TraceRecorder>, msg: &Message) {
+    if let (Some(rec), Message::Slice { partial, .. }) = (recorder.as_mut(), msg) {
+        if let Some(id) = partial.trace {
+            rec.record(id, SpanKind::LinkRecv);
+        }
+    }
+}
+
 /// Pumps messages from children until every channel disconnects.
 ///
 /// Basic node fault tolerance (Section 3.2): a child that disconnects
@@ -438,6 +455,14 @@ pub fn run_cluster(
     // and is merged into the process-global registry at the end.
     let registry = Arc::new(MetricsRegistry::new());
 
+    // Causal tracing: an explicit per-run collector wins over the
+    // process-global one (if any); `None` keeps every hot-path hook on
+    // its no-recorder branch.
+    let tracing = cfg
+        .trace
+        .clone()
+        .or_else(|| TraceCollector::global().cloned());
+
     // Create the uplink of every non-root node; the link counters live in
     // the registry as `net.node{id}.egress_*`.
     let mut senders: FxHashMap<NodeId, LinkSender> = FxHashMap::default();
@@ -480,9 +505,14 @@ pub fn run_cluster(
             let sample_every = cfg.latency_sample_every.max(1);
             let pace = cfg.pace_speedup;
             let script = Arc::clone(&compiled);
+            let tracing = tracing.clone();
             scope.spawn(move || {
                 let mut worker =
                     LocalWorker::new(node, system, &groups, batch_size, watermark_every);
+                if let Some(tc) = &tracing {
+                    worker.install_tracing(tc);
+                    uplink.set_recorder(tc.recorder(node));
+                }
                 let mut since_sample = 0u64;
                 let mut script_idx = 0usize;
                 let pace_start = Instant::now();
@@ -542,10 +572,17 @@ pub fn run_cluster(
             let obs = PumpObs::new(&registry, "intermediate");
             let merge_pending_max = registry.gauge("net.intermediate.merge_pending_max");
             let merge_stalls = registry.counter("net.intermediate.merge_stalls");
+            let tracing = tracing.clone();
             scope.spawn(move || {
                 let mut worker =
                     IntermediateWorker::new(node, system, &groups, coverage, child_ids);
+                let mut recv_rec = tracing.as_ref().map(|tc| tc.recorder(node));
+                if let Some(tc) = &tracing {
+                    worker.install_tracing(tc);
+                    uplink.set_recorder(tc.recorder(node));
+                }
                 let _lost = pump_children(&receivers, &obs, |child, msg| {
+                    record_link_recv(&mut recv_rec, &msg);
                     let tag = msg.tag();
                     let _ = worker.on_message(child, msg, &mut uplink);
                     let pending = worker.pending_merges();
@@ -579,6 +616,10 @@ pub fn run_cluster(
             // panicking: dropping the receivers closes the uplinks, which
             // the other node threads observe as failed sends and exit.
             let mut worker = RootWorker::new(system, &groups_root, &queries, n_leaves, child_ids)?;
+            let mut recv_rec = tracing.as_ref().map(|tc| tc.recorder(root));
+            if let Some(tc) = &tracing {
+                worker.install_tracing(tc, root);
+            }
             // Added groups are registered up front so their partials are
             // never dropped; removals apply once the watermark passes.
             for (_, cmd) in script.iter() {
@@ -596,6 +637,7 @@ pub fn run_cluster(
             pending_removals.sort_unstable();
             let mut stamped: Vec<(QueryResult, Instant)> = Vec::new();
             let lost = pump_children(&receivers, &root_obs, |child, msg| {
+                record_link_recv(&mut recv_rec, &msg);
                 let tag = msg.tag();
                 worker.on_message(child, msg);
                 let pending = worker.pending_merges();
@@ -989,6 +1031,30 @@ mod tests {
         });
         assert_eq!(lost, vec![3]);
         assert_eq!(flushes, 1, "lost child must be flushed exactly once");
+        assert_eq!(registry.snapshot().counters["net.root.decode_errors"], 1);
+    }
+
+    #[test]
+    fn trailing_garbage_frame_marks_child_lost() {
+        // A frame that decodes fine but carries extra bytes is a protocol
+        // violation: the child is flushed and reported lost, not trusted.
+        let (raw_tx, rx) = crate::link::raw_link(CodecKind::Binary, 8);
+        let mut frame = CodecKind::Binary.encode(&Message::Watermark(42));
+        frame.push(0xAB);
+        raw_tx.send(frame).unwrap();
+        drop(raw_tx);
+        let registry = MetricsRegistry::new();
+        let obs = PumpObs::new(&registry, "root");
+        let receivers = vec![(5, rx)];
+        let mut flushes = 0;
+        let lost = pump_children(&receivers, &obs, |child, msg| {
+            assert_eq!(child, 5);
+            if matches!(msg, Message::Flush) {
+                flushes += 1;
+            }
+        });
+        assert_eq!(lost, vec![5]);
+        assert_eq!(flushes, 1);
         assert_eq!(registry.snapshot().counters["net.root.decode_errors"], 1);
     }
 

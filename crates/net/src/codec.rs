@@ -16,6 +16,7 @@ use bytes::{Buf, BufMut};
 use desis_core::aggregate::{OperatorBundle, OperatorKind, OperatorSet, OperatorState};
 use desis_core::engine::{SealedSlice, SessionGap, SliceData, WindowEnd};
 use desis_core::event::{Event, Marker, MarkerKind};
+use desis_core::obs::trace::TraceId;
 use rustc_hash::FxHashMap;
 
 use crate::message::{Message, WindowPartial};
@@ -186,6 +187,12 @@ impl Source for TextSource<'_> {
 // The encoding walk (format-independent).
 // ---------------------------------------------------------------------
 
+/// Wire frame format version, the first field of every frame. Version 2
+/// added the optional slice trace-id field (causal provenance tracing);
+/// version 1 frames had no version field at all, so a version mismatch —
+/// like any other protocol violation — marks the sending child lost.
+pub const WIRE_VERSION: u8 = 2;
+
 const TAG_EVENTS: u8 = 1;
 const TAG_SLICE: u8 = 2;
 const TAG_WINDOW_PARTIALS: u8 = 3;
@@ -349,6 +356,15 @@ fn put_slice<S: Sink>(s: &mut S, slice: &SealedSlice) {
     s.vu64(slice.end_ts - slice.start_ts);
     s.vu64(slice.id - slice.low_watermark.min(slice.id));
     s.vu64(slice.end_ts - slice.low_watermark_ts.min(slice.end_ts));
+    // Optional provenance trace id (wire version 2): presence flag, then
+    // the raw id. Untraced slices cost one byte.
+    match slice.trace {
+        None => s.u8(0),
+        Some(id) => {
+            s.u8(1);
+            s.vu64(id.as_u64());
+        }
+    }
     s.vu64(slice.ends.len() as u64);
     for end in &slice.ends {
         s.vu64(end.query);
@@ -386,6 +402,11 @@ fn get_slice<S: Source>(s: &mut S) -> Result<SealedSlice> {
     let end_ts = start_ts + s.vu64()?;
     let low_watermark = id - s.vu64()?.min(id);
     let low_watermark_ts = end_ts - s.vu64()?.min(end_ts);
+    let trace = match s.u8()? {
+        0 => None,
+        1 => Some(TraceId::from_u64(s.vu64()?)),
+        other => return Err(CodecError(format!("bad trace tag {other}"))),
+    };
     let n_ends = s.vu64()? as usize;
     let mut ends = Vec::with_capacity(n_ends.min(1 << 16));
     for _ in 0..n_ends {
@@ -437,6 +458,7 @@ fn get_slice<S: Source>(s: &mut S) -> Result<SealedSlice> {
         session_gaps,
         low_watermark,
         low_watermark_ts,
+        trace,
     })
 }
 
@@ -539,17 +561,29 @@ fn get_message<S: Source>(s: &mut S) -> Result<Message> {
     })
 }
 
+fn check_version<S: Source>(s: &mut S) -> Result<()> {
+    let v = s.u8()?;
+    if v != WIRE_VERSION {
+        return Err(CodecError(format!(
+            "unsupported frame version {v} (expected {WIRE_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
 impl CodecKind {
     /// Serializes a message to a wire frame.
     pub fn encode(self, msg: &Message) -> Vec<u8> {
         match self {
             CodecKind::Binary => {
                 let mut sink = BinarySink(Vec::with_capacity(64));
+                sink.u8(WIRE_VERSION);
                 put_message(&mut sink, msg);
                 sink.0
             }
             CodecKind::Text => {
                 let mut sink = TextSink(String::with_capacity(64));
+                sink.u8(WIRE_VERSION);
                 put_message(&mut sink, msg);
                 sink.0.into_bytes()
             }
@@ -557,15 +591,43 @@ impl CodecKind {
     }
 
     /// Parses a wire frame back into a message.
+    ///
+    /// A frame must contain exactly one message: trailing bytes after the
+    /// decoded message are a protocol violation and fail the decode (the
+    /// cluster then treats the sending child as lost, like any other
+    /// undecodable frame).
     pub fn decode(self, frame: &[u8]) -> Result<Message> {
         match self {
-            CodecKind::Binary => get_message(&mut BinarySource(frame)),
+            CodecKind::Binary => {
+                let mut src = BinarySource(frame);
+                check_version(&mut src)?;
+                let msg = get_message(&mut src)?;
+                if !src.0.is_empty() {
+                    return Err(CodecError(format!(
+                        "{} trailing bytes after frame",
+                        src.0.len()
+                    )));
+                }
+                Ok(msg)
+            }
             CodecKind::Text => {
                 let text = std::str::from_utf8(frame)
                     .map_err(|e| CodecError(format!("invalid utf-8: {e}")))?;
-                get_message(&mut TextSource {
+                let mut src = TextSource {
                     fields: text.split(';'),
-                })
+                };
+                check_version(&mut src)?;
+                let msg = get_message(&mut src)?;
+                // Every field is `;`-terminated, so splitting a complete
+                // frame leaves exactly one empty remainder.
+                let leftover: Vec<&str> = src.fields.filter(|f| !f.is_empty()).collect();
+                if !leftover.is_empty() {
+                    return Err(CodecError(format!(
+                        "{} trailing fields after frame",
+                        leftover.len()
+                    )));
+                }
+                Ok(msg)
             }
         }
     }
@@ -613,6 +675,7 @@ mod tests {
             }],
             low_watermark: 41,
             low_watermark_ts: 900,
+            trace: Some(TraceId::from_u64(7_777)),
         }
     }
 
@@ -726,6 +789,7 @@ mod tests {
                 session_gaps: vec![],
                 low_watermark: 0,
                 low_watermark_ts: 0,
+                trace: None,
             },
         };
         let events_msg = Message::Events(events);
@@ -752,6 +816,59 @@ mod tests {
         let msg = Message::Events(vec![]);
         for codec in [CodecKind::Binary, CodecKind::Text] {
             assert_eq!(codec.decode(&codec.encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let msg = Message::Watermark(42);
+        let mut frame = CodecKind::Binary.encode(&msg);
+        assert!(CodecKind::Binary.decode(&frame).is_ok());
+        frame.push(0x01);
+        let err = CodecKind::Binary.decode(&frame).unwrap_err();
+        assert!(err.0.contains("trailing"), "{err}");
+
+        let mut text = CodecKind::Text.encode(&msg);
+        assert!(CodecKind::Text.decode(&text).is_ok());
+        text.extend_from_slice(b"99;");
+        let err = CodecKind::Text.decode(&text).unwrap_err();
+        assert!(err.0.contains("trailing"), "{err}");
+
+        // A second full message appended to the frame is also garbage.
+        let mut doubled = CodecKind::Binary.encode(&msg);
+        doubled.extend_from_slice(&CodecKind::Binary.encode(&msg));
+        assert!(CodecKind::Binary.decode(&doubled).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut frame = CodecKind::Binary.encode(&Message::Flush);
+        assert_eq!(frame[0], WIRE_VERSION);
+        frame[0] = WIRE_VERSION + 1;
+        let err = CodecKind::Binary.decode(&frame).unwrap_err();
+        assert!(err.0.contains("version"), "{err}");
+        let err = CodecKind::Text.decode(b"99;5;").unwrap_err();
+        assert!(err.0.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn trace_id_roundtrips_and_is_optional() {
+        for codec in [CodecKind::Binary, CodecKind::Text] {
+            let mut slice = sample_slice();
+            for trace in [Some(TraceId::from_u64(u64::MAX)), None] {
+                slice.trace = trace;
+                let msg = Message::Slice {
+                    group: 0,
+                    origin: 1,
+                    coverage: 1,
+                    partial: slice.clone(),
+                };
+                let back = codec.decode(&codec.encode(&msg)).unwrap();
+                match back {
+                    Message::Slice { partial, .. } => assert_eq!(partial.trace, trace),
+                    other => panic!("unexpected message {other:?}"),
+                }
+            }
         }
     }
 }

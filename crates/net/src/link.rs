@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, Sender};
+use desis_core::obs::trace::{SpanKind, TraceRecorder};
 use desis_core::obs::{Counter, MetricsRegistry};
 
 use crate::codec::{CodecError, CodecKind};
@@ -109,13 +110,33 @@ pub struct LinkSender {
     codec: CodecKind,
     stats: Arc<LinkStats>,
     limiter: Option<TokenBucket>,
+    tracer: Option<TraceRecorder>,
 }
 
 impl LinkSender {
+    /// Enables causal slice tracing: traced slice messages record
+    /// `SliceEncoded{bytes}` and `LinkSend` spans as they leave.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.tracer = Some(recorder);
+    }
+
     /// Serializes and sends a message. Blocks on backpressure and on the
     /// bandwidth limiter. Returns `false` if the receiver is gone.
     pub fn send(&mut self, msg: &Message) -> bool {
         let frame = self.codec.encode(msg);
+        if let Some(rec) = &mut self.tracer {
+            if let Message::Slice { partial, .. } = msg {
+                if let Some(id) = partial.trace {
+                    rec.record(
+                        id,
+                        SpanKind::SliceEncoded {
+                            bytes: frame.len() as u64,
+                        },
+                    );
+                    rec.record(id, SpanKind::LinkSend);
+                }
+            }
+        }
         if let Some(limiter) = &mut self.limiter {
             limiter.consume(frame.len());
         }
@@ -181,6 +202,7 @@ pub fn link_with_stats(
             codec,
             stats: Arc::clone(&stats),
             limiter: bandwidth.map(TokenBucket::new),
+            tracer: None,
         },
         LinkReceiver { rx, codec },
         stats,

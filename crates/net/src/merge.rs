@@ -25,6 +25,7 @@ use rustc_hash::FxHashMap;
 use desis_core::aggregate::{AggFunction, OperatorBundle};
 use desis_core::engine::{QueryGroup, SealedSlice, SelectionId, SliceData, SliceId};
 use desis_core::event::{Event, Key};
+use desis_core::obs::trace::{SpanKind, TraceId, TraceRecorder};
 use desis_core::query::{QueryId, QueryResult};
 use desis_core::time::Timestamp;
 use desis_core::window::WindowKind;
@@ -82,6 +83,28 @@ fn finalize_map(
     }
 }
 
+/// Records `WindowAssembled` plus one `ResultEmitted` per distinct query
+/// for the results a traced slice just produced.
+fn record_assembly(
+    recorder: &mut Option<TraceRecorder>,
+    trace: Option<TraceId>,
+    new_results: &[QueryResult],
+) {
+    let (Some(rec), Some(id)) = (recorder.as_mut(), trace) else {
+        return;
+    };
+    if new_results.is_empty() {
+        return;
+    }
+    rec.record(id, SpanKind::WindowAssembled);
+    let mut queries: Vec<QueryId> = new_results.iter().map(|r| r.query).collect();
+    queries.sort_unstable();
+    queries.dedup();
+    for query in queries {
+        rec.record(id, SpanKind::ResultEmitted { query });
+    }
+}
+
 fn merge_into(dst: &mut FxHashMap<Key, OperatorBundle>, src: &FxHashMap<Key, OperatorBundle>) {
     for (key, bundle) in src {
         match dst.get_mut(key) {
@@ -115,6 +138,8 @@ pub struct AlignedSliceMerger {
     /// (all covered streams are known to be past this time).
     forced_up_to: Timestamp,
     ready: VecDeque<SealedSlice>,
+    /// Provenance span recorder; `None` (the default) disables tracing.
+    recorder: Option<TraceRecorder>,
 }
 
 #[derive(Debug)]
@@ -125,6 +150,9 @@ struct PendingSlice {
     ends: Vec<desis_core::engine::WindowEnd>,
     gaps: Vec<desis_core::engine::SessionGap>,
     low_ts: Timestamp,
+    /// Provenance carried by the merged slice: the first traced child
+    /// contribution (one representative leaf per merged slice).
+    trace: Option<TraceId>,
 }
 
 impl AlignedSliceMerger {
@@ -137,7 +165,15 @@ impl AlignedSliceMerger {
             next_id: 0,
             forced_up_to: 0,
             ready: VecDeque::new(),
+            recorder: None,
         }
+    }
+
+    /// Enables causal slice tracing: traced child partials record
+    /// `MergeStart`/`MergeDone` spans, and the released merged slice
+    /// carries the first contributing trace id onward.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Number of slices waiting for missing children.
@@ -155,7 +191,16 @@ impl AlignedSliceMerger {
             ends: Vec::new(),
             gaps: Vec::new(),
             low_ts: Timestamp::MAX,
+            trace: None,
         });
+        if entry.trace.is_none() {
+            if let Some(id) = partial.trace {
+                entry.trace = Some(id);
+                if let Some(rec) = &mut self.recorder {
+                    rec.record(id, SpanKind::MergeStart);
+                }
+            }
+        }
         entry.start_ts = entry.start_ts.min(partial.start_ts);
         entry.data.merge(&partial.data);
         entry.coverage += coverage;
@@ -196,6 +241,9 @@ impl AlignedSliceMerger {
             let done = self.pending.remove(&end_ts).expect("just looked up");
             let id = self.next_id;
             self.next_id += 1;
+            if let (Some(rec), Some(trace)) = (&mut self.recorder, done.trace) {
+                rec.record(trace, SpanKind::MergeDone);
+            }
             self.ready.push_back(SealedSlice {
                 id,
                 start_ts: done.start_ts,
@@ -205,6 +253,7 @@ impl AlignedSliceMerger {
                 session_gaps: done.gaps,
                 low_watermark: 0,
                 low_watermark_ts: done.low_ts.min(end_ts),
+                trace: done.trace,
             });
         }
     }
@@ -230,6 +279,8 @@ pub struct TimeAssembler {
     fixed: Vec<(QueryId, desis_core::window::WindowSpec)>,
     slices: VecDeque<(Timestamp, Timestamp, SliceData)>,
     results_emitted: u64,
+    /// Provenance span recorder; `None` (the default) disables tracing.
+    recorder: Option<TraceRecorder>,
 }
 
 impl TimeAssembler {
@@ -246,7 +297,14 @@ impl TimeAssembler {
             fixed,
             slices: VecDeque::new(),
             results_emitted: 0,
+            recorder: None,
         }
+    }
+
+    /// Enables causal slice tracing: traced slices that terminate windows
+    /// record `WindowAssembled`/`ResultEmitted` spans.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Slices currently retained.
@@ -275,6 +333,8 @@ impl TimeAssembler {
         let low_ts = slice.low_watermark_ts;
         let slice_end = slice.end_ts;
         let shipped_ends = slice.ends;
+        let trace = slice.trace;
+        let before = out.len();
         self.slices
             .push_back((slice.start_ts, slice.end_ts, slice.data));
         // Windows of different queries often cover the same time range;
@@ -292,6 +352,7 @@ impl TimeAssembler {
             }
             self.assemble_cached(end.query, end.start_ts, end.end_ts, &mut cache, out);
         }
+        record_assembly(&mut self.recorder, trace, &out[before..]);
         while let Some((_, e, _)) = self.slices.front() {
             if *e <= low_ts {
                 self.slices.pop_front();
@@ -447,6 +508,8 @@ pub struct UnfixedRootMerger {
     frontiers: FxHashMap<NodeId, Timestamp>,
     /// Global watermark (min over all covered streams).
     global_wm: Timestamp,
+    /// Provenance span recorder; `None` (the default) disables tracing.
+    recorder: Option<TraceRecorder>,
 }
 
 impl UnfixedRootMerger {
@@ -464,7 +527,15 @@ impl UnfixedRootMerger {
             buffered: FxHashMap::default(),
             frontiers: FxHashMap::default(),
             global_wm: 0,
+            recorder: None,
         }
+    }
+
+    /// Enables causal slice tracing: traced child partials record
+    /// `MergeStart`/`MergeDone` and, when they complete windows,
+    /// `WindowAssembled`/`ResultEmitted` spans.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Partials held back waiting for other children (buffered slices
@@ -562,6 +633,11 @@ impl UnfixedRootMerger {
 
     /// Processes one child partial in aligned order.
     fn process_slice(&mut self, origin: NodeId, partial: SealedSlice, out: &mut Vec<QueryResult>) {
+        let trace = partial.trace;
+        let before = out.len();
+        if let (Some(rec), Some(id)) = (&mut self.recorder, trace) {
+            rec.record(id, SpanKind::MergeStart);
+        }
         let store = self.children.entry(origin).or_default();
         store.slices.push_back((partial.id, partial.data));
         // Extract this child's contribution for every window it closed;
@@ -641,6 +717,10 @@ impl UnfixedRootMerger {
         // GC this child's slices.
         let low = partial.low_watermark;
         self.children.get_mut(&origin).expect("inserted").gc(low);
+        if let (Some(rec), Some(id)) = (&mut self.recorder, trace) {
+            rec.record(id, SpanKind::MergeDone);
+        }
+        record_assembly(&mut self.recorder, trace, &out[before..]);
     }
 
     /// Finalizes every pending global session that ends at or before the

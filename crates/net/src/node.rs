@@ -22,6 +22,7 @@ use desis_core::engine::{
 };
 use desis_core::event::Event;
 use desis_core::metrics::EngineMetrics;
+use desis_core::obs::trace::TraceCollector;
 use desis_core::query::{Query, QueryResult};
 use desis_core::time::{DurationMs, Timestamp};
 
@@ -185,6 +186,18 @@ impl LocalWorker {
             last_ts: 0,
             scratch: Vec::new(),
             events: 0,
+        }
+    }
+
+    /// Enables causal slice tracing: the slicers of per-slice groups get
+    /// ring-buffer recorders minting/recording `SliceCreated`/`SliceSealed`
+    /// spans. Disco's window partials and raw batches carry no trace ids,
+    /// so those groups stay untraced.
+    pub fn install_tracing(&mut self, collector: &TraceCollector) {
+        for group in &mut self.groups {
+            if let LocalGroup::Slice(slicer, _) = group {
+                slicer.set_recorder(collector.recorder(self.id));
+            }
         }
     }
 
@@ -433,6 +446,17 @@ impl IntermediateWorker {
             flush_forwarded: false,
             scratch: Vec::new(),
             event_scratch: Vec::new(),
+        }
+    }
+
+    /// Enables causal slice tracing on the slice mergers: merged slices
+    /// record `MergeStart`/`MergeDone` spans under the representative
+    /// trace id of the first contributing child slice.
+    pub fn install_tracing(&mut self, collector: &TraceCollector) {
+        for group in self.slice_groups.values_mut() {
+            if let IntermediateGroup::Merge(merger) = group {
+                merger.set_recorder(collector.recorder(self.id));
+            }
         }
     }
 
@@ -698,6 +722,27 @@ impl RootWorker {
             merged_scratch: Vec::new(),
             processed_raw_events: 0,
         })
+    }
+
+    /// Enables causal slice tracing at the root under node id `node` (the
+    /// root worker itself is topology-agnostic): mergers record
+    /// `MergeStart`/`MergeDone` and assemblers `WindowAssembled`/
+    /// `ResultEmitted` spans. Window-partial and centralized paths carry
+    /// no trace ids and stay untraced.
+    pub fn install_tracing(&mut self, collector: &TraceCollector, node: NodeId) {
+        for group in self.slice_groups.values_mut() {
+            match group {
+                RootGroup::Aligned(merger, assembler) => {
+                    merger.set_recorder(collector.recorder(node));
+                    assembler.set_recorder(collector.recorder(node));
+                }
+                RootGroup::Unfixed(merger) => merger.set_recorder(collector.recorder(node)),
+                RootGroup::Raw(slicer, assembler) => {
+                    slicer.set_recorder(collector.recorder(node));
+                    assembler.set_recorder(collector.recorder(node));
+                }
+            }
+        }
     }
 
     /// Registers one group's root-side machinery; returns whether the

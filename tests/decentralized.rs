@@ -243,3 +243,87 @@ fn cluster_report_metrics_populated() {
     assert!(report.bytes_for_role(NodeRole::Local) > 0);
     assert_eq!(report.local_metrics.events, 40_000);
 }
+
+/// Causal slice tracing: in a leaf → intermediate → root cluster with
+/// 1/1 sampling, every emitted result's trace id resolves to a complete
+/// `SliceCreated → … → ResultEmitted` provenance chain with monotone
+/// timestamps that crossed both link levels.
+#[test]
+fn trace_chains_are_complete_across_cluster_levels() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::tumbling_time(500).unwrap(),
+        AggFunction::Average,
+    )];
+    let collector = TraceCollector::new(1, 1 << 16);
+    let mut cfg = ClusterConfig::new(
+        DistributedSystem::Desis,
+        queries,
+        Topology::three_tier(1, 2),
+    );
+    cfg.trace = Some(collector.clone());
+    let mk = |offset: u64| -> Vec<Event> {
+        (0..2_000u64)
+            .map(|i| Event::new(i * 5 + offset, (i % 3) as u32, i as f64))
+            .collect()
+    };
+    let report = run_cluster(cfg, vec![mk(0), mk(1)]).unwrap();
+    assert!(!report.results.is_empty());
+
+    let timeline = collector.drain_timeline();
+    assert_eq!(timeline.dropped, 0);
+    assert!(timeline.complete_chains() > 0, "no complete chains");
+    let mut emitted = 0;
+    for chain in &timeline.chains {
+        for pair in chain.events.windows(2) {
+            assert!(
+                pair[0].at <= pair[1].at,
+                "non-monotone timestamps in chain {}",
+                chain.trace
+            );
+        }
+        if chain.result_query().is_none() {
+            // Slices that only rode along inside a merge (the merged
+            // slice carries one representative id) end mid-journey.
+            continue;
+        }
+        emitted += 1;
+        let names: Vec<&str> = chain.events.iter().map(|e| e.kind.name()).collect();
+        assert!(
+            chain.is_complete(),
+            "incomplete result chain {}: {names:?}",
+            chain.trace
+        );
+        for required in [
+            "SliceCreated",
+            "SliceSealed",
+            "SliceEncoded",
+            "LinkSend",
+            "LinkRecv",
+            "MergeStart",
+            "MergeDone",
+            "WindowAssembled",
+            "ResultEmitted",
+        ] {
+            assert!(
+                names.contains(&required),
+                "chain {} missing {required}: {names:?}",
+                chain.trace
+            );
+        }
+        // The slice crossed both links (leaf → intermediate → root) and
+        // was recorded on at least three distinct nodes.
+        let recvs = names.iter().filter(|n| **n == "LinkRecv").count();
+        assert!(recvs >= 2, "chain {} crossed {recvs} links", chain.trace);
+        let nodes: std::collections::BTreeSet<u32> = chain.events.iter().map(|e| e.node).collect();
+        assert!(nodes.len() >= 3, "chain {} nodes: {nodes:?}", chain.trace);
+    }
+    assert!(emitted > 0, "no result-bearing chains");
+
+    // Stage breakdowns land in per-query latency histograms.
+    let registry = MetricsRegistry::new();
+    timeline.publish(&registry);
+    let snap = registry.snapshot();
+    assert!(snap.histograms["trace.q1.total_us"].count > 0);
+    assert_eq!(snap.counters["trace.dropped_events"], 0);
+}

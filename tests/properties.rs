@@ -416,6 +416,11 @@ fn arb_slice_message(rng: &mut SmallRng) -> desis::net::message::Message {
             session_gaps,
             low_watermark: id.saturating_sub(2),
             low_watermark_ts: start.saturating_sub(10),
+            trace: if rng.gen_bool(0.5) {
+                Some(TraceId::from_u64(rng.gen()))
+            } else {
+                None
+            },
         },
     }
 }
