@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]
 //!             [--trace-out <path>] [--trace-sample <N>]
+//!             [--faults <plan.json>] [--fault-seed <N>]
 //!             <figure-id>... | all | list
 //! ```
 //!
@@ -16,6 +17,10 @@
 //! causal slice tracing is enabled (sampling every `--trace-sample`-th
 //! slice, default 1) and the stitched cross-node timeline is written as
 //! Chrome trace-event JSON loadable in Perfetto or `chrome://tracing`.
+//! With `--faults <plan.json>`, the fault plan (see EXPERIMENTS.md "Chaos
+//! runs") is injected into every cluster the figures start;
+//! `--fault-seed <N>` overrides the plan's RNG seed so the same plan can
+//! be replayed with different probabilistic placements.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -24,6 +29,7 @@ use desis_bench::experiments::all_figures;
 use desis_bench::measure::{write_metrics_report, Scale};
 use desis_core::obs::trace::{TraceCollector, DEFAULT_RING_CAPACITY};
 use desis_core::obs::{MetricsDiff, MetricsRegistry};
+use desis_net::fault::FaultPlan;
 
 /// Prints Table 1 (function -> operator lowering) straight from the code.
 fn print_table1() {
@@ -56,6 +62,8 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_sample = 1u64;
+    let mut faults_path: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -92,6 +100,19 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--faults" => {
+                faults_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--faults requires a plan JSON file");
+                    std::process::exit(2);
+                }));
+            }
+            "--fault-seed" => {
+                let value = it.next().unwrap_or_default();
+                fault_seed = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--fault-seed requires an integer, got {value:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -103,6 +124,31 @@ fn main() {
     // every cluster the figures spin up records into it.
     if trace_out.is_some() {
         TraceCollector::install_global(trace_sample, DEFAULT_RING_CAPACITY);
+    }
+    // Same for the fault plan: installed globally, it reaches every
+    // cluster the figures start without threading through their plumbing.
+    if let Some(path) = &faults_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+            eprintln!("cannot read fault plan {path}: {err}");
+            std::process::exit(2);
+        });
+        let mut plan = FaultPlan::from_json(&text).unwrap_or_else(|err| {
+            eprintln!("invalid fault plan {path}: {err}");
+            std::process::exit(2);
+        });
+        if let Some(seed) = fault_seed {
+            plan.seed = seed;
+        }
+        eprintln!(
+            "fault plan {path}: seed {}, {} link fault(s), {} node fault(s)",
+            plan.seed,
+            plan.links.len(),
+            plan.nodes.len()
+        );
+        FaultPlan::install_global(plan);
+    } else if fault_seed.is_some() {
+        eprintln!("--fault-seed requires --faults");
+        std::process::exit(2);
     }
 
     let registry = all_figures();
@@ -202,11 +248,14 @@ fn print_usage() {
     println!(
         "usage: experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]\n\
          \x20                  [--trace-out <path>] [--trace-sample <N>]\n\
+         \x20                  [--faults <plan.json>] [--fault-seed <N>]\n\
          \x20                  <figure-id>... | all | list\n\
          reproduces the Desis (EDBT 2023) evaluation figures; see EXPERIMENTS.md\n\
          --metrics-out writes per-figure metric deltas plus the process\n\
          snapshot (bytes, message counts, latency histograms) as JSON\n\
          --trace-out enables causal slice tracing (every --trace-sample'th\n\
-         slice, default 1) and writes Chrome trace-event JSON for Perfetto"
+         slice, default 1) and writes Chrome trace-event JSON for Perfetto\n\
+         --faults injects a deterministic fault plan (EXPERIMENTS.md \"Chaos\n\
+         runs\") into every cluster; --fault-seed overrides the plan's seed"
     );
 }

@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 /// Error of sending on a channel with no live receivers; returns the
 /// message.
@@ -48,6 +49,27 @@ impl Waker {
         while !*fired {
             fired = self.cv.wait(fired).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Parks until woken or `deadline` passes; returns `false` on
+    /// timeout.
+    fn park_deadline(&self, deadline: Instant) -> bool {
+        let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+        while !*fired {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, timed_out) = self
+                .cv
+                .wait_timeout(fired, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            fired = guard;
+            if timed_out.timed_out() && !*fired {
+                return false;
+            }
+        }
+        true
     }
 
     fn arm(&self) {
@@ -311,7 +333,36 @@ impl<'a, T> Select<'a, T> {
             self.waker.park();
         }
     }
+
+    /// Like [`Select::select`], but gives up after `timeout` if no
+    /// watched receiver becomes ready.
+    pub fn select_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<SelectedOperation, SelectTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.waker.arm();
+            // Register before checking readiness (see `select`).
+            for (index, r) in self.receivers.iter().enumerate() {
+                if let Some(r) = r {
+                    r.register(&self.waker);
+                    if r.is_ready() {
+                        return Ok(SelectedOperation { index });
+                    }
+                }
+            }
+            if !self.waker.park_deadline(deadline) {
+                return Err(SelectTimeoutError);
+            }
+        }
+    }
 }
+
+/// Error of a [`Select::select_timeout`] that saw no ready operation in
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectTimeoutError;
 
 /// A ready operation returned by [`Select::select`]; complete it by
 /// calling [`SelectedOperation::recv`] with the receiver at
@@ -410,6 +461,23 @@ mod tests {
         assert_eq!(got.len(), 200);
         let lows: Vec<u64> = got.iter().copied().filter(|v| *v < 1_000).collect();
         assert_eq!(lows, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn select_timeout_expires_then_sees_message() {
+        let (tx, rx) = bounded::<u8>(2);
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let start = std::time::Instant::now();
+        assert!(sel.select_timeout(Duration::from_millis(20)).is_err());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(7).unwrap();
+        });
+        let op = sel.select_timeout(Duration::from_secs(5)).expect("ready");
+        assert_eq!(op.recv(&rx), Ok(7));
+        t.join().unwrap();
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub enum DesisError {
     /// The engine was asked to do something unsupported in its current
     /// deployment role (e.g. terminate count windows on a local node).
     UnsupportedInRole(&'static str),
+    /// A fault-injection plan did not fit the topology it was applied to
+    /// (unknown node, fault on a link that does not exist, bad
+    /// probability, or an inverted frame range).
+    FaultPlan(String),
 }
 
 impl fmt::Display for DesisError {
@@ -30,6 +34,7 @@ impl fmt::Display for DesisError {
             DesisError::UnsupportedInRole(msg) => {
                 write!(f, "unsupported in this node role: {msg}")
             }
+            DesisError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }

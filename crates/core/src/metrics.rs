@@ -8,7 +8,7 @@
 //! single-threaded components (slicers, the naive baselines) accumulate
 //! plain fields on the hot path, and snapshots are summed with
 //! [`EngineMetrics::absorb`] and published into the unified
-//! [`MetricsRegistry`](crate::obs::MetricsRegistry) with
+//! [`MetricsRegistry`] with
 //! [`EngineMetrics::publish`] — so one JSON dump covers engine, network,
 //! and latency instruments alike.
 

@@ -13,7 +13,8 @@
 //! [`TraceCollector`] when a recorder is dropped (worker threads end) or
 //! explicitly flushed. The collector stitches them into causally-ordered
 //! per-trace chains ([`TraceTimeline`]), computes per-stage latency
-//! breakdowns per query (feeding the existing [`LogHistogram`]s), and
+//! breakdowns per query (feeding the existing
+//! [`LogHistogram`](crate::obs::LogHistogram)s), and
 //! exports Chrome trace-event JSON loadable in Perfetto or
 //! `chrome://tracing`.
 //!
@@ -85,6 +86,28 @@ pub enum SpanKind {
         /// The query whose result was emitted.
         query: u64,
     },
+    /// A parent noticed `child` lagging its siblings' watermarks.
+    ChildSuspect {
+        /// The child node the parent is suspicious of.
+        child: u32,
+    },
+    /// A parent detected a sequence gap from `child` and began NACKing.
+    ChildRecovering {
+        /// The child node being recovered.
+        child: u32,
+    },
+    /// A previously suspect or recovering `child` returned to healthy.
+    ChildRecovered {
+        /// The child node that recovered.
+        child: u32,
+    },
+    /// The parent gave up on `child` (retry budget exhausted, decode
+    /// failure without backchannel, or disconnect) and flushed on its
+    /// behalf.
+    ChildLost {
+        /// The child node declared lost.
+        child: u32,
+    },
 }
 
 impl SpanKind {
@@ -100,6 +123,10 @@ impl SpanKind {
             SpanKind::MergeDone => "MergeDone",
             SpanKind::WindowAssembled => "WindowAssembled",
             SpanKind::ResultEmitted { .. } => "ResultEmitted",
+            SpanKind::ChildSuspect { .. } => "ChildSuspect",
+            SpanKind::ChildRecovering { .. } => "ChildRecovering",
+            SpanKind::ChildRecovered { .. } => "ChildRecovered",
+            SpanKind::ChildLost { .. } => "ChildLost",
         }
     }
 
@@ -117,6 +144,10 @@ impl SpanKind {
             SpanKind::MergeDone => 6,
             SpanKind::WindowAssembled => 7,
             SpanKind::ResultEmitted { .. } => 8,
+            SpanKind::ChildSuspect { .. } => 9,
+            SpanKind::ChildRecovering { .. } => 10,
+            SpanKind::ChildRecovered { .. } => 11,
+            SpanKind::ChildLost { .. } => 12,
         }
     }
 }

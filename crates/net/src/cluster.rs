@@ -11,23 +11,25 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::Select;
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 
 use desis_core::error::DesisError;
 use desis_core::event::Event;
 use desis_core::metrics::EngineMetrics;
-use desis_core::obs::trace::{SpanKind, TraceCollector, TraceRecorder};
-use desis_core::obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+use desis_core::obs::trace::TraceCollector;
+use desis_core::obs::{MetricsRegistry, MetricsSnapshot};
 use desis_core::query::{Query, QueryResult};
 use desis_core::time::{DurationMs, Timestamp};
 use desis_core::window::WindowKind;
 
 use crate::codec::CodecKind;
+use crate::fault::{fault_log, FaultPlan, FaultStats, InjectedFault};
 use crate::link::{link_with_stats, LinkReceiver, LinkSender, LinkStats};
+#[cfg(test)]
 use crate::message::Message;
 use crate::node::{analyze_for, DistributedSystem, IntermediateWorker, LocalWorker, RootWorker};
+use crate::recovery::{pump_children, PumpObs, RecoveryConfig, RecoveryCtx, RecoveryStats};
 use crate::topology::{NodeId, NodeRole, Topology};
 
 /// A runtime reconfiguration command (Section 3.2), applied when event
@@ -86,6 +88,14 @@ pub struct ClusterConfig {
     /// [`TraceCollector::global`] when unset). The caller owns draining
     /// the stitched timeline after the run.
     pub trace: Option<TraceCollector>,
+    /// Deterministic fault schedule for this run (falling back to
+    /// [`FaultPlan::global`] when unset — the bench driver's `--faults`
+    /// flag installs one there). `None` with no global plan runs
+    /// fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Tunables of the recovery protocol (NACK budget, grace period,
+    /// retransmit history, reorder buffer, suspect lag).
+    pub recovery: RecoveryConfig,
 }
 
 impl ClusterConfig {
@@ -105,6 +115,8 @@ impl ClusterConfig {
             latency_sample_every: 256,
             pace_speedup: None,
             trace: None,
+            faults: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -202,13 +214,19 @@ pub struct ClusterReport {
     pub latencies_ms: Vec<f64>,
     /// Raw events the root had to process itself.
     pub root_raw_events: u64,
-    /// Direct children of the root that disconnected without flushing
-    /// (crashed / removed nodes, Section 3.2).
+    /// Nodes anywhere in the tree that their parent gave up on — they
+    /// disconnected without flushing or exhausted the recovery protocol's
+    /// retry budget (crashed / removed nodes, Section 3.2) — sorted by
+    /// node id.
     pub lost_children: Vec<NodeId>,
     /// The topology, for per-role breakdowns.
     pub topology: Topology,
     /// Unified observability snapshot of the run (see [`ClusterMetrics`]).
     pub metrics: ClusterMetrics,
+    /// Every fault the plan's injectors actually fired, sorted by
+    /// `(link, frame, kind)` — a deterministic placement record: two runs
+    /// with the same plan and seed produce identical logs.
+    pub faults_injected: Vec<InjectedFault>,
 }
 
 impl ClusterReport {
@@ -251,7 +269,6 @@ impl ClusterReport {
     }
 }
 
-/// Pumps messages from `children` until every channel disconnects.
 /// A compiled runtime command.
 #[derive(Debug, Clone)]
 enum CompiledCommand {
@@ -264,113 +281,6 @@ enum CompiledCommand {
         /// horizon for non-immediate removals).
         root_at: Timestamp,
     },
-}
-
-/// Ingress instrumentation of one pump loop (one per node role), writing
-/// into the run's [`MetricsRegistry`]: received bytes, message counts by
-/// kind, the high-water inbound queue depth, and undecodable frames.
-struct PumpObs {
-    ingress_bytes: Arc<Counter>,
-    msgs: [(&'static str, Arc<Counter>); 5],
-    other_msgs: Arc<Counter>,
-    queue_depth_max: Arc<Gauge>,
-    decode_errors: Arc<Counter>,
-}
-
-impl PumpObs {
-    fn new(registry: &MetricsRegistry, role: &str) -> Self {
-        let tag_counter = |tag: &str| registry.counter(&format!("net.{role}.msgs.{tag}"));
-        Self {
-            ingress_bytes: registry.counter(&format!("net.{role}.ingress_bytes")),
-            msgs: [
-                ("events", tag_counter("events")),
-                ("slice", tag_counter("slice")),
-                ("window-partials", tag_counter("window-partials")),
-                ("watermark", tag_counter("watermark")),
-                ("flush", tag_counter("flush")),
-            ],
-            other_msgs: tag_counter("other"),
-            queue_depth_max: registry.gauge(&format!("net.{role}.queue_depth_max")),
-            decode_errors: registry.counter(&format!("net.{role}.decode_errors")),
-        }
-    }
-
-    fn on_frame(&self, len: usize, tag: &str, queued: usize) {
-        self.ingress_bytes.add(len as u64);
-        match self.msgs.iter().find(|(t, _)| *t == tag) {
-            Some((_, c)) => c.inc(),
-            None => self.other_msgs.inc(),
-        }
-        self.queue_depth_max.set_max(queued as i64);
-    }
-}
-
-/// Records a `LinkRecv` span for a traced slice message arriving at a
-/// pump loop (the receive side of the ship stage).
-fn record_link_recv(recorder: &mut Option<TraceRecorder>, msg: &Message) {
-    if let (Some(rec), Message::Slice { partial, .. }) = (recorder.as_mut(), msg) {
-        if let Some(id) = partial.trace {
-            rec.record(id, SpanKind::LinkRecv);
-        }
-    }
-}
-
-/// Pumps messages from children until every channel disconnects.
-///
-/// Basic node fault tolerance (Section 3.2): a child that disconnects
-/// without sending `Flush` — a crashed or removed node — is flushed on its
-/// behalf so mergers waiting for its contributions do not stall; the lost
-/// node ids are returned so the run can report them ("Desis will remove
-/// this node from the cluster and inform users"). A child that sends an
-/// undecodable frame is treated the same way (and counted in
-/// `net.{role}.decode_errors`) instead of panicking the pump thread.
-fn pump_children(
-    receivers: &[(NodeId, LinkReceiver)],
-    obs: &PumpObs,
-    mut handler: impl FnMut(NodeId, Message),
-) -> Vec<NodeId> {
-    let mut sel = Select::new();
-    for (_, r) in receivers {
-        sel.recv(r.raw());
-    }
-    let mut flushed = vec![false; receivers.len()];
-    let mut lost = Vec::new();
-    let mut open = receivers.len();
-    while open > 0 {
-        let op = sel.select();
-        let idx = op.index();
-        let (child, receiver) = &receivers[idx];
-        match op.recv(receiver.raw()) {
-            Ok(frame) => match receiver.decode(&frame) {
-                Ok(msg) => {
-                    obs.on_frame(frame.len(), msg.tag(), receiver.raw().len());
-                    if matches!(msg, Message::Flush) {
-                        flushed[idx] = true;
-                    }
-                    handler(*child, msg);
-                }
-                Err(_) => {
-                    obs.decode_errors.inc();
-                    sel.remove(idx);
-                    open -= 1;
-                    if !flushed[idx] {
-                        flushed[idx] = true;
-                        lost.push(*child);
-                        handler(*child, Message::Flush);
-                    }
-                }
-            },
-            Err(_) => {
-                sel.remove(idx);
-                open -= 1;
-                if !flushed[idx] {
-                    lost.push(*child);
-                    handler(*child, Message::Flush);
-                }
-            }
-        }
-    }
-    lost
 }
 
 /// Runs a cluster over one finite event feed per local node.
@@ -463,6 +373,18 @@ pub fn run_cluster(
         .clone()
         .or_else(|| TraceCollector::global().cloned());
 
+    // Fault injection: an explicit per-run plan wins over the
+    // process-global one installed by the bench driver's `--faults`.
+    let plan = cfg.faults.clone().or_else(|| FaultPlan::global().cloned());
+    if let Some(plan) = &plan {
+        plan.validate(&topology).map_err(DesisError::FaultPlan)?;
+    }
+    let fault_stats = FaultStats::registered(&registry);
+    let recovery_stats = RecoveryStats::registered(&registry);
+    let injected = fault_log();
+    // Children lost below the root (intermediates report their own).
+    let lost_below: Mutex<Vec<NodeId>> = Mutex::new(Vec::new());
+
     // Create the uplink of every non-root node; the link counters live in
     // the registry as `net.node{id}.egress_*`.
     let mut senders: FxHashMap<NodeId, LinkSender> = FxHashMap::default();
@@ -471,12 +393,20 @@ pub fn run_cluster(
         FxHashMap::default();
     for node in 0..topology.len() as NodeId {
         if let Some(parent) = topology.parent(node) {
-            let (tx, rx, st) = link_with_stats(
+            let (mut tx, rx, st) = link_with_stats(
                 codec,
                 cfg.channel_capacity,
                 cfg.bandwidth,
                 Arc::new(LinkStats::registered(&registry, node)),
             );
+            tx.set_history_cap(cfg.recovery.history_cap);
+            if let Some(plan) = &plan {
+                if let Some(inj) =
+                    plan.injector_for(node, Arc::clone(&fault_stats), Arc::clone(&injected))
+                {
+                    tx.set_injector(inj);
+                }
+            }
             senders.insert(node, tx);
             stats.push((node, st));
             receivers_by_parent
@@ -506,6 +436,10 @@ pub fn run_cluster(
             let pace = cfg.pace_speedup;
             let script = Arc::clone(&compiled);
             let tracing = tracing.clone();
+            let crash_at = plan.as_ref().and_then(|p| p.crash_at(node));
+            let stall_at = plan.as_ref().and_then(|p| p.stall_at(node));
+            let fault_stats = Arc::clone(&fault_stats);
+            let recovery_cfg = cfg.recovery.clone();
             scope.spawn(move || {
                 let mut worker =
                     LocalWorker::new(node, system, &groups, batch_size, watermark_every);
@@ -515,9 +449,23 @@ pub fn run_cluster(
                 }
                 let mut since_sample = 0u64;
                 let mut script_idx = 0usize;
+                let mut stalled = false;
                 let pace_start = Instant::now();
                 let mut first_ts: Option<Timestamp> = None;
                 for ev in feed {
+                    if crash_at.is_some_and(|at| ev.ts >= at) {
+                        // Crash: exit without finish or Flush. Dropping
+                        // the uplink is the disconnect the parent sees.
+                        fault_stats.crashes.inc();
+                        metrics_sink.lock().absorb(&worker.metrics());
+                        return;
+                    }
+                    if !stalled && stall_at.is_some_and(|(at, _)| ev.ts >= at) {
+                        stalled = true;
+                        fault_stats.stalls.inc();
+                        let (_, ms) = stall_at.expect("checked");
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
                     while let Some((at, cmd)) = script.get(script_idx) {
                         if ev.ts < *at {
                             break;
@@ -555,7 +503,10 @@ pub fn run_cluster(
                 }
                 let _ = worker.finish(horizon, &mut uplink);
                 metrics_sink.lock().absorb(&worker.metrics());
-                // Dropping the uplink disconnects the parent.
+                // Stay around to answer retransmit requests until the
+                // parent acknowledges our Flush; then dropping the uplink
+                // disconnects it.
+                uplink.linger(recovery_cfg.nack_grace, recovery_cfg.retry_budget);
             });
         }
 
@@ -573,16 +524,21 @@ pub fn run_cluster(
             let merge_pending_max = registry.gauge("net.intermediate.merge_pending_max");
             let merge_stalls = registry.counter("net.intermediate.merge_stalls");
             let tracing = tracing.clone();
+            let recovery_cfg = cfg.recovery.clone();
+            let recovery_stats = Arc::clone(&recovery_stats);
+            let lost_below = &lost_below;
             scope.spawn(move || {
                 let mut worker =
                     IntermediateWorker::new(node, system, &groups, coverage, child_ids);
-                let mut recv_rec = tracing.as_ref().map(|tc| tc.recorder(node));
+                let recv_rec = tracing.as_ref().map(|tc| tc.recorder(node));
                 if let Some(tc) = &tracing {
                     worker.install_tracing(tc);
                     uplink.set_recorder(tc.recorder(node));
                 }
-                let _lost = pump_children(&receivers, &obs, |child, msg| {
-                    record_link_recv(&mut recv_rec, &msg);
+                let grace = recovery_cfg.nack_grace;
+                let probes = recovery_cfg.retry_budget;
+                let ctx = RecoveryCtx::new(recovery_cfg, recovery_stats, recv_rec);
+                let lost = pump_children(&receivers, &obs, ctx, |child, msg| {
                     let tag = msg.tag();
                     let _ = worker.on_message(child, msg, &mut uplink);
                     let pending = worker.pending_merges();
@@ -593,6 +549,11 @@ pub fn run_cluster(
                         merge_stalls.inc();
                     }
                 });
+                if !lost.is_empty() {
+                    lost_below.lock().extend(lost);
+                }
+                // Serve our parent's retransmit requests before hanging up.
+                uplink.linger(grace, probes);
             });
         }
 
@@ -610,13 +571,15 @@ pub fn run_cluster(
         let root_obs = PumpObs::new(&registry, "root");
         let root_merge_pending_max = registry.gauge("net.root.merge_pending_max");
         let root_merge_stalls = registry.counter("net.root.merge_stalls");
+        let root_recovery = cfg.recovery.clone();
+        let root_recovery_stats = Arc::clone(&recovery_stats);
         let root_handle = scope.spawn(move || -> Result<_, DesisError> {
             // If the root cannot even be built (e.g. the centralized
             // baseline rejects a query), the error propagates instead of
             // panicking: dropping the receivers closes the uplinks, which
             // the other node threads observe as failed sends and exit.
             let mut worker = RootWorker::new(system, &groups_root, &queries, n_leaves, child_ids)?;
-            let mut recv_rec = tracing.as_ref().map(|tc| tc.recorder(root));
+            let recv_rec = tracing.as_ref().map(|tc| tc.recorder(root));
             if let Some(tc) = &tracing {
                 worker.install_tracing(tc, root);
             }
@@ -636,8 +599,8 @@ pub fn run_cluster(
                 .collect();
             pending_removals.sort_unstable();
             let mut stamped: Vec<(QueryResult, Instant)> = Vec::new();
-            let lost = pump_children(&receivers, &root_obs, |child, msg| {
-                record_link_recv(&mut recv_rec, &msg);
+            let ctx = RecoveryCtx::new(root_recovery, root_recovery_stats, recv_rec);
+            let lost = pump_children(&receivers, &root_obs, ctx, |child, msg| {
                 let tag = msg.tag();
                 worker.on_message(child, msg);
                 let pending = worker.pending_merges();
@@ -660,8 +623,11 @@ pub fn run_cluster(
             Ok((stamped, worker.raw_events_processed(), lost))
         });
 
-        let (stamped, root_raw_events, lost_children) = root_handle.join().expect("root thread")?;
+        let (stamped, root_raw_events, root_lost) = root_handle.join().expect("root thread")?;
         let wall = started.elapsed();
+        let mut lost_children = root_lost;
+        lost_children.extend(lost_below.lock().drain(..));
+        lost_children.sort_unstable();
 
         let latency_hist = registry.histogram("cluster.result_latency_us");
         let mut latencies_ms = Vec::with_capacity(stamped.len());
@@ -686,6 +652,8 @@ pub fn run_cluster(
         let metrics = registry.snapshot();
         MetricsRegistry::global()
             .merge_snapshot(&format!("cluster.{}.", cfg.system.label()), &metrics);
+        let mut faults_injected = injected.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        faults_injected.sort_by(|a, b| (a.link, a.frame, a.kind).cmp(&(b.link, b.frame, b.kind)));
         Ok(ClusterReport {
             results,
             wall,
@@ -697,6 +665,7 @@ pub fn run_cluster(
             lost_children,
             topology,
             metrics,
+            faults_injected,
         })
     })
 }
@@ -1023,7 +992,7 @@ mod tests {
         let obs = PumpObs::new(&registry, "root");
         let receivers = vec![(3, rx)];
         let mut flushes = 0;
-        let lost = pump_children(&receivers, &obs, |child, msg| {
+        let lost = pump_children(&receivers, &obs, RecoveryCtx::detached(), |child, msg| {
             assert_eq!(child, 3);
             if matches!(msg, Message::Flush) {
                 flushes += 1;
@@ -1047,7 +1016,7 @@ mod tests {
         let obs = PumpObs::new(&registry, "root");
         let receivers = vec![(5, rx)];
         let mut flushes = 0;
-        let lost = pump_children(&receivers, &obs, |child, msg| {
+        let lost = pump_children(&receivers, &obs, RecoveryCtx::detached(), |child, msg| {
             assert_eq!(child, 5);
             if matches!(msg, Message::Flush) {
                 flushes += 1;
@@ -1278,7 +1247,7 @@ mod runtime_reconfig_tests {
         let receivers = vec![(7, rx_a), (9, rx_b)];
         let registry = MetricsRegistry::new();
         let obs = PumpObs::new(&registry, "root");
-        let lost = pump_children(&receivers, &obs, |child, msg| {
+        let lost = pump_children(&receivers, &obs, RecoveryCtx::detached(), |child, msg| {
             worker.on_message(child, msg);
             results.extend(worker.drain_results());
         });

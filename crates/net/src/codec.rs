@@ -187,11 +187,47 @@ impl Source for TextSource<'_> {
 // The encoding walk (format-independent).
 // ---------------------------------------------------------------------
 
-/// Wire frame format version, the first field of every frame. Version 2
-/// added the optional slice trace-id field (causal provenance tracing);
-/// version 1 frames had no version field at all, so a version mismatch —
-/// like any other protocol violation — marks the sending child lost.
-pub const WIRE_VERSION: u8 = 2;
+/// Wire frame format version, the first field of every frame.
+///
+/// Version 3 (current) wraps the message body in a reliability envelope:
+/// after the version field comes a sequence-presence flag, the optional
+/// per-link sequence number (see `desis_net::recovery`), then the message
+/// body, and finally an FNV-1a-64 checksum over everything before it
+/// (eight little-endian bytes in binary frames, one decimal field in text
+/// frames). The checksum turns in-flight corruption into a detectable
+/// [`CodecError`] so the receiver can request a retransmit instead of
+/// silently aggregating garbage.
+///
+/// Version 2 (still decoded for backward compatibility) had no sequence
+/// number and no checksum; version 2 added the optional slice trace-id
+/// field. Version 1 frames had no version field at all, so a version
+/// mismatch — like any other protocol violation — is a decode error.
+pub const WIRE_VERSION: u8 = 3;
+
+/// The previous frame version, still accepted by [`CodecKind::decode`].
+/// Version 2 frames carry no sequence number, so children speaking v2 get
+/// the legacy failure semantics (first undecodable frame ⇒ lost).
+pub const WIRE_VERSION_V2: u8 = 2;
+
+/// A decoded wire frame: the message plus its reliability envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Per-link sequence number; `None` for v2 frames and for v3 frames
+    /// sent without sequencing (e.g. standalone links outside a cluster).
+    pub seq: Option<u64>,
+    /// The decoded message body.
+    pub msg: Message,
+}
+
+/// FNV-1a 64-bit hash, the v3 frame checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 const TAG_EVENTS: u8 = 1;
 const TAG_SLICE: u8 = 2;
@@ -399,7 +435,11 @@ fn put_slice<S: Sink>(s: &mut S, slice: &SealedSlice) {
 fn get_slice<S: Source>(s: &mut S) -> Result<SealedSlice> {
     let id = s.vu64()?;
     let start_ts = s.vu64()?;
-    let end_ts = start_ts + s.vu64()?;
+    // The end timestamp is delta-encoded; an adversarial delta must fail
+    // the decode rather than overflow (a panic in debug builds).
+    let end_ts = start_ts
+        .checked_add(s.vu64()?)
+        .ok_or_else(|| CodecError("slice end_ts delta overflows u64".into()))?;
     let low_watermark = id - s.vu64()?.min(id);
     let low_watermark_ts = end_ts - s.vu64()?.min(end_ts);
     let trace = match s.u8()? {
@@ -561,46 +601,130 @@ fn get_message<S: Source>(s: &mut S) -> Result<Message> {
     })
 }
 
-fn check_version<S: Source>(s: &mut S) -> Result<()> {
-    let v = s.u8()?;
-    if v != WIRE_VERSION {
-        return Err(CodecError(format!(
-            "unsupported frame version {v} (expected {WIRE_VERSION})"
-        )));
+/// Reads the optional sequence field of a v3 envelope.
+fn get_seq<S: Source>(s: &mut S) -> Result<Option<u64>> {
+    match s.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(s.vu64()?)),
+        other => Err(CodecError(format!("bad seq-presence flag {other}"))),
     }
-    Ok(())
 }
 
 impl CodecKind {
-    /// Serializes a message to a wire frame.
+    /// Serializes a message to a v3 wire frame without a sequence number.
     pub fn encode(self, msg: &Message) -> Vec<u8> {
+        self.encode_envelope(msg, None)
+    }
+
+    /// Serializes a message to a v3 wire frame carrying sequence number
+    /// `seq` (gap detection and retransmission, see
+    /// `desis_net::recovery`).
+    pub fn encode_seq(self, msg: &Message, seq: u64) -> Vec<u8> {
+        self.encode_envelope(msg, Some(seq))
+    }
+
+    fn encode_envelope(self, msg: &Message, seq: Option<u64>) -> Vec<u8> {
         match self {
             CodecKind::Binary => {
                 let mut sink = BinarySink(Vec::with_capacity(64));
                 sink.u8(WIRE_VERSION);
+                match seq {
+                    None => sink.u8(0),
+                    Some(n) => {
+                        sink.u8(1);
+                        sink.vu64(n);
+                    }
+                }
                 put_message(&mut sink, msg);
+                let checksum = fnv1a64(&sink.0);
+                sink.0.extend_from_slice(&checksum.to_le_bytes());
                 sink.0
             }
             CodecKind::Text => {
                 let mut sink = TextSink(String::with_capacity(64));
                 sink.u8(WIRE_VERSION);
+                match seq {
+                    None => sink.u8(0),
+                    Some(n) => {
+                        sink.u8(1);
+                        sink.vu64(n);
+                    }
+                }
+                put_message(&mut sink, msg);
+                let checksum = fnv1a64(sink.0.as_bytes());
+                sink.push(format_args!("{checksum}"));
+                sink.0.into_bytes()
+            }
+        }
+    }
+
+    /// Serializes a message in the legacy v2 framing (no sequence number,
+    /// no checksum). Kept for compatibility testing: [`Self::decode`]
+    /// still accepts v2 frames from older senders.
+    pub fn encode_v2(self, msg: &Message) -> Vec<u8> {
+        match self {
+            CodecKind::Binary => {
+                let mut sink = BinarySink(Vec::with_capacity(64));
+                sink.u8(WIRE_VERSION_V2);
+                put_message(&mut sink, msg);
+                sink.0
+            }
+            CodecKind::Text => {
+                let mut sink = TextSink(String::with_capacity(64));
+                sink.u8(WIRE_VERSION_V2);
                 put_message(&mut sink, msg);
                 sink.0.into_bytes()
             }
         }
     }
 
-    /// Parses a wire frame back into a message.
+    /// Parses a wire frame back into a message, discarding the envelope.
     ///
-    /// A frame must contain exactly one message: trailing bytes after the
-    /// decoded message are a protocol violation and fail the decode (the
-    /// cluster then treats the sending child as lost, like any other
-    /// undecodable frame).
+    /// Shorthand for [`Self::decode_framed`] when the caller does not
+    /// track sequence numbers.
     pub fn decode(self, frame: &[u8]) -> Result<Message> {
+        self.decode_framed(frame).map(|f| f.msg)
+    }
+
+    /// Parses a wire frame into its message plus reliability envelope.
+    ///
+    /// Accepts the current v3 framing (sequence field + checksum) and the
+    /// legacy v2 framing (neither). A frame must contain exactly one
+    /// message: a failed checksum, trailing bytes after the decoded
+    /// message, or any field overrunning the buffer are protocol
+    /// violations and fail the decode — the cluster then enters recovery
+    /// for (or, for v2 children, loses) the sending child.
+    pub fn decode_framed(self, frame: &[u8]) -> Result<Frame> {
         match self {
             CodecKind::Binary => {
-                let mut src = BinarySource(frame);
-                check_version(&mut src)?;
+                let version = *frame
+                    .first()
+                    .ok_or_else(|| CodecError("empty frame".into()))?;
+                let (seq, body) = match version {
+                    WIRE_VERSION => {
+                        if frame.len() < 1 + 8 {
+                            return Err(CodecError("v3 frame too short for checksum".into()));
+                        }
+                        let (payload, tail) = frame.split_at(frame.len() - 8);
+                        let declared = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+                        let actual = fnv1a64(payload);
+                        if declared != actual {
+                            return Err(CodecError(format!(
+                                "checksum mismatch: frame says {declared:#x}, computed {actual:#x}"
+                            )));
+                        }
+                        let mut src = BinarySource(&payload[1..]);
+                        let seq = get_seq(&mut src)?;
+                        (seq, src)
+                    }
+                    WIRE_VERSION_V2 => (None, BinarySource(&frame[1..])),
+                    other => {
+                        return Err(CodecError(format!(
+                            "unsupported frame version {other} (expected {WIRE_VERSION_V2} or {WIRE_VERSION})"
+                        )))
+                    }
+                };
+                let mut src = body;
                 let msg = get_message(&mut src)?;
                 if !src.0.is_empty() {
                     return Err(CodecError(format!(
@@ -608,15 +732,61 @@ impl CodecKind {
                         src.0.len()
                     )));
                 }
-                Ok(msg)
+                Ok(Frame { seq, msg })
             }
             CodecKind::Text => {
                 let text = std::str::from_utf8(frame)
                     .map_err(|e| CodecError(format!("invalid utf-8: {e}")))?;
-                let mut src = TextSource {
-                    fields: text.split(';'),
+                let version: u8 = {
+                    let field = text
+                        .split(';')
+                        .next()
+                        .ok_or_else(|| CodecError("empty frame".into()))?;
+                    field
+                        .parse()
+                        .map_err(|_| CodecError(format!("bad version field {field:?}")))?
                 };
-                check_version(&mut src)?;
+                let (seq, mut src) = match version {
+                    WIRE_VERSION => {
+                        // The checksum is the last `;`-terminated field,
+                        // covering every byte before it (trailer included
+                        // in neither).
+                        let trimmed = text
+                            .strip_suffix(';')
+                            .ok_or_else(|| CodecError("v3 text frame not ';'-terminated".into()))?;
+                        let pos = trimmed
+                            .rfind(';')
+                            .ok_or_else(|| CodecError("v3 text frame missing checksum".into()))?;
+                        let (body, chk_str) = (&text[..=pos], &trimmed[pos + 1..]);
+                        let declared: u64 = chk_str
+                            .parse()
+                            .map_err(|_| CodecError(format!("bad checksum field {chk_str:?}")))?;
+                        let actual = fnv1a64(body.as_bytes());
+                        if declared != actual {
+                            return Err(CodecError(format!(
+                                "checksum mismatch: frame says {declared:#x}, computed {actual:#x}"
+                            )));
+                        }
+                        let mut src = TextSource {
+                            fields: body.split(';'),
+                        };
+                        let _version = src.u8()?;
+                        let seq = get_seq(&mut src)?;
+                        (seq, src)
+                    }
+                    WIRE_VERSION_V2 => {
+                        let mut src = TextSource {
+                            fields: text.split(';'),
+                        };
+                        let _version = src.u8()?;
+                        (None, src)
+                    }
+                    other => {
+                        return Err(CodecError(format!(
+                            "unsupported frame version {other} (expected {WIRE_VERSION_V2} or {WIRE_VERSION})"
+                        )))
+                    }
+                };
                 let msg = get_message(&mut src)?;
                 // Every field is `;`-terminated, so splitting a complete
                 // frame leaves exactly one empty remainder.
@@ -627,7 +797,7 @@ impl CodecKind {
                         leftover.len()
                     )));
                 }
-                Ok(msg)
+                Ok(Frame { seq, msg })
             }
         }
     }
@@ -821,23 +991,149 @@ mod tests {
 
     #[test]
     fn decode_rejects_trailing_garbage() {
+        // v3 frames are checksummed, so appended bytes fail the checksum
+        // before the message parser even runs.
         let msg = Message::Watermark(42);
         let mut frame = CodecKind::Binary.encode(&msg);
         assert!(CodecKind::Binary.decode(&frame).is_ok());
         frame.push(0x01);
         let err = CodecKind::Binary.decode(&frame).unwrap_err();
-        assert!(err.0.contains("trailing"), "{err}");
+        assert!(err.0.contains("checksum"), "{err}");
 
         let mut text = CodecKind::Text.encode(&msg);
         assert!(CodecKind::Text.decode(&text).is_ok());
         text.extend_from_slice(b"99;");
         let err = CodecKind::Text.decode(&text).unwrap_err();
-        assert!(err.0.contains("trailing"), "{err}");
+        assert!(err.0.contains("checksum"), "{err}");
 
         // A second full message appended to the frame is also garbage.
         let mut doubled = CodecKind::Binary.encode(&msg);
         doubled.extend_from_slice(&CodecKind::Binary.encode(&msg));
         assert!(CodecKind::Binary.decode(&doubled).is_err());
+
+        // v2 frames have no checksum: trailing garbage is caught by the
+        // exactly-one-message rule.
+        let mut v2 = CodecKind::Binary.encode_v2(&msg);
+        assert!(CodecKind::Binary.decode(&v2).is_ok());
+        v2.push(0x01);
+        let err = CodecKind::Binary.decode(&v2).unwrap_err();
+        assert!(err.0.contains("trailing"), "{err}");
+
+        let mut v2_text = CodecKind::Text.encode_v2(&msg);
+        assert!(CodecKind::Text.decode(&v2_text).is_ok());
+        v2_text.extend_from_slice(b"99;");
+        let err = CodecKind::Text.decode(&v2_text).unwrap_err();
+        assert!(err.0.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn v2_frames_still_decode() {
+        // Backward compatibility: a v2 sender's frames decode with no
+        // sequence number, taking the legacy failure semantics.
+        for codec in [CodecKind::Binary, CodecKind::Text] {
+            for msg in messages() {
+                let frame = codec.encode_v2(&msg);
+                let back = codec.decode_framed(&frame).expect("v2 decode");
+                assert_eq!(back.seq, None);
+                assert_eq!(back.msg, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_roundtrips_in_envelope() {
+        for codec in [CodecKind::Binary, CodecKind::Text] {
+            for seq in [0u64, 1, 500, u64::MAX] {
+                let frame = codec.encode_seq(&Message::Watermark(7), seq);
+                let back = codec.decode_framed(&frame).expect("decode");
+                assert_eq!(back.seq, Some(seq));
+                assert_eq!(back.msg, Message::Watermark(7));
+            }
+            // Unsequenced v3 frames decode with seq = None.
+            let frame = codec.encode(&Message::Flush);
+            let back = codec.decode_framed(&frame).expect("decode");
+            assert_eq!(back.seq, None);
+            assert_eq!(back.msg, Message::Flush);
+        }
+    }
+
+    #[test]
+    fn checksum_catches_any_single_byte_corruption() {
+        // The corrupt fault class flips one byte in flight; every such
+        // flip must surface as a decode error, never as a silently wrong
+        // value (which an unchecksummed f64 payload would allow).
+        let msg = Message::Slice {
+            group: 3,
+            origin: 11,
+            coverage: 4,
+            partial: sample_slice(),
+        };
+        let frame = CodecKind::Binary.encode_seq(&msg, 9);
+        for pos in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0xA5;
+            assert!(
+                CodecKind::Binary.decode_framed(&bad).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    /// Builds a raw v2 binary slice frame whose delta-encoded `end_ts`
+    /// overflows `u64` when added to `start_ts`.
+    fn overflowing_slice_frame() -> Vec<u8> {
+        let mut sink = BinarySink(Vec::new());
+        sink.u8(WIRE_VERSION_V2);
+        sink.u8(super::TAG_SLICE);
+        sink.vu64(0); // group
+        sink.vu64(0); // origin
+        sink.vu64(1); // coverage
+        sink.vu64(1); // slice id
+        sink.vu64(u64::MAX); // start_ts
+        sink.vu64(u64::MAX); // end_ts delta: start + delta overflows
+        sink.0
+    }
+
+    #[test]
+    fn overflowing_delta_fields_error_instead_of_panicking() {
+        // Fuzz-style negative test: adversarial length/delta fields must
+        // come back as CodecError, not arithmetic panics (debug builds)
+        // or wrapped garbage (release builds).
+        let err = CodecKind::Binary
+            .decode(&overflowing_slice_frame())
+            .unwrap_err();
+        assert!(err.0.contains("overflow"), "{err}");
+
+        // The same frame in the v3 envelope (checksummed) also errors.
+        let mut body = overflowing_slice_frame();
+        body[0] = WIRE_VERSION;
+        // Insert the "no seq" flag after the version byte, then append a
+        // valid checksum so the parser reaches the overflowing field.
+        body.insert(1, 0);
+        let checksum = fnv1a64(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        let err = CodecKind::Binary.decode(&body).unwrap_err();
+        assert!(err.0.contains("overflow"), "{err}");
+
+        // Text path: same fields rendered in decimal.
+        let text = format!("{WIRE_VERSION_V2};2;0;0;1;1;{max};{max};", max = u64::MAX);
+        let err = CodecKind::Text.decode(text.as_bytes()).unwrap_err();
+        assert!(err.0.contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn truncation_fuzz_never_panics() {
+        // Every prefix of every valid frame must decode to Ok or Err —
+        // never panic. Exercises the need()/checked-arithmetic guards.
+        for codec in [CodecKind::Binary, CodecKind::Text] {
+            for msg in messages() {
+                for frame in [codec.encode_seq(&msg, 3), codec.encode_v2(&msg)] {
+                    for cut in 0..frame.len() {
+                        let _ = codec.decode_framed(&frame[..cut]);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

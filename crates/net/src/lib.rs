@@ -48,10 +48,12 @@
 
 pub mod cluster;
 pub mod codec;
+pub mod fault;
 pub mod link;
 pub mod merge;
 pub mod message;
 pub mod node;
+pub mod recovery;
 pub mod topology;
 
 /// Convenience re-exports.
@@ -61,7 +63,9 @@ pub mod prelude {
         LatencyTable,
     };
     pub use crate::codec::CodecKind;
+    pub use crate::fault::{FaultPlan, LinkFaultKind, NodeFaultKind};
     pub use crate::message::{Message, WindowPartial};
     pub use crate::node::DistributedSystem;
+    pub use crate::recovery::RecoveryConfig;
     pub use crate::topology::{NodeId, NodeRole, Topology};
 }

@@ -1,5 +1,6 @@
 //! Links between nodes: bounded channels carrying serialized frames, with
-//! per-link byte accounting and optional bandwidth limiting.
+//! per-link byte accounting, optional bandwidth limiting, and the sender
+//! half of the recovery protocol.
 //!
 //! Every message is encoded on send and decoded on receive, so byte
 //! counters (Figure 11) measure real wire sizes. Bounded channels provide
@@ -7,16 +8,29 @@
 //! throughput in the sense of Karimov et al. \[31\]. The token-bucket
 //! limiter models constrained links such as the Raspberry Pi cluster's 1G
 //! Ethernet (Figure 13).
+//!
+//! Since wire v3 every link is *reliable-capable*: frames carry sequence
+//! numbers, the sender keeps a bounded history for retransmission, and an
+//! unbounded control backchannel carries [`Control::Nack`] /
+//! [`Control::Done`] from the receiving pump back to the sender (see
+//! [`crate::recovery`] for the receive side). Fault injection hooks in on
+//! the send side ([`LinkSender::set_injector`]): injected faults apply to
+//! *original* transmissions only — retransmissions bypass the injector so
+//! fault placement stays a pure function of the plan, the seed, and the
+//! frame order.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, Select, Sender};
 use desis_core::obs::trace::{SpanKind, TraceRecorder};
 use desis_core::obs::{Counter, MetricsRegistry};
 
-use crate::codec::{CodecError, CodecKind};
+use crate::codec::{CodecError, CodecKind, Frame};
+use crate::fault::FaultInjector;
 use crate::message::Message;
+use crate::recovery::{Control, RecoveryConfig};
 
 /// Counters of one directed link, backed by the shared observability
 /// [`Counter`] type so they can live inside a [`MetricsRegistry`] and show
@@ -103,7 +117,9 @@ impl TokenBucket {
     }
 }
 
-/// Sending half of a link.
+/// Sending half of a link: serializes messages into sequence-numbered v3
+/// frames, keeps a bounded retransmit history, and answers NACKs from the
+/// receiving pump.
 #[derive(Debug)]
 pub struct LinkSender {
     tx: Sender<Vec<u8>>,
@@ -111,6 +127,16 @@ pub struct LinkSender {
     stats: Arc<LinkStats>,
     limiter: Option<TokenBucket>,
     tracer: Option<TraceRecorder>,
+    control: Receiver<Control>,
+    /// Sequence number of the next original frame.
+    next_seq: u64,
+    /// Clean frames kept for retransmission, oldest first.
+    history: VecDeque<(u64, Vec<u8>)>,
+    history_cap: usize,
+    /// Fault injection for original transmissions, if scheduled.
+    injector: Option<FaultInjector>,
+    /// Whether the receiver already acknowledged the final Flush.
+    done: bool,
 }
 
 impl LinkSender {
@@ -120,10 +146,30 @@ impl LinkSender {
         self.tracer = Some(recorder);
     }
 
+    /// Installs a fault injector consulted for every original frame.
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Bounds the retransmit history (frames). Evicted frames cannot be
+    /// retransmitted; a gap older than the history loses the child.
+    pub fn set_history_cap(&mut self, cap: usize) {
+        self.history_cap = cap;
+        while self.history.len() > cap {
+            self.history.pop_front();
+        }
+    }
+
     /// Serializes and sends a message. Blocks on backpressure and on the
     /// bandwidth limiter. Returns `false` if the receiver is gone.
+    ///
+    /// Pending control messages (NACKs) are serviced first, so retransmit
+    /// requests are answered no later than the sender's next send.
     pub fn send(&mut self, msg: &Message) -> bool {
-        let frame = self.codec.encode(msg);
+        self.service_control();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = self.codec.encode_seq(msg, seq);
         if let Some(rec) = &mut self.tracer {
             if let Message::Slice { partial, .. } = msg {
                 if let Some(id) = partial.trace {
@@ -137,6 +183,40 @@ impl LinkSender {
                 }
             }
         }
+        self.history.push_back((seq, frame.clone()));
+        while self.history.len() > self.history_cap {
+            self.history.pop_front();
+        }
+        let fate = self
+            .injector
+            .as_mut()
+            .map(|inj| inj.on_frame(frame.len()))
+            .unwrap_or_default();
+        if fate.drop {
+            // The frame stays in history, so a NACK can still recover it.
+            return true;
+        }
+        if fate.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(fate.delay_ms));
+        }
+        let wire = match fate.corrupt_at {
+            Some(pos) => {
+                let mut bad = frame.clone();
+                let at = pos % bad.len();
+                bad[at] ^= 0xA5;
+                bad
+            }
+            None => frame,
+        };
+        let mut ok = self.transmit(wire.clone());
+        if fate.duplicate {
+            ok = self.transmit(wire) && ok;
+        }
+        ok
+    }
+
+    /// Pushes one already-encoded frame onto the wire, counting it.
+    fn transmit(&mut self, frame: Vec<u8>) -> bool {
         if let Some(limiter) = &mut self.limiter {
             limiter.consume(frame.len());
         }
@@ -145,22 +225,99 @@ impl LinkSender {
         self.tx.send(frame).is_ok()
     }
 
+    /// Drains the control backchannel without blocking, answering NACKs
+    /// from history.
+    fn service_control(&mut self) {
+        while let Ok(ctl) = self.control.try_recv() {
+            self.handle_control(ctl);
+        }
+    }
+
+    fn handle_control(&mut self, ctl: Control) {
+        match ctl {
+            Control::Nack { from } => self.retransmit_from(from),
+            Control::Done => self.done = true,
+        }
+    }
+
+    /// Re-sends every history frame with sequence `>= from`, in order,
+    /// bypassing the fault injector (retransmissions are clean, keeping
+    /// fault placement deterministic). Frames already evicted are simply
+    /// unavailable; the receiver's retry budget handles that.
+    fn retransmit_from(&mut self, from: u64) {
+        let frames: Vec<Vec<u8>> = self
+            .history
+            .iter()
+            .filter(|(seq, _)| *seq >= from)
+            .map(|(_, f)| f.clone())
+            .collect();
+        for frame in frames {
+            if !self.transmit(frame) {
+                return;
+            }
+        }
+    }
+
+    /// Serves retransmit requests after the final send. Call after the
+    /// last frame (normally `Flush`) went out, before dropping the link.
+    ///
+    /// Exits when the receiver acknowledges with [`Control::Done`] or
+    /// hangs up. While waiting, every `grace` without news the last
+    /// history frame is re-probed (at most `max_probes` times): if the
+    /// final frames were dropped in flight, no later frame would ever
+    /// reveal the gap — the probe does, triggering the receiver's NACK.
+    pub fn linger(&mut self, grace: Duration, max_probes: u32) {
+        self.service_control();
+        let mut probes = 0;
+        while !self.done {
+            // Scope the select so its borrow of the control channel ends
+            // before we mutate `self` below.
+            let event = {
+                let mut sel = Select::new();
+                sel.recv(&self.control);
+                match sel.select_timeout(grace) {
+                    Ok(op) => Some(op.recv(&self.control)),
+                    Err(_) => None,
+                }
+            };
+            match event {
+                Some(Ok(ctl)) => self.handle_control(ctl),
+                Some(Err(_)) => return, // receiver gone: nothing to serve
+                None => {
+                    if probes >= max_probes {
+                        return;
+                    }
+                    probes += 1;
+                    if let Some((_, frame)) = self.history.back() {
+                        let frame = frame.clone();
+                        if !self.transmit(frame) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// This link's counters.
     pub fn stats(&self) -> &Arc<LinkStats> {
         &self.stats
     }
 }
 
-/// Receiving half of a link.
+/// Receiving half of a link, plus the sending end of its control
+/// backchannel (NACK / Done flow back to the link's sender).
 #[derive(Debug)]
 pub struct LinkReceiver {
     rx: Receiver<Vec<u8>>,
     codec: CodecKind,
+    control: Option<Sender<Control>>,
 }
 
 impl LinkReceiver {
     /// Receives and decodes the next message; `None` when the sender hung
-    /// up.
+    /// up. Sequence numbers are stripped — use the pump in
+    /// [`crate::recovery`] for gap handling.
     pub fn recv(&self) -> Option<Result<Message, CodecError>> {
         self.rx.recv().ok().map(|frame| self.codec.decode(&frame))
     }
@@ -170,9 +327,33 @@ impl LinkReceiver {
         &self.rx
     }
 
-    /// Decodes a raw frame received via [`Self::raw`].
-    pub(crate) fn decode(&self, frame: &[u8]) -> Result<Message, CodecError> {
-        self.codec.decode(frame)
+    /// Decodes a raw frame received via [`Self::raw`], keeping its
+    /// sequence number.
+    pub(crate) fn decode_framed(&self, frame: &[u8]) -> Result<Frame, CodecError> {
+        self.codec.decode_framed(frame)
+    }
+
+    /// Whether this link has a control backchannel for retransmit
+    /// requests (raw test links and legacy peers do not).
+    pub(crate) fn can_nack(&self) -> bool {
+        self.control.is_some()
+    }
+
+    /// Requests retransmission of every frame from sequence `from`
+    /// onward. Returns `false` when there is no backchannel or the sender
+    /// is gone.
+    pub(crate) fn nack(&self, from: u64) -> bool {
+        match &self.control {
+            Some(tx) => tx.send(Control::Nack { from }).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Tells the sender its final Flush arrived and lingering may end.
+    pub(crate) fn done(&self) {
+        if let Some(tx) = &self.control {
+            let _ = tx.send(Control::Done);
+        }
     }
 }
 
@@ -196,6 +377,9 @@ pub fn link_with_stats(
     stats: Arc<LinkStats>,
 ) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
     let (tx, rx) = crossbeam_channel::bounded(capacity);
+    // The backchannel is unbounded so the receiving pump never blocks on
+    // it (a NACK enqueue cannot deadlock against a full data channel).
+    let (control_tx, control_rx) = crossbeam_channel::unbounded();
     (
         LinkSender {
             tx,
@@ -203,23 +387,42 @@ pub fn link_with_stats(
             stats: Arc::clone(&stats),
             limiter: bandwidth.map(TokenBucket::new),
             tracer: None,
+            control: control_rx,
+            next_seq: 0,
+            history: VecDeque::new(),
+            history_cap: RecoveryConfig::default().history_cap,
+            injector: None,
+            done: false,
         },
-        LinkReceiver { rx, codec },
+        LinkReceiver {
+            rx,
+            codec,
+            control: Some(control_tx),
+        },
         stats,
     )
 }
 
 /// Test helper: a receiver plus the raw frame sender feeding it, for
-/// injecting arbitrary (possibly corrupt) frames.
+/// injecting arbitrary (possibly corrupt) frames. Has no control
+/// backchannel, so it behaves like a legacy peer.
 #[cfg(test)]
 pub(crate) fn raw_link(codec: CodecKind, capacity: usize) -> (Sender<Vec<u8>>, LinkReceiver) {
     let (tx, rx) = crossbeam_channel::bounded(capacity);
-    (tx, LinkReceiver { rx, codec })
+    (
+        tx,
+        LinkReceiver {
+            rx,
+            codec,
+            control: None,
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{fault_log, FaultPlan, FaultStats, LinkFaultKind};
     use desis_core::event::Event;
 
     #[test]
@@ -232,6 +435,113 @@ mod tests {
         assert!(stats.bytes() > 0);
         assert_eq!(rx.recv().unwrap().unwrap(), msg);
         assert_eq!(rx.recv().unwrap().unwrap(), Message::Flush);
+    }
+
+    #[test]
+    fn frames_carry_consecutive_sequence_numbers() {
+        let (mut tx, rx, _) = link(CodecKind::Binary, 16, None);
+        for i in 0..3u64 {
+            assert!(tx.send(&Message::Watermark(i)));
+        }
+        for want in 0..3u64 {
+            let raw = rx.raw().recv().unwrap();
+            let frame = rx.decode_framed(&raw).unwrap();
+            assert_eq!(frame.seq, Some(want));
+            assert_eq!(frame.msg, Message::Watermark(want));
+        }
+    }
+
+    #[test]
+    fn nack_retransmits_from_history() {
+        let (mut tx, rx, _) = link(CodecKind::Binary, 16, None);
+        assert!(tx.send(&Message::Watermark(0)));
+        assert!(tx.send(&Message::Watermark(1)));
+        assert!(rx.nack(1));
+        // The retransmit happens at the next send.
+        assert!(tx.send(&Message::Watermark(2)));
+        let seqs: Vec<Option<u64>> = (0..4)
+            .map(|_| rx.decode_framed(&rx.raw().recv().unwrap()).unwrap().seq)
+            .collect();
+        // Frames 0 and 1 were already queued; the NACKed copy of 1 lands
+        // before the new frame 2.
+        assert_eq!(
+            seqs,
+            vec![Some(0), Some(1), Some(1), Some(2)],
+            "history frame must be re-sent on NACK"
+        );
+    }
+
+    #[test]
+    fn history_eviction_forgets_old_frames() {
+        let (mut tx, rx, _) = link(CodecKind::Binary, 32, None);
+        tx.set_history_cap(2);
+        for i in 0..4u64 {
+            assert!(tx.send(&Message::Watermark(i)));
+        }
+        assert!(rx.nack(0)); // frames 0 and 1 are already evicted
+        assert!(tx.send(&Message::Flush));
+        let seqs: Vec<Option<u64>> = (0..7)
+            .map(|_| rx.decode_framed(&rx.raw().recv().unwrap()).unwrap().seq)
+            .collect();
+        // Originals 0..=3, then only the surviving history (2, 3), then
+        // the Flush (4).
+        assert_eq!(
+            seqs,
+            vec![
+                Some(0),
+                Some(1),
+                Some(2),
+                Some(3),
+                Some(2),
+                Some(3),
+                Some(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn linger_exits_on_done() {
+        let (mut tx, rx, _) = link(CodecKind::Binary, 16, None);
+        assert!(tx.send(&Message::Flush));
+        rx.done();
+        let start = Instant::now();
+        tx.linger(Duration::from_millis(500), 4);
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "Done must end the linger immediately"
+        );
+    }
+
+    #[test]
+    fn linger_exits_when_receiver_hangs_up() {
+        let (mut tx, rx, _) = link(CodecKind::Binary, 16, None);
+        assert!(tx.send(&Message::Flush));
+        drop(rx);
+        let start = Instant::now();
+        tx.linger(Duration::from_millis(500), 4);
+        assert!(start.elapsed() < Duration::from_millis(400));
+    }
+
+    #[test]
+    fn injected_drop_keeps_frame_out_of_channel_but_in_history() {
+        let (mut tx, rx, stats) = link(CodecKind::Binary, 16, None);
+        let plan = FaultPlan::new(1).with_link_fault(5, LinkFaultKind::Drop, 1, 1);
+        tx.set_injector(
+            plan.injector_for(5, FaultStats::detached(), fault_log())
+                .unwrap(),
+        );
+        assert!(tx.send(&Message::Watermark(0)));
+        assert!(tx.send(&Message::Watermark(1))); // dropped
+        assert!(tx.send(&Message::Watermark(2)));
+        assert_eq!(stats.messages(), 2, "dropped frame never hits the wire");
+        assert!(rx.nack(1));
+        assert!(tx.send(&Message::Flush));
+        let seqs: Vec<Option<u64>> = (0..5)
+            .map(|_| rx.decode_framed(&rx.raw().recv().unwrap()).unwrap().seq)
+            .collect();
+        // Originals 0 and 2 (1 was dropped), then the NACK answer (1, 2
+        // — everything from seq 1), then the Flush (3).
+        assert_eq!(seqs, vec![Some(0), Some(2), Some(1), Some(2), Some(3)]);
     }
 
     #[test]

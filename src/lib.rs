@@ -1,39 +1,8 @@
-//! # Desis — Efficient Window Aggregation in Decentralized Networks
-//!
-//! A from-scratch Rust reproduction of the EDBT 2023 paper *"Desis:
-//! Efficient Window Aggregation in Decentralized Networks"*. This umbrella
-//! crate re-exports the workspace:
-//!
-//! * [`desis_core`] (re-exported as `core`) — the Desis aggregation engine: multi-query
-//!   stream slicing with partial-result sharing across window types,
-//!   measures, and aggregation functions.
-//! * [`desis_net`] (as `net`) — the decentralized substrate: simulated clusters
-//!   of local/intermediate/root nodes with real serialization, byte
-//!   accounting, and bandwidth limits.
-//! * [`desis_baselines`] (as `baselines`) — the evaluated baseline systems
-//!   (CeBuffer, DeBucket, DeSW, Scotty-style slicing).
-//! * [`desis_gen`] (as `gen`) — deterministic data- and query-workload
-//!   generators.
-//!
-//! See the repository's `README.md` for a tour, `DESIGN.md` for the system
-//! inventory, and `EXPERIMENTS.md` for the reproduced evaluation.
-//!
-//! ```
-//! use desis::prelude::*;
-//!
-//! let queries = vec![
-//!     Query::new(1, WindowSpec::tumbling_time(1_000)?, AggFunction::Max),
-//!     Query::new(2, WindowSpec::session(500)?, AggFunction::Median),
-//! ];
-//! let mut engine = AggregationEngine::new(queries)?;
-//! for ts in 0..10_000u64 {
-//!     engine.on_event(&Event::new(ts, (ts % 4) as u32, (ts % 91) as f64));
-//! }
-//! engine.on_watermark(20_000);
-//! assert!(!engine.drain_results().is_empty());
-//! # Ok::<(), desis::core::DesisError>(())
-//! ```
-
+//! This umbrella crate re-exports the workspace: [`desis_core`] (as
+//! `core`), [`desis_net`] (as `net`), [`desis_baselines`] (as
+//! `baselines`), and [`desis_gen`] (as `gen`). The crate docs below are
+//! the repository README, so its `rust` blocks run as doctests.
+#![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
 
 pub use desis_baselines as baselines;
