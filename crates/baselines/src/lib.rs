@@ -17,9 +17,6 @@
 //! decentralized `Disco` baseline lives in `desis-net`, since it differs
 //! in distribution strategy rather than single-node processing.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod accum;
 mod engine_backed;
 mod naive;

@@ -14,9 +14,6 @@
 //! who wins, by roughly what factor, where crossovers fall — are the
 //! reproduction target, not absolute numbers.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod experiments;
 pub mod figure;
 pub mod measure;

@@ -1,0 +1,97 @@
+//! Offline drop-in subset of [loom](https://docs.rs/loom): exhaustive
+//! permutation testing for concurrent code.
+//!
+//! [`model`] runs a closure repeatedly, exploring **every** distinct
+//! thread interleaving of the [`sync`] primitives used inside it. The
+//! approach is stateless model checking with record/replay:
+//!
+//! * threads created with [`thread::spawn`] are real OS threads, but a
+//!   cooperative scheduler serializes them — exactly one runs at a time;
+//! * every access to a [`sync::Mutex`] or a [`sync::atomic`] type is a
+//!   *scheduling point* where the scheduler picks which runnable thread
+//!   proceeds;
+//! * each execution records its scheduling decisions as a vector of
+//!   branch choices; when the execution ends, the deepest branch with an
+//!   unexplored alternative is advanced and the prefix replayed —
+//!   depth-first search over the schedule tree until no alternatives
+//!   remain.
+//!
+//! Unlike real loom there is no `UnsafeCell` tracking, no memory-model
+//! relaxation (every atomic behaves sequentially consistent at the
+//! granularity of scheduling points), and no `LOOM_*` environment knobs.
+//! For the target use — interleaving counters, registries, and ring
+//! buffers built from `Mutex` + relaxed atomics — schedule-level
+//! exploration is exactly the coverage needed.
+//!
+//! Outside a [`model`] call every primitive degrades to a thin wrapper
+//! over its `std::sync` twin, so a whole test suite compiled with
+//! `--cfg loom` still runs normally; only tests that call [`model`] pay
+//! for exploration.
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Hard cap on explored executions: a safety net against state-space
+/// explosion, far above what a well-scoped model test should need.
+pub const MAX_ITERATIONS: u64 = 1_000_000;
+
+/// Runs `f` under every possible thread interleaving of the `loom`
+/// primitives it uses, panicking (with the failing execution's panic)
+/// if any interleaving fails.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= MAX_ITERATIONS,
+            "loom-lite: more than {MAX_ITERATIONS} executions; \
+             reduce the model's thread count or operation count"
+        );
+        let scheduler = sched::Scheduler::new(std::mem::take(&mut replay));
+        let record = sched::run_root(&scheduler, Arc::clone(&f));
+        if let Some(payload) = scheduler.take_panic() {
+            eprintln!(
+                "loom-lite: execution {iterations} failed; \
+                 schedule: {:?}",
+                record.iter().map(|(c, _)| *c).collect::<Vec<_>>()
+            );
+            std::panic::resume_unwind(payload);
+        }
+        match sched::advance(&record) {
+            Some(next) => replay = next,
+            None => break,
+        }
+    }
+}
+
+/// Number of executions [`model`] would run for `f` — exposed so tests
+/// can assert their models actually explore multiple interleavings.
+pub fn count_executions<F>(f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        assert!(iterations <= MAX_ITERATIONS, "loom-lite: execution cap hit");
+        let scheduler = sched::Scheduler::new(std::mem::take(&mut replay));
+        let record = sched::run_root(&scheduler, Arc::clone(&f));
+        if let Some(payload) = scheduler.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        match sched::advance(&record) {
+            Some(next) => replay = next,
+            None => return iterations,
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One `Scheduler` lives for one execution. Model threads are real OS
+//! threads, but at most one holds the *token* (`State::active`) at a
+//! time; the rest sleep on a condvar. Every sync-primitive access calls
+//! [`Scheduler::yield_point`], which picks the next token holder. Where
+//! more than one thread is runnable, the choice is a *branch*: replayed
+//! from the previous execution's prefix if available, recorded either
+//! way, and advanced depth-first by [`advance`] between executions.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear threads out of an aborted execution
+/// without tripping the panic hook (see [`resume_unwind`]).
+pub(crate) struct Aborted;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct State {
+    threads: Vec<Status>,
+    /// Per-thread list of threads blocked in `join` on it.
+    joiners: Vec<Vec<usize>>,
+    /// The thread currently holding the token (`None` before start and
+    /// after the last thread finishes).
+    active: Option<usize>,
+    /// Branch ranks to replay from the previous execution.
+    replay: Vec<usize>,
+    cursor: usize,
+    /// `(chosen rank, runnable count)` per branch point this execution.
+    record: Vec<(usize, usize)>,
+    /// First real panic raised by a model thread.
+    panic: Option<Box<dyn Any + Send + 'static>>,
+    aborted: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current thread's model context, or returns `None`
+/// when the caller is not inside a [`crate::model`] execution.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(|(s, slot)| f(s, *slot)))
+}
+
+fn set_ctx(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Scheduler {
+    pub(crate) fn new(replay: Vec<usize>) -> Arc<Self> {
+        Arc::new(Scheduler {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                joiners: Vec::new(),
+                active: None,
+                replay,
+                cursor: 0,
+                record: Vec::new(),
+                panic: None,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new model thread; it starts runnable but does not run
+    /// until the scheduler hands it the token.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Status::Runnable);
+        st.joiners.push(Vec::new());
+        st.threads.len() - 1
+    }
+
+    /// A shared-memory access by `me`: pick the next token holder (which
+    /// may stay `me`) and wait for the token.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            resume_unwind(Box::new(Aborted));
+        }
+        debug_assert_eq!(st.active, Some(me), "yield from a thread without the token");
+        self.pick_next(&mut st);
+        self.wait_for_token(st, me);
+    }
+
+    /// Blocks `me` until another thread calls [`Scheduler::unblock`] for
+    /// it and the scheduler hands the token back.
+    pub(crate) fn block(&self, me: usize) {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            resume_unwind(Box::new(Aborted));
+        }
+        st.threads[me] = Status::Blocked;
+        self.pick_next(&mut st);
+        self.wait_for_token(st, me);
+    }
+
+    /// Marks `slot` runnable again. The caller keeps the token; the
+    /// unblocked thread competes at the caller's next yield point.
+    pub(crate) fn unblock(&self, slot: usize) {
+        let mut st = self.lock();
+        if st.threads[slot] == Status::Blocked {
+            st.threads[slot] = Status::Runnable;
+        }
+    }
+
+    /// Parks `me` until `target` finishes.
+    pub(crate) fn join_wait(&self, target: usize, me: usize) {
+        let mut st = self.lock();
+        while st.threads[target] != Status::Finished {
+            if st.aborted {
+                drop(st);
+                resume_unwind(Box::new(Aborted));
+            }
+            st.joiners[target].push(me);
+            st.threads[me] = Status::Blocked;
+            self.pick_next(&mut st);
+            st = self.wait_for_token_keep(st, me);
+        }
+    }
+
+    /// Ends `me`'s execution: wakes joiners and passes the token on (or
+    /// declares the execution finished).
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me] = Status::Finished;
+        let joiners = std::mem::take(&mut st.joiners[me]);
+        for j in joiners {
+            if st.threads[j] == Status::Blocked {
+                st.threads[j] = Status::Runnable;
+            }
+        }
+        if st.threads.iter().all(|t| *t == Status::Finished) {
+            st.active = None;
+            self.cv.notify_all();
+            return;
+        }
+        if !st.aborted {
+            self.pick_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Hands the token to the first thread (slot 0) to start an
+    /// execution.
+    fn start(&self) {
+        let mut st = self.lock();
+        st.active = Some(0);
+        self.cv.notify_all();
+    }
+
+    /// Blocks the *model driver* (not a model thread) until every model
+    /// thread finished.
+    fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while !st.threads.iter().all(|t| *t == Status::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stores the first real panic and aborts the execution: every other
+    /// thread unwinds with [`Aborted`] at its next scheduling point.
+    pub(crate) fn abort(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut st = self.lock();
+        if st.panic.is_none() {
+            st.panic = Some(payload);
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.lock().panic.take()
+    }
+
+    fn record(&self) -> Vec<(usize, usize)> {
+        self.lock().record.clone()
+    }
+
+    /// Picks the next token holder among runnable threads. With more
+    /// than one candidate this is a branch point: replayed if the replay
+    /// prefix still covers it, first-candidate otherwise, recorded
+    /// always. No runnable thread while some are live means deadlock.
+    fn pick_next(&self, st: &mut State) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            st.aborted = true;
+            if st.panic.is_none() {
+                st.panic = Some(Box::new(
+                    "loom-lite: deadlock — every live thread is blocked".to_string(),
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let rank = if runnable.len() == 1 {
+            0
+        } else {
+            let rank = if st.cursor < st.replay.len() {
+                st.replay[st.cursor]
+            } else {
+                0
+            };
+            st.cursor += 1;
+            st.record.push((rank, runnable.len()));
+            rank
+        };
+        st.active = Some(runnable[rank]);
+        self.cv.notify_all();
+    }
+
+    fn wait_for_token(&self, st: MutexGuard<'_, State>, me: usize) {
+        drop(self.wait_for_token_keep(st, me));
+    }
+
+    fn wait_for_token_keep<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        while !st.aborted && st.active != Some(me) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborted {
+            drop(st);
+            resume_unwind(Box::new(Aborted));
+        }
+        st
+    }
+}
+
+/// Wraps a model thread body: installs the context, waits for the first
+/// token grant, traps panics into the scheduler, and always finishes.
+pub(crate) fn run_thread(scheduler: Arc<Scheduler>, slot: usize, body: impl FnOnce()) {
+    set_ctx(Some((Arc::clone(&scheduler), slot)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let st = scheduler.lock();
+        scheduler.wait_for_token(st, slot);
+        body();
+    }));
+    set_ctx(None);
+    if let Err(payload) = result {
+        if !payload.is::<Aborted>() {
+            scheduler.abort(payload);
+        }
+    }
+    scheduler.finish(slot);
+}
+
+/// Runs one full execution of `f` as model thread 0, returning the
+/// branch record.
+pub(crate) fn run_root(
+    scheduler: &Arc<Scheduler>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> Vec<(usize, usize)> {
+    let root = scheduler.register();
+    debug_assert_eq!(root, 0);
+    let sched = Arc::clone(scheduler);
+    let os = std::thread::Builder::new()
+        .name("loom-root".to_string())
+        .spawn(move || run_thread(sched, root, move || f()))
+        .expect("spawn loom root thread");
+    scheduler.start();
+    scheduler.wait_all_finished();
+    let _ = os.join();
+    scheduler.record()
+}
+
+/// Depth-first advance: from the deepest branch with an unexplored
+/// alternative, build the next replay prefix. `None` when the whole
+/// tree is explored.
+pub(crate) fn advance(record: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for i in (0..record.len()).rev() {
+        let (chosen, alternatives) = record[i];
+        if chosen + 1 < alternatives {
+            let mut next: Vec<usize> = record[..i].iter().map(|(c, _)| *c).collect();
+            next.push(chosen + 1);
+            return Some(next);
+        }
+    }
+    None
+}

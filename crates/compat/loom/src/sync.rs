@@ -1,0 +1,263 @@
+//! Model-aware replacements for [`std::sync`] primitives.
+//!
+//! Each type wraps its `std` twin and adds a scheduling point at every
+//! access, so [`crate::model`] can explore all interleavings. Outside a
+//! model the scheduling points vanish and only the thin wrapper remains.
+
+use std::sync::{Arc as StdArc, LockResult, PoisonError};
+
+use crate::sched;
+
+pub use std::sync::Arc;
+
+/// A mutual-exclusion lock whose contention is driven by the model
+/// scheduler inside [`crate::model`].
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: std::sync::Mutex<T>,
+    /// Model-side ownership: who holds the lock and who waits. Only
+    /// touched under the scheduler token, so the std lock around it is
+    /// uncontended.
+    model: StdArc<std::sync::Mutex<ModelState>>,
+}
+
+#[derive(Debug, Default)]
+struct ModelState {
+    held: bool,
+    waiters: Vec<usize>,
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a scheduling point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    in_model: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            data: std::sync::Mutex::new(value),
+            model: StdArc::new(std::sync::Mutex::new(ModelState::default())),
+        }
+    }
+
+    /// Acquires the lock, blocking (model: descheduling) until it is
+    /// free. Never returns `Err` inside a model; outside one, poisoning
+    /// maps through like `std`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = sched::with_ctx(|scheduler, me| (StdArc::clone(scheduler), me));
+        match ctx {
+            Some((scheduler, me)) => {
+                scheduler.yield_point(me);
+                loop {
+                    {
+                        let mut m = self.model.lock().unwrap_or_else(|e| e.into_inner());
+                        if !m.held {
+                            m.held = true;
+                            break;
+                        }
+                        m.waiters.push(me);
+                    }
+                    scheduler.block(me);
+                }
+                let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    in_model: true,
+                })
+            }
+            None => match self.data.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    in_model: false,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    mutex: self,
+                    inner: Some(poisoned.into_inner()),
+                    in_model: false,
+                })),
+            },
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.data.get_mut()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock before handing the model lock on.
+        self.inner = None;
+        if !self.in_model {
+            return;
+        }
+        let waiters = {
+            let mut m = self.mutex.model.lock().unwrap_or_else(|e| e.into_inner());
+            m.held = false;
+            std::mem::take(&mut m.waiters)
+        };
+        // Unlock is a visible effect: wake the waiters and let the
+        // scheduler decide who runs next. During an abort-unwind the
+        // context is already torn down, so skip quietly.
+        let _ = sched::with_ctx(|scheduler, me| {
+            for w in waiters {
+                scheduler.unblock(w);
+            }
+            if !std::thread::panicking() {
+                scheduler.yield_point(me);
+            }
+        });
+    }
+}
+
+/// Model-aware atomics: every operation is a scheduling point.
+pub mod atomic {
+    use crate::sched;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn pause() {
+        let _ = sched::with_ctx(|scheduler, me| scheduler.yield_point(me));
+    }
+
+    macro_rules! atomic_wrapper {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Creates a new atomic with `value`.
+                pub fn new(value: $int) -> Self {
+                    Self(<$std>::new(value))
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $int {
+                    pause();
+                    self.0.load(order)
+                }
+
+                /// Stores `value`.
+                pub fn store(&self, value: $int, order: Ordering) {
+                    pause();
+                    self.0.store(value, order);
+                }
+
+                /// Adds, returning the previous value.
+                pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                    pause();
+                    self.0.fetch_add(value, order)
+                }
+
+                /// Subtracts, returning the previous value.
+                pub fn fetch_sub(&self, value: $int, order: Ordering) -> $int {
+                    pause();
+                    self.0.fetch_sub(value, order)
+                }
+
+                /// Maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $int, order: Ordering) -> $int {
+                    pause();
+                    self.0.fetch_max(value, order)
+                }
+
+                /// Swaps, returning the previous value.
+                pub fn swap(&self, value: $int, order: Ordering) -> $int {
+                    pause();
+                    self.0.swap(value, order)
+                }
+
+                /// Compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    pause();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $int {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic_wrapper!(
+        /// Model-aware [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_wrapper!(
+        /// Model-aware [`std::sync::atomic::AtomicI64`].
+        AtomicI64,
+        std::sync::atomic::AtomicI64,
+        i64
+    );
+    atomic_wrapper!(
+        /// Model-aware [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+
+    /// Model-aware [`std::sync::atomic::AtomicBool`].
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Creates a new atomic with `value`.
+        pub fn new(value: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(value))
+        }
+
+        /// Loads the value.
+        pub fn load(&self, order: Ordering) -> bool {
+            pause();
+            self.0.load(order)
+        }
+
+        /// Stores `value`.
+        pub fn store(&self, value: bool, order: Ordering) {
+            pause();
+            self.0.store(value, order);
+        }
+
+        /// Swaps, returning the previous value.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            pause();
+            self.0.swap(value, order)
+        }
+    }
+}

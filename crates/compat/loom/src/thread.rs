@@ -1,0 +1,96 @@
+//! Model-aware replacement for [`std::thread`]'s spawn/join.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, Scheduler};
+
+/// A handle to a spawned model (or plain) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        scheduler: Arc<Scheduler>,
+        slot: usize,
+        result: Arc<Mutex<Option<T>>>,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result. Inside a
+    /// model, a panicking child aborts the whole execution before `join`
+    /// returns, so the `Err` arm only surfaces outside models.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(handle) => handle.join(),
+            Inner::Model {
+                scheduler,
+                slot,
+                result,
+                os,
+            } => {
+                let me = sched::with_ctx(|_, me| me)
+                    .expect("join on a model thread from outside its model");
+                scheduler.join_wait(slot, me);
+                let _ = os.join();
+                let value = result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("model thread finished without a result or an abort");
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside [`crate::model`] the thread joins the
+/// execution's scheduler (spawning is itself a scheduling point);
+/// outside it this is [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = sched::with_ctx(|scheduler, me| (Arc::clone(scheduler), me));
+    match ctx {
+        Some((scheduler, me)) => {
+            let slot = scheduler.register();
+            let result = Arc::new(Mutex::new(None));
+            let sched2 = Arc::clone(&scheduler);
+            let result2 = Arc::clone(&result);
+            let os = std::thread::Builder::new()
+                .name(format!("loom-{slot}"))
+                .spawn(move || {
+                    sched::run_thread(Arc::clone(&sched2), slot, move || {
+                        let value = f();
+                        *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                    });
+                })
+                .expect("spawn loom model thread");
+            scheduler.yield_point(me);
+            JoinHandle {
+                inner: Inner::Model {
+                    scheduler,
+                    slot,
+                    result,
+                    os,
+                },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// A bare scheduling point: inside a model, lets any runnable thread
+/// run; outside, [`std::thread::yield_now`].
+pub fn yield_now() {
+    if sched::with_ctx(|scheduler, me| scheduler.yield_point(me)).is_none() {
+        std::thread::yield_now();
+    }
+}

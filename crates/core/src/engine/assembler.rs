@@ -174,28 +174,30 @@ impl Assembler {
         let started = Instant::now();
         let sel = info.selection as usize;
         let cache_key = (info.selection, end.first_slice, end.last_slice);
-        if let std::collections::hash_map::Entry::Vacant(e) = merge_cache.entry(cache_key) {
-            let mut merged: FxHashMap<Key, OperatorBundle> = FxHashMap::default();
-            for stored in &self.slices {
-                if stored.id < end.first_slice || stored.id > end.last_slice {
-                    continue;
-                }
-                for (key, bundle) in &stored.data.per_selection[sel] {
-                    match merged.get_mut(key) {
-                        Some(b) => {
-                            b.merge(bundle);
-                            self.merges += 1;
-                        }
-                        None => {
-                            merged.insert(*key, bundle.clone());
+        let merged = match merge_cache.entry(cache_key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut merged: FxHashMap<Key, OperatorBundle> = FxHashMap::default();
+                for stored in &self.slices {
+                    if stored.id < end.first_slice || stored.id > end.last_slice {
+                        continue;
+                    }
+                    for (key, bundle) in &stored.data.per_selection[sel] {
+                        match merged.get_mut(key) {
+                            Some(b) => {
+                                b.merge(bundle);
+                                self.merges += 1;
+                            }
+                            None => {
+                                merged.insert(*key, bundle.clone());
+                            }
                         }
                     }
                 }
+                e.insert(merged)
             }
-            e.insert(merged);
-        }
-        let merged = merge_cache.get(&cache_key).expect("just inserted");
-        for (key, bundle) in merged {
+        };
+        for (key, bundle) in &*merged {
             let values: Vec<Option<f64>> =
                 info.functions.iter().map(|f| bundle.finalize(f)).collect();
             out.push(QueryResult {
@@ -218,7 +220,7 @@ impl Assembler {
             None => {
                 let h = self
                     .registry
-                    .histogram(&format!("engine.result_latency_us.q{query}"));
+                    .histogram(&crate::obs::names::engine_result_latency_us(query));
                 self.latency.insert(query, Arc::clone(&h));
                 h
             }

@@ -101,8 +101,11 @@ impl ReorderBuffer {
                 break;
             }
             self.heap.pop();
-            let ev = self.pending.remove(&seq).expect("heap/pending in sync");
-            out.push(ev);
+            // Heap and pending are inserted in lockstep; a missing entry
+            // is a stale key and is simply skipped.
+            if let Some(ev) = self.pending.remove(&seq) {
+                out.push(ev);
+            }
         }
         if bound != Timestamp::MAX {
             self.floor = self.floor.max(bound);

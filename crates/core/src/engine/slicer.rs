@@ -151,9 +151,9 @@ impl GroupSlicer {
                 query_idx,
                 spec,
                 count: 0,
-                next_punct: spec
-                    .next_count_punct_after(0)
-                    .expect("count spec must have count punctuations"),
+                // A validated count spec always has punctuations; if one
+                // somehow does not, the slot simply never seals.
+                next_punct: spec.next_count_punct_after(0).unwrap_or(u64::MAX),
                 instances: VecDeque::new(),
             })
             .collect();
@@ -312,7 +312,9 @@ impl GroupSlicer {
                         });
                     }
                 }
-                _ => unreachable!("fixed_queries only holds tumbling/sliding"),
+                // `fixed_queries` is built to hold only tumbling/sliding;
+                // anything else opens no instance.
+                _ => {}
             }
         }
         for slot in &mut self.counts {
@@ -522,9 +524,8 @@ impl GroupSlicer {
         for &qi in &self.fixed_queries {
             let cq = &self.group.queries[qi];
             if let Some(ws) = cq.query.window.fixed_window_ending_at(t) {
-                if let Some(front) = self.fixed_instances[qi].front() {
-                    debug_assert_eq!(front.start_punct, ws, "window end out of order");
-                    let inst = self.fixed_instances[qi].pop_front().expect("checked");
+                if let Some(inst) = self.fixed_instances[qi].pop_front() {
+                    debug_assert_eq!(inst.start_punct, ws, "window end out of order");
                     ends.push(WindowEnd {
                         query: cq.query.id,
                         first_slice: inst.first_slice,
@@ -542,9 +543,7 @@ impl GroupSlicer {
         // Session gap ends at t.
         let mut drained_session = false;
         for slot in &mut self.sessions {
-            let ended = matches!(&slot.open, Some(open) if open.last_ts + slot.gap == t);
-            if ended {
-                let open = slot.open.take().expect("checked");
+            if let Some(open) = slot.open.take_if(|open| open.last_ts + slot.gap == t) {
                 let query = self.group.queries[slot.query_idx].query.id;
                 ends.push(WindowEnd {
                     query,
@@ -620,9 +619,8 @@ impl GroupSlicer {
             let n = slot.count;
             let cq = &self.group.queries[slot.query_idx];
             if let Some(ws) = slot.spec.fixed_window_ending_at(n) {
-                if let Some(front) = slot.instances.front() {
-                    debug_assert_eq!(front.start_punct, ws, "count window end out of order");
-                    let inst = slot.instances.pop_front().expect("checked");
+                if let Some(inst) = slot.instances.pop_front() {
+                    debug_assert_eq!(inst.start_punct, ws, "count window end out of order");
                     ends.push(WindowEnd {
                         query: cq.query.id,
                         first_slice: inst.first_slice,
@@ -637,10 +635,9 @@ impl GroupSlicer {
             if slot.spec.fixed_window_starting_at(n) && !self.draining[slot.query_idx] {
                 pending_starts.push((slot_idx, n));
             }
-            slot.next_punct = slot
-                .spec
-                .next_count_punct_after(n)
-                .expect("count spec must have count punctuations");
+            // See `CountSlot` construction: a spec with no further
+            // punctuation simply never seals again.
+            slot.next_punct = slot.spec.next_count_punct_after(n).unwrap_or(u64::MAX);
         }
 
         // User-defined window ends (this event is the last of the window).

@@ -20,6 +20,10 @@ pub enum DesisError {
     /// (unknown node, fault on a link that does not exist, bad
     /// probability, or an inverted frame range).
     FaultPlan(String),
+    /// The cluster could not be wired or driven to completion: a
+    /// topology/feed mismatch, a node without its required link, or a
+    /// worker thread that died without reporting a result.
+    Cluster(&'static str),
 }
 
 impl fmt::Display for DesisError {
@@ -35,6 +39,7 @@ impl fmt::Display for DesisError {
                 write!(f, "unsupported in this node role: {msg}")
             }
             DesisError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            DesisError::Cluster(msg) => write!(f, "cluster failure: {msg}"),
         }
     }
 }

@@ -55,9 +55,6 @@
 //! # Ok::<(), desis_core::DesisError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod aggregate;
 pub mod dsl;
 pub mod engine;
@@ -67,6 +64,7 @@ pub mod metrics;
 pub mod obs;
 pub mod predicate;
 pub mod query;
+pub mod sync;
 pub mod time;
 pub mod window;
 

@@ -20,12 +20,15 @@
 //! [`MetricsSnapshot`] that serializes to JSON with no external
 //! dependencies.
 
+pub mod names;
 pub mod trace;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::sync::Mutex;
 
 /// Number of histogram buckets: one per power of two of `u64`.
 pub const HISTOGRAM_BUCKETS: usize = 64;
@@ -445,7 +448,7 @@ impl MetricsRegistry {
         GLOBAL.get_or_init(MetricsRegistry::new)
     }
 
-    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    fn lock<T>(m: &Mutex<T>) -> crate::sync::MutexGuard<'_, T> {
         // A panic while holding the registration lock cannot corrupt a
         // BTreeMap of Arcs; keep serving metrics rather than poisoning.
         m.lock().unwrap_or_else(|e| e.into_inner())

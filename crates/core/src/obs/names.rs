@@ -1,0 +1,179 @@
+//! Canonical metric and trace instrument names.
+//!
+//! Every counter, gauge, or histogram name emitted anywhere in the
+//! workspace is declared here — either as a `const` (fixed names) or as a
+//! builder function (names parameterized by node id, role, query, or
+//! stage). `desis-lint`'s `metric-name-constants` rule rejects inline
+//! string literals that look like metric names anywhere else, so an
+//! emitter and the dashboard/test code that reads its snapshot can never
+//! drift apart: both must reference this module.
+//!
+//! Naming scheme (dotted paths, lowercase with underscores):
+//!
+//! * `net.recovery.*` — recovery-protocol transitions ([`crate::obs`]).
+//! * `net.fault.*` — injected faults.
+//! * `net.<role>.*` — per-pump ingress instrumentation (`role` is
+//!   `root` / `intermediate`).
+//! * `net.node<id>.*` — per-node egress link counters.
+//! * `engine.*` — engine-side counters and latency histograms.
+//! * `trace.*` — causal-tracing stage histograms and drop counters.
+//! * `cluster.*` — whole-run aggregates published by the cluster driver.
+
+// --- net.recovery.* ---------------------------------------------------
+
+/// Sequence gaps detected by receiving pumps.
+pub const RECOVERY_GAPS: &str = "net.recovery.gaps";
+/// NACKs sent, including re-sends.
+pub const RECOVERY_NACKS: &str = "net.recovery.nacks";
+/// Redelivered frames discarded.
+pub const RECOVERY_DUPLICATES_DROPPED: &str = "net.recovery.duplicates_dropped";
+/// Gaps closed by retransmission.
+pub const RECOVERY_RECOVERED: &str = "net.recovery.recovered";
+/// Children lost for good and flushed on their behalf.
+pub const RECOVERY_LOST: &str = "net.recovery.lost";
+/// Healthy→Suspect transitions.
+pub const RECOVERY_SUSPECTS: &str = "net.recovery.suspects";
+/// Suspect→Healthy transitions.
+pub const RECOVERY_SUSPECT_CLEARED: &str = "net.recovery.suspect_cleared";
+
+// --- net.fault.* ------------------------------------------------------
+
+/// Frames dropped by injection.
+pub const FAULT_DROPPED: &str = "net.fault.dropped";
+/// Frames duplicated by injection.
+pub const FAULT_DUPLICATED: &str = "net.fault.duplicated";
+/// Frames corrupted by injection.
+pub const FAULT_CORRUPTED: &str = "net.fault.corrupted";
+/// Frames delayed by injection.
+pub const FAULT_DELAYED: &str = "net.fault.delayed";
+/// Frames dropped by a partition window.
+pub const FAULT_PARTITIONED: &str = "net.fault.partitioned";
+/// Nodes crashed by the plan.
+pub const FAULT_CRASHES: &str = "net.fault.crashes";
+/// Nodes stalled by the plan.
+pub const FAULT_STALLS: &str = "net.fault.stalls";
+
+// --- message tags (shared by the wire layer and per-tag counters) -----
+
+/// Tag of raw event batches.
+pub const TAG_EVENTS: &str = "events";
+/// Tag of per-slice partials.
+pub const TAG_SLICE: &str = "slice";
+/// Tag of per-window partials (Disco protocol).
+pub const TAG_WINDOW_PARTIALS: &str = "window-partials";
+/// Tag of watermark control messages.
+pub const TAG_WATERMARK: &str = "watermark";
+/// Tag of end-of-stream control messages.
+pub const TAG_FLUSH: &str = "flush";
+/// Every known message tag, in wire-enum order. Per-tag pump counters
+/// iterate this list, so a tag added to the wire enum without a counter
+/// shows up as `other` in snapshots rather than silently drifting.
+pub const MSG_TAGS: [&str; 5] = [
+    TAG_EVENTS,
+    TAG_SLICE,
+    TAG_WINDOW_PARTIALS,
+    TAG_WATERMARK,
+    TAG_FLUSH,
+];
+/// Catch-all tag for messages without a dedicated per-tag counter.
+pub const TAG_OTHER: &str = "other";
+
+// --- net.<role>.* (per-pump ingress) ----------------------------------
+
+/// Payload bytes received by `role`'s pump.
+pub fn ingress_bytes(role: &str) -> String {
+    format!("net.{role}.ingress_bytes")
+}
+
+/// Messages of `tag` received by `role`'s pump.
+pub fn ingress_msgs(role: &str, tag: &str) -> String {
+    format!("net.{role}.msgs.{tag}")
+}
+
+/// High-water inbound queue depth of `role`'s pump.
+pub fn queue_depth_max(role: &str) -> String {
+    format!("net.{role}.queue_depth_max")
+}
+
+/// Undecodable frames seen by `role`'s pump.
+pub fn decode_errors(role: &str) -> String {
+    format!("net.{role}.decode_errors")
+}
+
+/// High-water pending-merge count at `role`.
+pub fn merge_pending_max(role: &str) -> String {
+    format!("net.{role}.merge_pending_max")
+}
+
+/// Watermark advances that left merges waiting for sibling streams.
+pub fn merge_stalls(role: &str) -> String {
+    format!("net.{role}.merge_stalls")
+}
+
+// --- net.node<id>.* (per-node egress) ---------------------------------
+
+/// Payload bytes sent on `node`'s uplink.
+pub fn egress_bytes(node: u32) -> String {
+    format!("net.node{node}.egress_bytes")
+}
+
+/// Messages sent on `node`'s uplink.
+pub fn egress_msgs(node: u32) -> String {
+    format!("net.node{node}.egress_msgs")
+}
+
+// --- engine.* ---------------------------------------------------------
+
+/// Per-query result-latency histogram recorded at window assembly.
+pub fn engine_result_latency_us(query: u64) -> String {
+    format!("engine.result_latency_us.q{query}")
+}
+
+// --- trace.* ----------------------------------------------------------
+
+/// Trace events overwritten by ring-buffer drop-oldest.
+pub const TRACE_DROPPED_EVENTS: &str = "trace.dropped_events";
+
+/// Per-query per-stage latency histogram fed from stitched trace chains.
+pub fn trace_stage_us(query: u64, stage: &str) -> String {
+    format!("trace.q{query}.{stage}_us")
+}
+
+// --- cluster.* (whole-run aggregates) ---------------------------------
+
+/// Result latency (generation to emission) histogram of a cluster run.
+pub const CLUSTER_RESULT_LATENCY_US: &str = "cluster.result_latency_us";
+/// Prefix under which summed local-engine counters are published.
+pub const CLUSTER_LOCAL_ENGINE_PREFIX: &str = "cluster.local_engine";
+/// Raw events that reached the root (centralized baseline traffic).
+pub const NET_ROOT_RAW_EVENTS: &str = "net.root.raw_events";
+
+/// Prefix under which one run's snapshot merges into the process-global
+/// registry, keyed by the system label (`desis`, `disco`, ...).
+pub fn cluster_system_prefix(system_label: &str) -> String {
+    format!("cluster.{system_label}.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_dotted_paths() {
+        assert_eq!(ingress_bytes("root"), "net.root.ingress_bytes");
+        assert_eq!(ingress_msgs("root", TAG_SLICE), "net.root.msgs.slice");
+        assert_eq!(egress_bytes(7), "net.node7.egress_bytes");
+        assert_eq!(trace_stage_us(3, "merge"), "trace.q3.merge_us");
+        assert_eq!(engine_result_latency_us(1), "engine.result_latency_us.q1");
+        assert_eq!(cluster_system_prefix("desis"), "cluster.desis.");
+    }
+
+    #[test]
+    fn tag_list_is_exhaustive_and_distinct() {
+        let mut tags = MSG_TAGS.to_vec();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), MSG_TAGS.len());
+        assert!(!MSG_TAGS.contains(&TAG_OTHER));
+    }
+}

@@ -23,14 +23,16 @@
 //! cost is a branch on a `None`.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use super::MetricsRegistry;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
+
+use super::{names, MetricsRegistry};
 
 /// Registry counter name for ring-buffer overflow drops.
-pub const DROPPED_EVENTS_COUNTER: &str = "trace.dropped_events";
+pub const DROPPED_EVENTS_COUNTER: &str = names::TRACE_DROPPED_EVENTS;
 
 /// Default ring-buffer capacity per recorder (events).
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
@@ -271,7 +273,7 @@ impl Drop for TraceRecorder {
     }
 }
 
-fn lock_sink(m: &Mutex<Vec<Vec<TraceEvent>>>) -> std::sync::MutexGuard<'_, Vec<Vec<TraceEvent>>> {
+fn lock_sink(m: &Mutex<Vec<Vec<TraceEvent>>>) -> crate::sync::MutexGuard<'_, Vec<Vec<TraceEvent>>> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -459,7 +461,7 @@ impl TraceTimeline {
             };
             for (stage, us) in chain.stage_breakdown_us() {
                 registry
-                    .histogram(&format!("trace.q{query}.{stage}_us"))
+                    .histogram(&names::trace_stage_us(query, stage))
                     .record(us);
             }
         }

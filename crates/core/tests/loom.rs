@@ -1,0 +1,148 @@
+//! Exhaustive interleaving checks (loom-lite) for the observability
+//! primitives: the metric registry's registration maps and counters, and
+//! the trace recorder's shared mint/flush state.
+//!
+//! Compiled and run only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p desis-core --test loom
+//! ```
+//!
+//! Each `loom::model` closure is executed once per distinct thread
+//! interleaving of the `crate::sync` primitives it touches, so the
+//! assertions inside hold for *every* schedule, not just the ones the OS
+//! happens to produce. These are the concurrency counterpart to the
+//! protocol model check in `crates/net/tests/model.rs`.
+
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use desis_core::obs::trace::{SpanKind, TraceCollector};
+use desis_core::obs::MetricsRegistry;
+
+#[test]
+fn concurrent_counter_updates_are_never_lost() {
+    loom::model(|| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("loom.shared");
+        let c2 = Arc::clone(&counter);
+        let t = loom::thread::spawn(move || {
+            c2.inc();
+            c2.add(2);
+        });
+        counter.add(4);
+        t.join().unwrap();
+        assert_eq!(counter.get(), 7, "updates must not be lost");
+    });
+}
+
+#[test]
+fn racing_registration_yields_one_instrument() {
+    loom::model(|| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let r2 = Arc::clone(&registry);
+        let t = loom::thread::spawn(move || {
+            r2.counter("loom.race").inc();
+        });
+        registry.counter("loom.race").inc();
+        t.join().unwrap();
+        // Both threads must have gotten the *same* counter, whichever
+        // registered it first.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters["loom.race"], 2);
+    });
+}
+
+#[test]
+fn gauge_high_water_mark_is_exact() {
+    loom::model(|| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let gauge = registry.gauge("loom.depth");
+        let g2 = Arc::clone(&gauge);
+        let t = loom::thread::spawn(move || {
+            g2.set_max(3);
+        });
+        gauge.set_max(5);
+        t.join().unwrap();
+        assert_eq!(gauge.get(), 5, "fetch_max must keep the maximum");
+    });
+}
+
+#[test]
+fn concurrent_minting_never_duplicates_trace_ids() {
+    loom::model(|| {
+        let collector = TraceCollector::new(1, 4);
+        let c2 = collector.clone();
+        let t = loom::thread::spawn(move || {
+            let mut rec = c2.recorder(2);
+            let id = rec.maybe_mint().expect("sample_every=1 always mints");
+            rec.record(id, SpanKind::SliceCreated);
+            // Dropping flushes into the shared sink under its mutex.
+            drop(rec);
+            id
+        });
+        let mut rec = collector.recorder(1);
+        let id_a = rec.maybe_mint().expect("sample_every=1 always mints");
+        rec.record(id_a, SpanKind::SliceCreated);
+        drop(rec);
+        let id_b = t.join().unwrap();
+        assert_ne!(id_a, id_b, "minted ids must be unique across threads");
+        let timeline = collector.drain_timeline();
+        assert_eq!(timeline.chains.len(), 2, "both flushed buffers arrive");
+        assert_eq!(timeline.dropped, 0);
+    });
+}
+
+#[test]
+fn ring_overflow_drops_are_counted_exactly_under_races() {
+    loom::model(|| {
+        // Capacity 1: the second record on the same recorder overwrites
+        // the first and counts one drop, concurrently with a sibling
+        // recorder flushing into the same collector.
+        let collector = TraceCollector::new(1, 1);
+        let c2 = collector.clone();
+        let t = loom::thread::spawn(move || {
+            let mut rec = c2.recorder(2);
+            let id = rec.maybe_mint().expect("mints");
+            rec.record(id, SpanKind::SliceCreated);
+            rec.record(id, SpanKind::SliceSealed);
+            drop(rec);
+        });
+        let mut rec = collector.recorder(1);
+        let id = rec.maybe_mint().expect("mints");
+        rec.record(id, SpanKind::SliceCreated);
+        rec.record(id, SpanKind::SliceSealed);
+        drop(rec);
+        t.join().unwrap();
+        assert_eq!(collector.dropped(), 2, "one drop per overflowing ring");
+        let timeline = collector.drain_timeline();
+        let events: usize = timeline.chains.iter().map(|c| c.events.len()).sum();
+        assert_eq!(events, 2, "each capacity-1 ring keeps its newest event");
+    });
+}
+
+/// The scheduler itself must actually branch: a model with two racing
+/// writers explores more than one execution, and a determinate model
+/// explores exactly one.
+#[test]
+fn model_explores_multiple_interleavings() {
+    let racy = loom::count_executions(|| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("x");
+        let c2 = Arc::clone(&counter);
+        let t = loom::thread::spawn(move || c2.inc());
+        counter.inc();
+        t.join().unwrap();
+        assert_eq!(counter.get(), 2);
+    });
+    assert!(racy > 1, "two racing writers must branch, got {racy}");
+
+    let single = loom::count_executions(|| {
+        let registry = MetricsRegistry::new();
+        registry.counter("y").inc();
+        assert_eq!(registry.counter("y").get(), 1);
+    });
+    assert_eq!(single, 1, "a single-threaded model has one schedule");
+}

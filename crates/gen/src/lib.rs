@@ -10,9 +10,6 @@
 //! attached per local node — modelling the paper's "read from different
 //! positions in the dataset".
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod data;
 mod dataset;
 mod query;

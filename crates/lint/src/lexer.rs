@@ -1,0 +1,362 @@
+//! A minimal Rust lexer: just enough token structure for the desis-lint
+//! rules, with none of the parsing a real front-end needs.
+//!
+//! The lexer understands the lexical constructs that would otherwise
+//! produce false positives in a text-level scan:
+//!
+//! * line comments (including doc comments) and *nested* block comments;
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#` guards;
+//! * char literals vs. lifetimes (`'a'` tokenizes as a literal, `'a` in
+//!   `&'a str` does not);
+//! * raw identifiers (`r#fn` yields the identifier `fn`).
+//!
+//! Everything else becomes an [`TokKind::Ident`], a [`TokKind::Str`]
+//! (string-literal contents, quotes stripped), or a single-character
+//! [`TokKind::Punct`]. Numbers and whitespace are dropped: no rule needs
+//! them.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `struct`, `cfg`, ...).
+    Ident,
+    /// The contents of a string literal, quotes and guards stripped.
+    Str,
+    /// A single punctuation character (`.`, `!`, `{`, ...).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier text or string-literal contents; empty for punctuation.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenizes `source`, dropping comments, whitespace, and numbers.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (text, next, lines) = scan_string(&chars, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += lines;
+                i = next;
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\x'`-style escapes and
+                // `'c'` are literals; `'ident` not followed by a closing
+                // quote is a lifetime (or a loop label).
+                if chars.get(i + 1) == Some(&'\\') {
+                    i += 2; // skip the escape introducer
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if chars
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                    && chars.get(i + 2) != Some(&'\'')
+                {
+                    // Lifetime: consume the identifier after the quote.
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    // Plain char literal like 'x' (or the degenerate ''').
+                    i += 1;
+                    while i < chars.len() && chars[i] != '\'' {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            'r' | 'b' | 'c' if is_literal_prefix(&chars, i) => {
+                let (start, guards, is_raw) = literal_body(&chars, i);
+                if is_raw {
+                    let (text, next, lines) = scan_raw_string(&chars, start, guards);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    line += lines;
+                    i = next;
+                } else {
+                    let (text, next, lines) = scan_string(&chars, start);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    line += lines;
+                    i = next;
+                }
+            }
+            _ if c == '_' || c.is_alphabetic() => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let mut text: String = chars[i..j].iter().collect();
+                // Raw identifier: `r#name` lexes as the identifier `name`.
+                if text == "r" && chars.get(j) == Some(&'#') {
+                    let mut k = j + 1;
+                    while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                        k += 1;
+                    }
+                    text = chars[j + 1..k].iter().collect();
+                    j = k;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers carry no lint signal; consume them (including
+                // suffixes and simple decimals) so `1.5` does not emit a
+                // spurious `.` punct.
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    j += 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// True when position `i` begins a string-literal prefix: one of `r"`,
+/// `r#"`, `b"`, `br"`, `br#"`, `c"`, `cr#"`, ...
+fn is_literal_prefix(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    while j < chars.len() && matches!(chars[j], 'r' | 'b' | 'c') && j - i < 2 {
+        j += 1;
+    }
+    let mut k = j;
+    while k < chars.len() && chars[k] == '#' {
+        k += 1;
+    }
+    // A raw form needs the `r`; `b#"` is not a literal.
+    let has_guard = k > j;
+    let raw_ok = !has_guard || chars[i..j].contains(&'r');
+    // `b'x'` byte char literals reach the `'` arm; only double-quoted
+    // forms are claimed here.
+    chars.get(k) == Some(&'"') && raw_ok
+}
+
+/// Resolves a literal prefix at `i`: returns (index just past the opening
+/// quote, number of `#` guards, whether the literal is raw).
+fn literal_body(chars: &[char], i: usize) -> (usize, usize, bool) {
+    let mut j = i;
+    let mut raw = false;
+    while j < chars.len() && matches!(chars[j], 'r' | 'b' | 'c') {
+        if chars[j] == 'r' {
+            raw = true;
+        }
+        j += 1;
+    }
+    let mut guards = 0;
+    while j < chars.len() && chars[j] == '#' {
+        guards += 1;
+        j += 1;
+    }
+    (j + 1, guards, raw || guards > 0)
+}
+
+/// Scans a non-raw string body starting just past the opening quote.
+/// Returns (contents, index past the closing quote, newline count).
+fn scan_string(chars: &[char], start: usize) -> (String, usize, usize) {
+    let mut text = String::new();
+    let mut lines = 0;
+    let mut i = start;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Keep the escaped char verbatim; rules only prefix-match.
+                if let Some(&c) = chars.get(i + 1) {
+                    if c == '\n' {
+                        lines += 1;
+                    }
+                    text.push(c);
+                }
+                i += 2;
+            }
+            '"' => return (text, i + 1, lines),
+            c => {
+                if c == '\n' {
+                    lines += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, i, lines)
+}
+
+/// Scans a raw string body (no escapes) terminated by `"` plus `guards`
+/// `#` characters.
+fn scan_raw_string(chars: &[char], start: usize, guards: usize) -> (String, usize, usize) {
+    let mut text = String::new();
+    let mut lines = 0;
+    let mut i = start;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let closed = (1..=guards).all(|g| chars.get(i + g) == Some(&'#'));
+            if closed {
+                return (text, i + 1 + guards, lines);
+            }
+        }
+        if chars[i] == '\n' {
+            lines += 1;
+        }
+        text.push(chars[i]);
+        i += 1;
+    }
+    (text, i, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_dropped_including_nested_blocks() {
+        let src = "a /* b /* c */ d */ e // f\ng";
+        assert_eq!(idents(src), ["a", "e", "g"]);
+    }
+
+    #[test]
+    fn strings_capture_contents_and_hide_idents() {
+        let toks = lex(r#"x("net.frames") y"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["net.frames"]);
+        assert_eq!(idents(r#"x("unwrap") y"#), ["x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_and_guards() {
+        let toks = lex(r###"a(r#"engine."quoted""#) b"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r#"engine."quoted""#]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // `'a` must not swallow `str` into a bogus literal.
+        assert_eq!(idents("fn f<'a>(x: &'a str) {}"), ["fn", "f", "x", "str"]);
+        assert_eq!(idents("let c = 'x'; done"), ["let", "c", "done"]);
+        assert_eq!(idents(r"let c = '\n'; done"), ["let", "c", "done"]);
+    }
+
+    #[test]
+    fn raw_identifiers_resolve() {
+        assert_eq!(idents("r#struct r#unwrap"), ["struct", "unwrap"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_literals() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // the string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the embedded newline
+    }
+}

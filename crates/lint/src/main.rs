@@ -1,0 +1,74 @@
+//! CLI entry point: `cargo run -p desis-lint [-- --root PATH --allow-dir PATH]`.
+//!
+//! Exits non-zero when any rule fires without an allowlist entry, or
+//! when an allowlist entry is stale. Intended as a CI gate (see
+//! `.github/workflows/ci.yml`) and a local pre-commit check.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow-dir" => allow_dir = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "desis-lint — repo-specific static analysis\n\n\
+                     USAGE: desis-lint [--root PATH] [--allow-dir PATH]\n\n\
+                     Rules: no-panic, no-wallclock, metric-names, wire-usize.\n\
+                     Suppressions live in <root>/lint/allow/<rule>.allow as\n\
+                     `[rule] path :: exact-trimmed-line :: justification`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("desis-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let mut cfg = desis_lint::Config::at(root);
+    if let Some(dir) = allow_dir {
+        cfg.allow_dir = dir;
+    }
+
+    match desis_lint::run(&cfg) {
+        Ok(outcome) => {
+            print!("{}", desis_lint::render(&outcome));
+            if outcome.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("desis-lint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`; falls back to the current directory.
+fn find_workspace_root() -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return start,
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a panicking macro and an inline metric name in the engine.
+
+fn seal(kind: u8, m: &dyn Fn(&str)) {
+    match kind {
+        0 => m("engine.slices.sealed"),
+        _ => unreachable!("unknown kind"),
+    }
+}

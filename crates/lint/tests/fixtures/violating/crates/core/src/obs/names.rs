@@ -1,0 +1,4 @@
+//! Fixture: the names registry may define instrument-name literals.
+
+pub const ENGINE_SLICES_SEALED: &str = "engine.slices.sealed";
+pub const NET_FRAMES: &str = "net.frames";

@@ -1,0 +1,16 @@
+//! Fixture: wire-usize violations in a wire-format module.
+
+pub struct Frame {
+    pub seq: u64,
+    pub len: usize,
+}
+
+pub enum Wire {
+    Data { offset: isize },
+    Flush,
+}
+
+// Function signatures and locals may use usize freely.
+pub fn split(buf: &[u8], at: usize) -> (&[u8], &[u8]) {
+    buf.split_at(at)
+}

@@ -1,0 +1,8 @@
+//! Fixture: no-wallclock violations in a deterministic path.
+
+fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let _ = (t, s);
+    0
+}

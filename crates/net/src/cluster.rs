@@ -18,7 +18,7 @@ use desis_core::error::DesisError;
 use desis_core::event::Event;
 use desis_core::metrics::EngineMetrics;
 use desis_core::obs::trace::TraceCollector;
-use desis_core::obs::{MetricsRegistry, MetricsSnapshot};
+use desis_core::obs::{names, MetricsRegistry, MetricsSnapshot};
 use desis_core::query::{Query, QueryResult};
 use desis_core::time::{DurationMs, Timestamp};
 use desis_core::window::WindowKind;
@@ -292,11 +292,11 @@ pub fn run_cluster(
     feeds: Vec<Vec<Event>>,
 ) -> Result<ClusterReport, DesisError> {
     let locals = cfg.topology.nodes_with_role(NodeRole::Local);
-    assert_eq!(
-        feeds.len(),
-        locals.len(),
-        "one event feed per local node required"
-    );
+    if feeds.len() != locals.len() {
+        return Err(DesisError::Cluster(
+            "one event feed per local node required",
+        ));
+    }
     let groups = Arc::new(analyze_for(cfg.system, cfg.queries.clone())?);
     // Compile the runtime script: added queries get fresh group ids that
     // locals and root agree on; removals record when the root may drop
@@ -421,11 +421,12 @@ pub fn run_cluster(
     let started = Instant::now();
 
     std::thread::scope(|scope| {
-        // Local nodes.
-        let mut feed_iter = feeds.into_iter();
-        for &node in &locals {
-            let feed = feed_iter.next().expect("checked length");
-            let mut uplink = senders.remove(&node).expect("local has a parent");
+        // Local nodes. Lengths were validated above, so zipping pairs
+        // every local with exactly one feed.
+        for (&node, feed) in locals.iter().zip(feeds) {
+            let Some(mut uplink) = senders.remove(&node) else {
+                return Err(DesisError::Cluster("local node has no uplink"));
+            };
             let groups = Arc::clone(&groups);
             let table = Arc::clone(&latency_table);
             let metrics_sink = Arc::clone(&local_metrics);
@@ -460,11 +461,12 @@ pub fn run_cluster(
                         metrics_sink.lock().absorb(&worker.metrics());
                         return;
                     }
-                    if !stalled && stall_at.is_some_and(|(at, _)| ev.ts >= at) {
-                        stalled = true;
-                        fault_stats.stalls.inc();
-                        let (_, ms) = stall_at.expect("checked");
-                        std::thread::sleep(Duration::from_millis(ms));
+                    if let Some((at, ms)) = stall_at {
+                        if !stalled && ev.ts >= at {
+                            stalled = true;
+                            fault_stats.stalls.inc();
+                            std::thread::sleep(Duration::from_millis(ms));
+                        }
                     }
                     while let Some((at, cmd)) = script.get(script_idx) {
                         if ev.ts < *at {
@@ -512,17 +514,19 @@ pub fn run_cluster(
 
         // Intermediate nodes.
         for node in topology.nodes_with_role(NodeRole::Intermediate) {
-            let receivers = receivers_by_parent
-                .remove(&node)
-                .expect("validated: intermediates have children");
-            let mut uplink = senders.remove(&node).expect("intermediate has a parent");
+            let Some(receivers) = receivers_by_parent.remove(&node) else {
+                return Err(DesisError::Cluster("intermediate node has no children"));
+            };
+            let Some(mut uplink) = senders.remove(&node) else {
+                return Err(DesisError::Cluster("intermediate node has no uplink"));
+            };
             let groups = Arc::clone(&groups);
             let system = cfg.system;
             let coverage = topology.leaves_below(node).len() as u32;
             let child_ids: Vec<NodeId> = receivers.iter().map(|(c, _)| *c).collect();
             let obs = PumpObs::new(&registry, "intermediate");
-            let merge_pending_max = registry.gauge("net.intermediate.merge_pending_max");
-            let merge_stalls = registry.counter("net.intermediate.merge_stalls");
+            let merge_pending_max = registry.gauge(&names::merge_pending_max("intermediate"));
+            let merge_stalls = registry.counter(&names::merge_stalls("intermediate"));
             let tracing = tracing.clone();
             let recovery_cfg = cfg.recovery.clone();
             let recovery_stats = Arc::clone(&recovery_stats);
@@ -543,7 +547,7 @@ pub fn run_cluster(
                     let _ = worker.on_message(child, msg, &mut uplink);
                     let pending = worker.pending_merges();
                     merge_pending_max.set_max(pending as i64);
-                    if tag == "watermark" && pending > 0 {
+                    if tag == names::TAG_WATERMARK && pending > 0 {
                         // A watermark advanced but merges still wait for
                         // sibling streams: the merger is stalled.
                         merge_stalls.inc();
@@ -560,17 +564,17 @@ pub fn run_cluster(
         // Root node (run on the scope's own thread side: spawn too, then
         // join implicitly at scope end).
         let root = topology.root();
-        let receivers = receivers_by_parent
-            .remove(&root)
-            .expect("root has children");
+        let Some(receivers) = receivers_by_parent.remove(&root) else {
+            return Err(DesisError::Cluster("root node has no children"));
+        };
         let groups_root = Arc::clone(&groups);
         let queries = cfg.queries.clone();
         let system = cfg.system;
         let child_ids: Vec<NodeId> = receivers.iter().map(|(c, _)| *c).collect();
         let script = Arc::clone(&compiled);
         let root_obs = PumpObs::new(&registry, "root");
-        let root_merge_pending_max = registry.gauge("net.root.merge_pending_max");
-        let root_merge_stalls = registry.counter("net.root.merge_stalls");
+        let root_merge_pending_max = registry.gauge(&names::merge_pending_max("root"));
+        let root_merge_stalls = registry.counter(&names::merge_stalls("root"));
         let root_recovery = cfg.recovery.clone();
         let root_recovery_stats = Arc::clone(&recovery_stats);
         let root_handle = scope.spawn(move || -> Result<_, DesisError> {
@@ -605,7 +609,7 @@ pub fn run_cluster(
                 worker.on_message(child, msg);
                 let pending = worker.pending_merges();
                 root_merge_pending_max.set_max(pending as i64);
-                if tag == "watermark" && pending > 0 {
+                if tag == names::TAG_WATERMARK && pending > 0 {
                     root_merge_stalls.inc();
                 }
                 while let Some((at, id)) = pending_removals.first().copied() {
@@ -623,13 +627,18 @@ pub fn run_cluster(
             Ok((stamped, worker.raw_events_processed(), lost))
         });
 
-        let (stamped, root_raw_events, root_lost) = root_handle.join().expect("root thread")?;
+        // A panicking root worker must surface as an error, not tear the
+        // whole process down with it.
+        let Ok(root_result) = root_handle.join() else {
+            return Err(DesisError::Cluster("root worker thread panicked"));
+        };
+        let (stamped, root_raw_events, root_lost) = root_result?;
         let wall = started.elapsed();
         let mut lost_children = root_lost;
         lost_children.extend(lost_below.lock().drain(..));
         lost_children.sort_unstable();
 
-        let latency_hist = registry.histogram("cluster.result_latency_us");
+        let latency_hist = registry.histogram(names::CLUSTER_RESULT_LATENCY_US);
         let mut latencies_ms = Vec::with_capacity(stamped.len());
         let mut results = Vec::with_capacity(stamped.len());
         for (result, emitted) in stamped {
@@ -645,13 +654,13 @@ pub fn run_cluster(
 
         let bytes_by_node = stats.iter().map(|(node, st)| (*node, st.bytes())).collect();
         let local_metrics = local_metrics.lock().clone();
-        local_metrics.publish(&registry, "cluster.local_engine");
+        local_metrics.publish(&registry, names::CLUSTER_LOCAL_ENGINE_PREFIX);
         registry
-            .counter("net.root.raw_events")
+            .counter(names::NET_ROOT_RAW_EVENTS)
             .raise_to(root_raw_events);
         let metrics = registry.snapshot();
         MetricsRegistry::global()
-            .merge_snapshot(&format!("cluster.{}.", cfg.system.label()), &metrics);
+            .merge_snapshot(&names::cluster_system_prefix(cfg.system.label()), &metrics);
         let mut faults_injected = injected.lock().unwrap_or_else(|e| e.into_inner()).clone();
         faults_injected.sort_by(|a, b| (a.link, a.frame, a.kind).cmp(&(b.link, b.frame, b.kind)));
         Ok(ClusterReport {

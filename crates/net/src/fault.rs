@@ -26,7 +26,7 @@
 
 use std::sync::{Arc, Mutex, OnceLock};
 
-use desis_core::obs::{Counter, MetricsRegistry};
+use desis_core::obs::{names, Counter, MetricsRegistry};
 use desis_core::time::Timestamp;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -392,13 +392,13 @@ impl FaultStats {
     /// Counters registered in `registry` under `net.fault.*`.
     pub fn registered(registry: &MetricsRegistry) -> Arc<Self> {
         Arc::new(FaultStats {
-            dropped: registry.counter("net.fault.dropped"),
-            duplicated: registry.counter("net.fault.duplicated"),
-            corrupted: registry.counter("net.fault.corrupted"),
-            delayed: registry.counter("net.fault.delayed"),
-            partitioned: registry.counter("net.fault.partitioned"),
-            crashes: registry.counter("net.fault.crashes"),
-            stalls: registry.counter("net.fault.stalls"),
+            dropped: registry.counter(names::FAULT_DROPPED),
+            duplicated: registry.counter(names::FAULT_DUPLICATED),
+            corrupted: registry.counter(names::FAULT_CORRUPTED),
+            delayed: registry.counter(names::FAULT_DELAYED),
+            partitioned: registry.counter(names::FAULT_PARTITIONED),
+            crashes: registry.counter(names::FAULT_CRASHES),
+            stalls: registry.counter(names::FAULT_STALLS),
         })
     }
 

@@ -43,9 +43,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod cluster;
 pub mod codec;
 pub mod fault;
@@ -53,6 +50,7 @@ pub mod link;
 pub mod merge;
 pub mod message;
 pub mod node;
+pub mod protocol;
 pub mod recovery;
 pub mod topology;
 

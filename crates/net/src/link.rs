@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, Select, Sender};
 use desis_core::obs::trace::{SpanKind, TraceRecorder};
-use desis_core::obs::{Counter, MetricsRegistry};
+use desis_core::obs::{names, Counter, MetricsRegistry};
 
 use crate::codec::{CodecError, CodecKind, Frame};
 use crate::fault::FaultInjector;
@@ -61,8 +61,8 @@ impl LinkStats {
     /// registry snapshots (Figure 11's communication-cost metric).
     pub fn registered(registry: &MetricsRegistry, node_id: u32) -> Self {
         Self {
-            bytes: registry.counter(&format!("net.node{node_id}.egress_bytes")),
-            messages: registry.counter(&format!("net.node{node_id}.egress_msgs")),
+            bytes: registry.counter(&names::egress_bytes(node_id)),
+            messages: registry.counter(&names::egress_msgs(node_id)),
         }
     }
 

@@ -67,14 +67,17 @@ pub enum Message {
 }
 
 impl Message {
-    /// Short tag for logging/debugging.
+    /// Short tag for logging/debugging and per-tag pump counters. Tags
+    /// are declared in [`desis_core::obs::names`] so emitters and
+    /// snapshot readers share one spelling.
     pub fn tag(&self) -> &'static str {
+        use desis_core::obs::names;
         match self {
-            Message::Events(_) => "events",
-            Message::Slice { .. } => "slice",
-            Message::WindowPartials { .. } => "window-partials",
-            Message::Watermark(_) => "watermark",
-            Message::Flush => "flush",
+            Message::Events(_) => names::TAG_EVENTS,
+            Message::Slice { .. } => names::TAG_SLICE,
+            Message::WindowPartials { .. } => names::TAG_WINDOW_PARTIALS,
+            Message::Watermark(_) => names::TAG_WATERMARK,
+            Message::Flush => names::TAG_FLUSH,
         }
     }
 }

@@ -782,7 +782,9 @@ impl RootWorker {
                 false
             }
             (DistributedSystem::Centralized(_), _) => {
-                unreachable!("centralized roots have no per-group machinery")
+                // Centralized roots run the engine directly and have no
+                // per-group machinery; registering is a no-op.
+                false
             }
         }
     }

@@ -1,6 +1,12 @@
 //! Child recovery protocol: sequence gaps, NACK-driven retransmission,
 //! liveness suspicion, and bounded escalation to loss.
 //!
+//! The protocol *decisions* live in [`crate::protocol::ChildProtocol`], a
+//! deterministic, time-free state machine that the model check in
+//! `crates/net/tests/model.rs` drives exhaustively. This module is the IO
+//! shell around it: channel selects, NACK pacing timers, counters, and
+//! trace spans.
+//!
 //! PR 1 gave the cluster *degradation*: a child whose link produced one
 //! undecodable frame was flushed on its behalf and reported lost. This
 //! module replaces "first bad frame ⇒ lost forever" with a real protocol
@@ -45,17 +51,18 @@
 //! undecodable frame on a link without a control channel loses the child
 //! immediately.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::Select;
 use desis_core::obs::trace::{SpanKind, TraceId, TraceRecorder};
-use desis_core::obs::{Counter, Gauge, MetricsRegistry};
+use desis_core::obs::{names, Counter, Gauge, MetricsRegistry};
 use desis_core::time::{DurationMs, Timestamp};
 
 use crate::link::LinkReceiver;
 use crate::message::Message;
+use crate::protocol::{Action, ChildProtocol, ProtoEvent, ProtocolLimits};
 use crate::topology::NodeId;
 
 /// Messages on a link's control backchannel (receiver → sender).
@@ -104,6 +111,16 @@ impl Default for RecoveryConfig {
     }
 }
 
+impl RecoveryConfig {
+    /// The time-free subset handed to [`ChildProtocol`].
+    fn limits(&self) -> ProtocolLimits {
+        ProtocolLimits {
+            retry_budget: self.retry_budget,
+            reorder_cap: self.reorder_cap,
+        }
+    }
+}
+
 /// `net.recovery.*` counters: what the recovery protocol did during a
 /// run. Gap/NACK/loss counts are deterministic for a deterministic fault
 /// placement; duplicate and re-NACK counts can vary with thread timing.
@@ -130,13 +147,13 @@ impl RecoveryStats {
     /// Counters registered in `registry` under `net.recovery.*`.
     pub fn registered(registry: &MetricsRegistry) -> Arc<Self> {
         Arc::new(RecoveryStats {
-            gaps: registry.counter("net.recovery.gaps"),
-            nacks: registry.counter("net.recovery.nacks"),
-            duplicates_dropped: registry.counter("net.recovery.duplicates_dropped"),
-            recovered: registry.counter("net.recovery.recovered"),
-            lost: registry.counter("net.recovery.lost"),
-            suspects: registry.counter("net.recovery.suspects"),
-            suspect_cleared: registry.counter("net.recovery.suspect_cleared"),
+            gaps: registry.counter(names::RECOVERY_GAPS),
+            nacks: registry.counter(names::RECOVERY_NACKS),
+            duplicates_dropped: registry.counter(names::RECOVERY_DUPLICATES_DROPPED),
+            recovered: registry.counter(names::RECOVERY_RECOVERED),
+            lost: registry.counter(names::RECOVERY_LOST),
+            suspects: registry.counter(names::RECOVERY_SUSPECTS),
+            suspect_cleared: registry.counter(names::RECOVERY_SUSPECT_CLEARED),
         })
     }
 
@@ -196,19 +213,13 @@ pub(crate) struct PumpObs {
 
 impl PumpObs {
     pub(crate) fn new(registry: &MetricsRegistry, role: &str) -> Self {
-        let tag_counter = |tag: &str| registry.counter(&format!("net.{role}.msgs.{tag}"));
+        let tag_counter = |tag: &str| registry.counter(&names::ingress_msgs(role, tag));
         Self {
-            ingress_bytes: registry.counter(&format!("net.{role}.ingress_bytes")),
-            msgs: [
-                ("events", tag_counter("events")),
-                ("slice", tag_counter("slice")),
-                ("window-partials", tag_counter("window-partials")),
-                ("watermark", tag_counter("watermark")),
-                ("flush", tag_counter("flush")),
-            ],
-            other_msgs: tag_counter("other"),
-            queue_depth_max: registry.gauge(&format!("net.{role}.queue_depth_max")),
-            decode_errors: registry.counter(&format!("net.{role}.decode_errors")),
+            ingress_bytes: registry.counter(&names::ingress_bytes(role)),
+            msgs: names::MSG_TAGS.map(|tag| (tag, tag_counter(tag))),
+            other_msgs: tag_counter(names::TAG_OTHER),
+            queue_depth_max: registry.gauge(&names::queue_depth_max(role)),
+            decode_errors: registry.counter(&names::decode_errors(role)),
         }
     }
 
@@ -222,45 +233,24 @@ impl PumpObs {
     }
 }
 
-/// Recovery condition of one child link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Health {
-    Healthy,
-    Suspect,
-    Recovering,
-    Lost,
-}
-
-/// Per-child receive-side protocol state.
+/// Per-child state the IO shell keeps *around* the protocol machine:
+/// everything time- or registry-shaped that [`ChildProtocol`] must not
+/// know about.
 struct ChildState {
-    health: Health,
-    /// Next expected sequence number.
-    next_seq: u64,
-    /// Out-of-order sequenced frames parked while a gap is open.
-    buffer: BTreeMap<u64, Message>,
-    /// NACKs spent on the current gap.
-    nacks_sent: u32,
+    /// The protocol decisions (health, sequencing, reorder buffer).
+    machine: ChildProtocol<Message>,
     /// When the last NACK went out (re-send pacing).
     last_nack: Option<Instant>,
-    /// Whether a `Flush` was delivered (real or on-behalf).
-    flushed: bool,
     /// Latest watermark seen from this child (`None` before the first).
     watermark: Option<Timestamp>,
-    /// Whether the child was removed from the select set.
-    removed: bool,
 }
 
 impl ChildState {
-    fn new() -> Self {
+    fn new(limits: ProtocolLimits, can_nack: bool) -> Self {
         ChildState {
-            health: Health::Healthy,
-            next_seq: 0,
-            buffer: BTreeMap::new(),
-            nacks_sent: 0,
+            machine: ChildProtocol::new(limits, can_nack),
             last_nack: None,
-            flushed: false,
             watermark: None,
-            removed: false,
         }
     }
 }
@@ -300,7 +290,11 @@ pub(crate) fn pump_children(
     for (_, r) in receivers {
         sel.recv(r.raw());
     }
-    let states = (0..receivers.len()).map(|_| ChildState::new()).collect();
+    let limits = ctx.config.limits();
+    let states = receivers
+        .iter()
+        .map(|(_, r)| ChildState::new(limits, r.can_nack()))
+        .collect();
     let open = receivers.len();
     Pump {
         receivers,
@@ -334,18 +328,64 @@ impl<F: FnMut(NodeId, Message)> Pump<'_, F> {
         self.lost
     }
 
+    /// Feeds one event into the child's protocol machine and executes the
+    /// actions it returns, in order. A failed NACK send feeds
+    /// [`ProtoEvent::NackSendFailed`] back into the machine, so actions
+    /// are drained from a worklist rather than a plain loop.
+    fn dispatch(&mut self, idx: usize, event: ProtoEvent<Message>) {
+        let mut work: VecDeque<Action<Message>> = self.states[idx].machine.on_event(event).into();
+        let child = self.receivers[idx].0;
+        while let Some(action) = work.pop_front() {
+            match action {
+                Action::Deliver(msg) => self.deliver(idx, msg),
+                Action::SenderDone => {
+                    // Tell the sender it may stop lingering for NACKs.
+                    self.receivers[idx].1.done();
+                }
+                Action::Nack { from } => {
+                    self.states[idx].last_nack = Some(Instant::now());
+                    self.ctx.stats.nacks.inc();
+                    if !self.receivers[idx].1.nack(from) {
+                        work.extend(
+                            self.states[idx]
+                                .machine
+                                .on_event(ProtoEvent::NackSendFailed),
+                        );
+                    }
+                }
+                Action::GapOpened => {
+                    self.ctx.stats.gaps.inc();
+                    self.span(child, SpanKind::ChildRecovering { child });
+                }
+                Action::GapReopened => self.ctx.stats.gaps.inc(),
+                Action::Recovered => {
+                    self.ctx.stats.recovered.inc();
+                    self.span(child, SpanKind::ChildRecovered { child });
+                }
+                Action::DuplicateDropped => self.ctx.stats.duplicates_dropped.inc(),
+                Action::Closed => {
+                    self.sel.remove(idx);
+                    self.open -= 1;
+                }
+                Action::Lost => {
+                    self.ctx.stats.lost.inc();
+                    self.span(child, SpanKind::ChildLost { child });
+                    self.lost.push(child);
+                }
+                Action::FlushOnBehalf => (self.handler)(child, Message::Flush),
+            }
+        }
+    }
+
     /// Re-sends overdue NACKs; escalates to Lost once the budget is gone.
     fn tick(&mut self) {
         let grace = self.ctx.config.nack_grace;
         for idx in 0..self.receivers.len() {
-            let due = {
-                let st = &self.states[idx];
-                st.health == Health::Recovering
-                    && !st.removed
-                    && st.last_nack.is_some_and(|at| at.elapsed() >= grace)
-            };
+            let st = &self.states[idx];
+            let due = st.machine.awaiting_retransmit()
+                && st.last_nack.is_some_and(|at| at.elapsed() >= grace);
             if due {
-                self.nack_now(idx);
+                self.dispatch(idx, ProtoEvent::NackTimeout);
             }
         }
     }
@@ -356,139 +396,34 @@ impl<F: FnMut(NodeId, Message)> Pump<'_, F> {
             Ok(frame) => {
                 self.obs
                     .on_frame(raw.len(), frame.msg.tag(), receiver.raw().len());
-                match frame.seq {
-                    Some(seq) => self.on_sequenced(idx, seq, frame.msg),
-                    // Unsequenced (legacy) frames bypass the protocol.
-                    None => self.deliver(idx, frame.msg),
-                }
+                let flush = matches!(frame.msg, Message::Flush);
+                self.dispatch(
+                    idx,
+                    ProtoEvent::Frame {
+                        seq: frame.seq,
+                        msg: frame.msg,
+                        flush,
+                    },
+                );
             }
             Err(_) => {
                 self.obs.decode_errors.inc();
-                if self.states[idx].health == Health::Lost {
-                    return;
-                }
-                if self.receivers[idx].1.can_nack() {
-                    // A corrupt frame is just a gap at next_seq: everything
-                    // from there can be retransmitted.
-                    self.open_gap(idx);
-                } else {
-                    self.close_child(idx);
-                }
+                // A corrupt frame is just a gap at next_seq: everything
+                // from there can be retransmitted — if the link has a
+                // backchannel; otherwise the machine loses the child.
+                self.dispatch(idx, ProtoEvent::Corrupt);
             }
         }
     }
 
-    fn on_sequenced(&mut self, idx: usize, seq: u64, msg: Message) {
-        let next = self.states[idx].next_seq;
-        if self.states[idx].health == Health::Lost {
-            return;
-        }
-        if seq < next {
-            self.ctx.stats.duplicates_dropped.inc();
-            return;
-        }
-        if seq > next {
-            // Gap: park the frame and ask for a retransmit.
-            let st = &mut self.states[idx];
-            if st.buffer.len() >= self.ctx.config.reorder_cap {
-                self.close_child(idx);
-                return;
-            }
-            st.buffer.insert(seq, msg);
-            self.open_gap(idx);
-            return;
-        }
-        self.states[idx].next_seq = seq + 1;
-        self.deliver(idx, msg);
-        loop {
-            let st = &mut self.states[idx];
-            let want = st.next_seq;
-            match st.buffer.remove(&want) {
-                Some(parked) => {
-                    st.next_seq = want + 1;
-                    self.deliver(idx, parked);
-                }
-                None => break,
-            }
-        }
-        if self.states[idx].health == Health::Recovering {
-            if self.states[idx].buffer.is_empty() {
-                // The retransmit filled the gap: fully caught up.
-                self.states[idx].health = Health::Healthy;
-                self.states[idx].nacks_sent = 0;
-                self.ctx.stats.recovered.inc();
-                let child = self.receivers[idx].0;
-                self.span(child, SpanKind::ChildRecovered { child });
-            } else {
-                // A second hole behind the first: a fresh gap.
-                self.ctx.stats.gaps.inc();
-                self.states[idx].nacks_sent = 0;
-                self.nack_now(idx);
-            }
-        }
-    }
-
-    /// Transitions into Recovering and sends the first NACK for a newly
-    /// detected gap. No-op while already Recovering (the tick re-sends).
-    fn open_gap(&mut self, idx: usize) {
-        match self.states[idx].health {
-            Health::Recovering | Health::Lost => return,
-            Health::Healthy | Health::Suspect => {}
-        }
-        if !self.receivers[idx].1.can_nack() {
-            self.close_child(idx);
-            return;
-        }
-        self.ctx.stats.gaps.inc();
-        self.states[idx].health = Health::Recovering;
-        self.states[idx].nacks_sent = 0;
-        let child = self.receivers[idx].0;
-        self.span(child, SpanKind::ChildRecovering { child });
-        self.nack_now(idx);
-    }
-
-    /// Sends (or re-sends) the NACK for the current gap; declares the
-    /// child lost once the retry budget is exhausted or the backchannel
-    /// is gone.
-    fn nack_now(&mut self, idx: usize) {
-        if self.states[idx].nacks_sent >= self.ctx.config.retry_budget {
-            self.close_child(idx);
-            return;
-        }
-        let from = {
-            let st = &mut self.states[idx];
-            st.nacks_sent += 1;
-            st.last_nack = Some(Instant::now());
-            st.next_seq
-        };
-        self.ctx.stats.nacks.inc();
-        if !self.receivers[idx].1.nack(from) {
-            self.close_child(idx);
-        }
-    }
-
-    /// Removes the child from the select set; if it never flushed, it is
-    /// lost: flushed on its behalf exactly once and reported.
+    /// Removes the child after its channel disconnected; the machine
+    /// decides whether that is a clean close or a loss.
     fn close_child(&mut self, idx: usize) {
-        if self.states[idx].removed {
-            return;
-        }
-        self.states[idx].removed = true;
-        self.states[idx].health = Health::Lost;
-        self.sel.remove(idx);
-        self.open -= 1;
-        if !self.states[idx].flushed {
-            self.states[idx].flushed = true;
-            let child = self.receivers[idx].0;
-            self.ctx.stats.lost.inc();
-            self.span(child, SpanKind::ChildLost { child });
-            self.lost.push(child);
-            (self.handler)(child, Message::Flush);
-        }
+        self.dispatch(idx, ProtoEvent::Disconnect);
     }
 
     /// Hands one in-order message to the node's handler, maintaining the
-    /// watermark liveness view and the Flush/Done handshake.
+    /// watermark liveness view.
     fn deliver(&mut self, idx: usize, msg: Message) {
         if let Some(rec) = self.ctx.recorder.as_mut() {
             if let Message::Slice { partial, .. } = &msg {
@@ -497,14 +432,8 @@ impl<F: FnMut(NodeId, Message)> Pump<'_, F> {
                 }
             }
         }
-        match &msg {
-            Message::Watermark(ts) => self.on_watermark(idx, *ts),
-            Message::Flush => {
-                self.states[idx].flushed = true;
-                // Tell the sender it may stop lingering for NACKs.
-                self.receivers[idx].1.done();
-            }
-            _ => {}
+        if let Message::Watermark(ts) = &msg {
+            self.on_watermark(idx, *ts);
         }
         let child = self.receivers[idx].0;
         (self.handler)(child, msg);
@@ -512,7 +441,8 @@ impl<F: FnMut(NodeId, Message)> Pump<'_, F> {
 
     /// Updates the per-child watermark view and flips Healthy ⇄ Suspect
     /// on liveness lag. Suspect is advisory: it never escalates on its
-    /// own, and a child recovering from a gap is not re-judged here.
+    /// own, and the machine refuses the flip for recovering, removed, or
+    /// flushed children.
     fn on_watermark(&mut self, idx: usize, ts: Timestamp) {
         self.states[idx].watermark = Some(ts);
         if ts > self.max_watermark {
@@ -520,22 +450,15 @@ impl<F: FnMut(NodeId, Message)> Pump<'_, F> {
         }
         let lag_limit = self.ctx.config.suspect_lag;
         for j in 0..self.receivers.len() {
-            let transition = {
-                let st = &self.states[j];
-                if st.removed || st.flushed {
-                    continue;
-                }
-                let Some(wm) = st.watermark else { continue };
-                let lagging = self.max_watermark.saturating_sub(wm) > lag_limit;
-                match (st.health, lagging) {
-                    (Health::Healthy, true) => Health::Suspect,
-                    (Health::Suspect, false) => Health::Healthy,
-                    _ => continue,
-                }
+            let Some(wm) = self.states[j].watermark else {
+                continue;
             };
-            self.states[j].health = transition;
+            let lagging = self.max_watermark.saturating_sub(wm) > lag_limit;
+            let Some(health) = self.states[j].machine.note_watermark_lag(lagging) else {
+                continue;
+            };
             let child = self.receivers[j].0;
-            if transition == Health::Suspect {
+            if health == crate::protocol::Health::Suspect {
                 self.ctx.stats.suspects.inc();
                 self.span(child, SpanKind::ChildSuspect { child });
             } else {

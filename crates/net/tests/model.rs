@@ -1,0 +1,307 @@
+//! Exhaustive model check of the per-child recovery protocol.
+//!
+//! [`desis_net::protocol::ChildProtocol`] is deterministic and time-free,
+//! so the whole reachable behaviour under a bounded event alphabet can be
+//! enumerated outright: every sequence of {frame arrival (in-order,
+//! gapped, duplicate, flush, retransmit), corrupt frame, NACK timeout,
+//! NACK send failure, disconnect, watermark-lag flip} up to a fixed depth
+//! is driven through a fresh machine, and the protocol invariants are
+//! asserted after every single event:
+//!
+//! 1. **flush-on-behalf fires exactly once** — the stream terminates at
+//!    most once (`SenderDone` + `FlushOnBehalf` ≤ 1), `FlushOnBehalf`
+//!    fires iff the child was reported `Lost`, and `Lost` is reported at
+//!    most once;
+//! 2. **Lost is absorbing** — once `Closed` was emitted, every further
+//!    event yields *zero* actions (no delivery, no NACK, no flush) and
+//!    health stays `Lost`;
+//! 3. **retransmission never reorders** — delivered sequence numbers are
+//!    strictly increasing (duplicates are dropped, parked frames drain
+//!    in order).
+//!
+//! Plus the bounds the pump relies on: NACKs per gap never exceed the
+//! retry budget, and the machine's externally visible flags
+//! (`removed`/`flushed`/`health`) stay consistent with the action stream.
+//!
+//! The enumeration is the model-checking counterpart to the loom tests in
+//! `desis-core`: loom exhausts thread interleavings of the observability
+//! primitives, this test exhausts *protocol* interleavings of the
+//! recovery state machine. The ISSUE floor is 10 000 distinct
+//! interleavings; three configurations × 11^5 sequences ≈ 480 000.
+
+use desis_net::protocol::{Action, ChildProtocol, Health, ProtoEvent, ProtocolLimits};
+
+/// One symbol of the event alphabet. `Frame(seq, flush)` payloads carry
+/// their own sequence number so reordering is observable in `Deliver`.
+#[derive(Debug, Clone, Copy)]
+enum Sym {
+    Frame(u64, bool),
+    Corrupt,
+    NackTimeout,
+    NackSendFailed,
+    Disconnect,
+    Lag(bool),
+}
+
+impl Sym {
+    fn event(self) -> Option<ProtoEvent<u64>> {
+        match self {
+            Sym::Frame(seq, flush) => Some(ProtoEvent::Frame {
+                seq: Some(seq),
+                msg: seq,
+                flush,
+            }),
+            Sym::Corrupt => Some(ProtoEvent::Corrupt),
+            Sym::NackTimeout => Some(ProtoEvent::NackTimeout),
+            Sym::NackSendFailed => Some(ProtoEvent::NackSendFailed),
+            Sym::Disconnect => Some(ProtoEvent::Disconnect),
+            Sym::Lag(_) => None,
+        }
+    }
+}
+
+/// The alphabet: in-order frames 0..3 (3 is the flush), a far-ahead
+/// frame to pressure the reorder cap, and every non-frame event the pump
+/// can feed.
+const ALPHABET: [Sym; 11] = [
+    Sym::Frame(0, false),
+    Sym::Frame(1, false),
+    Sym::Frame(2, false),
+    Sym::Frame(3, true),
+    Sym::Frame(6, false),
+    Sym::Corrupt,
+    Sym::NackTimeout,
+    Sym::NackSendFailed,
+    Sym::Disconnect,
+    Sym::Lag(true),
+    Sym::Lag(false),
+];
+
+const DEPTH: usize = 5;
+
+/// Everything the invariants need to observe about one execution.
+#[derive(Default)]
+struct Observed {
+    delivered: Vec<u64>,
+    sender_done: u32,
+    flush_on_behalf: u32,
+    lost_reports: u32,
+    closed: bool,
+    /// NACKs since the current gap opened/reopened (reset on recovery).
+    nacks_this_gap: u32,
+}
+
+/// Applies the actions of one event to the execution record, checking
+/// the per-step invariants. `trail` is the event prefix so a violation
+/// prints a replayable counterexample.
+fn absorb(obs: &mut Observed, actions: &[Action<u64>], budget: u32, trail: &[Sym]) {
+    // Invariant 2: Lost is absorbing — zero actions after Closed.
+    assert!(
+        !obs.closed || actions.is_empty(),
+        "actions {actions:?} after close; trail: {trail:?}"
+    );
+    for action in actions {
+        match action {
+            Action::Deliver(seq) => {
+                // Invariant 3: strictly increasing delivery order.
+                if let Some(&last) = obs.delivered.last() {
+                    assert!(
+                        *seq > last,
+                        "delivered {seq} after {last}; trail: {trail:?}"
+                    );
+                }
+                obs.delivered.push(*seq);
+            }
+            Action::SenderDone => obs.sender_done += 1,
+            Action::Nack { .. } => {
+                obs.nacks_this_gap += 1;
+                // Budget bound: the pump's timer can fire arbitrarily
+                // often, the machine must still cap the NACKs per gap.
+                assert!(
+                    obs.nacks_this_gap <= budget,
+                    "{} NACKs for one gap (budget {budget}); trail: {trail:?}",
+                    obs.nacks_this_gap
+                );
+            }
+            Action::GapOpened | Action::GapReopened | Action::Recovered => {
+                obs.nacks_this_gap = 0;
+            }
+            Action::DuplicateDropped => {}
+            Action::Closed => obs.closed = true,
+            Action::Lost => obs.lost_reports += 1,
+            Action::FlushOnBehalf => obs.flush_on_behalf += 1,
+        }
+    }
+    // Invariant 1: the stream terminates at most once, a lost child is
+    // reported at most once, and on-behalf flushes pair with loss.
+    assert!(
+        obs.sender_done + obs.flush_on_behalf <= 1,
+        "stream terminated twice; trail: {trail:?}"
+    );
+    assert!(obs.lost_reports <= 1, "lost twice; trail: {trail:?}");
+    assert_eq!(
+        obs.flush_on_behalf, obs.lost_reports,
+        "on-behalf flush must pair with a loss report; trail: {trail:?}"
+    );
+}
+
+/// Cross-checks the machine's queryable flags against the action stream.
+fn check_flags(machine: &ChildProtocol<u64>, obs: &Observed, trail: &[Sym]) {
+    assert_eq!(
+        machine.removed(),
+        obs.closed,
+        "removed() must mirror Closed; trail: {trail:?}"
+    );
+    if obs.closed {
+        assert_eq!(
+            machine.health(),
+            Health::Lost,
+            "a closed child is Lost; trail: {trail:?}"
+        );
+    }
+    if obs.sender_done + obs.flush_on_behalf > 0 {
+        assert!(machine.flushed(), "flags lag actions; trail: {trail:?}");
+    }
+    if machine.health() == Health::Lost {
+        assert!(
+            machine.removed(),
+            "Lost children leave the live set; trail: {trail:?}"
+        );
+    }
+}
+
+/// Runs one event sequence through a fresh machine.
+fn run(limits: ProtocolLimits, can_nack: bool, seq: &[Sym]) {
+    let mut machine = ChildProtocol::new(limits, can_nack);
+    let mut obs = Observed::default();
+    for (len, sym) in seq.iter().enumerate() {
+        let trail = &seq[..=len];
+        match sym.event() {
+            Some(event) => {
+                let actions = machine.on_event(event);
+                absorb(&mut obs, &actions, limits.retry_budget, trail);
+            }
+            None => {
+                let Sym::Lag(lagging) = sym else {
+                    unreachable!()
+                };
+                let flip = machine.note_watermark_lag(*lagging);
+                // Suspicion is advisory: it never closes, loses, or
+                // delivers, and it never fires after removal/flush.
+                if let Some(health) = flip {
+                    assert!(
+                        matches!(health, Health::Suspect | Health::Healthy),
+                        "lag flip to {health:?}; trail: {trail:?}"
+                    );
+                    assert!(
+                        !machine.removed() && !machine.flushed(),
+                        "lag flip on a finished child; trail: {trail:?}"
+                    );
+                }
+            }
+        }
+        check_flags(&machine, &obs, trail);
+    }
+}
+
+/// Enumerates every sequence of `DEPTH` alphabet symbols (an odometer
+/// over base-|ALPHABET| digits), returning how many were run.
+fn enumerate(limits: ProtocolLimits, can_nack: bool) -> u64 {
+    let base = ALPHABET.len();
+    let mut digits = [0usize; DEPTH];
+    let mut seq = [ALPHABET[0]; DEPTH];
+    let mut count = 0u64;
+    loop {
+        for (slot, &digit) in seq.iter_mut().zip(digits.iter()) {
+            *slot = ALPHABET[digit];
+        }
+        run(limits, can_nack, &seq);
+        count += 1;
+        // Advance the odometer; carry past the last digit means done.
+        let mut pos = 0;
+        loop {
+            if pos == DEPTH {
+                return count;
+            }
+            digits[pos] += 1;
+            if digits[pos] < base {
+                break;
+            }
+            digits[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[test]
+fn exhaustive_protocol_interleavings_hold_invariants() {
+    // Tight limits so budget exhaustion and reorder-cap overflow are
+    // reachable within DEPTH events; a roomier config exercises the
+    // happy paths; the no-backchannel config exercises one-strike loss.
+    let configs = [
+        (
+            ProtocolLimits {
+                retry_budget: 1,
+                reorder_cap: 2,
+            },
+            true,
+        ),
+        (
+            ProtocolLimits {
+                retry_budget: 2,
+                reorder_cap: 8,
+            },
+            true,
+        ),
+        (
+            ProtocolLimits {
+                retry_budget: 2,
+                reorder_cap: 2,
+            },
+            false,
+        ),
+    ];
+    let mut total = 0u64;
+    for (limits, can_nack) in configs {
+        total += enumerate(limits, can_nack);
+    }
+    let per_config = (ALPHABET.len() as u64).pow(DEPTH as u32);
+    assert_eq!(total, per_config * configs.len() as u64);
+    assert!(
+        total >= 10_000,
+        "the model check must cover at least 10k interleavings, got {total}"
+    );
+}
+
+/// A directed counterexample-shaped probe: the deepest recoverable
+/// history the alphabet allows, checked end-to-end for exact delivery.
+#[test]
+fn deep_recovery_delivers_everything_in_order() {
+    let limits = ProtocolLimits {
+        retry_budget: 4,
+        reorder_cap: 8,
+    };
+    let mut machine = ChildProtocol::new(limits, true);
+    let mut delivered = Vec::new();
+    let events = [
+        (2u64, false), // gap at 0 → NACK
+        (1, false),    // retransmit arrives out of order: parked
+        (0, false),    // gap fills: 0,1,2 drain in order
+        (3, true),     // flush
+    ];
+    for (seq, flush) in events {
+        for action in machine.on_event(ProtoEvent::Frame {
+            seq: Some(seq),
+            msg: seq,
+            flush,
+        }) {
+            if let Action::Deliver(s) = action {
+                delivered.push(s);
+            }
+        }
+    }
+    assert_eq!(delivered, vec![0, 1, 2, 3]);
+    assert_eq!(machine.health(), Health::Healthy);
+    assert!(machine.flushed());
+    assert!(!machine.removed());
+}

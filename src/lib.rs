@@ -3,7 +3,6 @@
 //! `baselines`), and [`desis_gen`] (as `gen`). The crate docs below are
 //! the repository README, so its `rust` blocks run as doctests.
 #![doc = include_str!("../README.md")]
-#![warn(missing_docs)]
 
 pub use desis_baselines as baselines;
 pub use desis_core as core;
