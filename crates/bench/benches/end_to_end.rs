@@ -85,5 +85,57 @@ fn bench_decomposable_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig4_workload, bench_decomposable_only);
+fn bench_parallel_shards(c: &mut Criterion) {
+    // The PR 5 acceptance workload: fixed time windows only, so every
+    // query runs on the sharded path (sessions would pin to the
+    // sequential pipeline and mask the scaling).
+    let evs = events();
+    let queries = vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Max,
+        ),
+        Query::new(
+            2,
+            WindowSpec::sliding_time(2_000, 500).unwrap(),
+            AggFunction::Quantile(0.9),
+        ),
+        Query::new(
+            3,
+            WindowSpec::tumbling_time(500).unwrap(),
+            AggFunction::Median,
+        ),
+    ];
+    let mut group = c.benchmark_group("engine_parallel");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("fixed_windows_{shards}_shards"), |b| {
+            b.iter(|| {
+                let mut engine = ParallelEngine::new(queries.clone(), shards).unwrap();
+                let mut batch = EventBatch::with_capacity(4_096);
+                for ev in &evs {
+                    batch.push(*ev);
+                    if batch.len() == 4_096 {
+                        engine.on_batch(&batch);
+                        batch.take();
+                    }
+                }
+                engine.on_batch(&batch);
+                engine.on_watermark(20_000);
+                engine.finish();
+                black_box(engine.drain_results().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4_workload,
+    bench_decomposable_only,
+    bench_parallel_shards
+);
 criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]
 //!             [--trace-out <path>] [--trace-sample <N>]
 //!             [--faults <plan.json>] [--fault-seed <N>]
-//!             <figure-id>... | all | list
+//!             [--shards <N>] [--bench-out <path>] [--smoke]
+//!             <figure-id>... | all | list | bench5
 //! ```
 //!
 //! Each figure prints the series the paper plots (one row per x-value,
@@ -27,6 +28,7 @@ use std::time::Instant;
 
 use desis_bench::experiments::all_figures;
 use desis_bench::measure::{write_metrics_report, Scale};
+use desis_bench::shard_bench::{run_shard_bench, ShardBenchConfig};
 use desis_core::obs::trace::{TraceCollector, DEFAULT_RING_CAPACITY};
 use desis_core::obs::{MetricsDiff, MetricsRegistry};
 use desis_net::fault::FaultPlan;
@@ -64,6 +66,9 @@ fn main() {
     let mut trace_sample = 1u64;
     let mut faults_path: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut shards: Option<usize> = None;
+    let mut bench_out = String::from("BENCH_5.json");
+    let mut bench_smoke = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -113,6 +118,20 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--shards" => {
+                let value = it.next().unwrap_or_default();
+                shards = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("--shards requires a positive integer, got {value:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--bench-out" => {
+                bench_out = it.next().unwrap_or_else(|| {
+                    eprintln!("--bench-out requires a file path");
+                    std::process::exit(2);
+                });
+            }
+            "--smoke" => bench_smoke = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -151,13 +170,53 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Every cluster any figure starts picks up the local shard count via
+    // the process-global default (same pattern as the fault plan).
+    if let Some(n) = shards {
+        desis_net::cluster::install_default_shards(n);
+        eprintln!("local nodes run {} engine shard(s)", n.max(1));
+    }
+
     let registry = all_figures();
     if wanted.iter().any(|w| w == "list") {
         println!("table1");
+        println!("bench5");
         for (id, _) in &registry {
             println!("{id}");
         }
         return;
+    }
+    if wanted.iter().any(|w| w == "bench5") {
+        let cfg = if bench_smoke {
+            ShardBenchConfig::smoke()
+        } else {
+            ShardBenchConfig::default()
+        };
+        let report = run_shard_bench(&cfg);
+        for p in &report.points {
+            println!(
+                "bench5 shards={} events/s={:.0} (best of {})",
+                p.shards,
+                p.events_per_sec,
+                p.samples.len()
+            );
+        }
+        println!(
+            "bench5 cpus={} speedup(4/1)={:.2}",
+            report.cpus,
+            report.speedup(1, 4).unwrap_or(0.0)
+        );
+        let path = std::path::Path::new(&bench_out);
+        std::fs::write(path, report.to_json()).unwrap_or_else(|err| {
+            eprintln!("cannot write {bench_out}: {err}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {bench_out}");
+        wanted.retain(|w| w != "bench5");
+        if wanted.is_empty() {
+            finish(metrics_out.as_deref(), trace_out.as_deref(), &[]);
+            return;
+        }
     }
     if wanted.iter().any(|w| w == "table1" || w == "all") {
         print_table1();
@@ -249,13 +308,17 @@ fn print_usage() {
         "usage: experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]\n\
          \x20                  [--trace-out <path>] [--trace-sample <N>]\n\
          \x20                  [--faults <plan.json>] [--fault-seed <N>]\n\
-         \x20                  <figure-id>... | all | list\n\
+         \x20                  [--shards <N>] [--bench-out <path>] [--smoke]\n\
+         \x20                  <figure-id>... | all | list | bench5\n\
          reproduces the Desis (EDBT 2023) evaluation figures; see EXPERIMENTS.md\n\
          --metrics-out writes per-figure metric deltas plus the process\n\
          snapshot (bytes, message counts, latency histograms) as JSON\n\
          --trace-out enables causal slice tracing (every --trace-sample'th\n\
          slice, default 1) and writes Chrome trace-event JSON for Perfetto\n\
          --faults injects a deterministic fault plan (EXPERIMENTS.md \"Chaos\n\
-         runs\") into every cluster; --fault-seed overrides the plan's seed"
+         runs\") into every cluster; --fault-seed overrides the plan's seed\n\
+         --shards N runs every cluster's local nodes with N engine shards\n\
+         `bench5` sweeps ParallelEngine throughput at 1/2/4 shards and\n\
+         writes BENCH_5.json (override with --bench-out; --smoke shrinks it)"
     );
 }

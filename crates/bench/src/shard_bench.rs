@@ -1,0 +1,280 @@
+//! PR 5 baseline bench: single-node [`ParallelEngine`] throughput at
+//! shard counts 1, 2, and 4 over a fixed-window workload that includes
+//! non-decomposable functions (median, quantile).
+//!
+//! The driver (`experiments bench5`) writes the report as `BENCH_5.json`;
+//! CI compares a fresh run against the committed baseline and fails on
+//! regression. Each point is min-of-N wall time (reported as the best
+//! events/s), and the report carries the host's logical CPU count so the
+//! scaling gate (4 shards ≥ 2× 1 shard) only applies where the hardware
+//! can actually parallelize.
+
+use std::time::Instant;
+
+use desis_core::prelude::*;
+use desis_gen::{DataGenConfig, DataGenerator, KeyDistribution};
+
+/// Tunables of the shard-scaling bench.
+#[derive(Debug, Clone)]
+pub struct ShardBenchConfig {
+    /// Events per run.
+    pub events: u64,
+    /// Repetitions per shard count (min wall time wins).
+    pub repeats: usize,
+    /// Shard counts to sweep.
+    pub shard_counts: Vec<usize>,
+    /// Distinct keys in the stream.
+    pub keys: u32,
+    /// Events ingested between watermarks, in event time (ms).
+    pub watermark_every: DurationMs,
+}
+
+impl Default for ShardBenchConfig {
+    fn default() -> Self {
+        Self {
+            events: 400_000,
+            repeats: 5,
+            shard_counts: vec![1, 2, 4],
+            keys: 64,
+            watermark_every: 1_000,
+        }
+    }
+}
+
+impl ShardBenchConfig {
+    /// A tiny configuration for smoke tests.
+    pub fn smoke() -> Self {
+        Self {
+            events: 20_000,
+            repeats: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// One measured shard count.
+#[derive(Debug, Clone)]
+pub struct ShardPoint {
+    /// Worker shards.
+    pub shards: usize,
+    /// Best (min wall time) events per second across repeats.
+    pub events_per_sec: f64,
+    /// All samples, one per repeat.
+    pub samples: Vec<f64>,
+    /// Results the engine emitted (identical across shard counts).
+    pub results: usize,
+}
+
+/// The full bench report, serialized to `BENCH_5.json`.
+#[derive(Debug, Clone)]
+pub struct ShardBenchReport {
+    /// Logical CPUs on the host (`std::thread::available_parallelism`).
+    pub cpus: usize,
+    /// Events per run.
+    pub events: u64,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// One point per shard count.
+    pub points: Vec<ShardPoint>,
+}
+
+impl ShardBenchReport {
+    /// Throughput ratio of `b`-shard over `a`-shard runs, if both were
+    /// measured.
+    pub fn speedup(&self, a: usize, b: usize) -> Option<f64> {
+        let base = self.points.iter().find(|p| p.shards == a)?;
+        let high = self.points.iter().find(|p| p.shards == b)?;
+        Some(high.events_per_sec / base.events_per_sec.max(1e-9))
+    }
+
+    /// Hand-rolled JSON (the repo vendors no serde).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"BENCH_5\",");
+        let _ = writeln!(out, "  \"cpus\": {},", self.cpus);
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"queries\": {},", self.queries);
+        let _ = writeln!(
+            out,
+            "  \"speedup_4_over_1\": {:.4},",
+            self.speedup(1, 4).unwrap_or(0.0)
+        );
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let samples: Vec<String> = p.samples.iter().map(|s| format!("{s:.1}")).collect();
+            let _ = write!(
+                out,
+                "    {{\"shards\": {}, \"events_per_sec\": {:.1}, \"results\": {}, \"samples\": [{}]}}",
+                p.shards,
+                p.events_per_sec,
+                p.results,
+                samples.join(", ")
+            );
+            out.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The bench workload: fixed time windows only (the shardable set),
+/// mixing decomposable (sum, max, average) with non-decomposable
+/// (median, quantile) functions over tumbling and sliding windows.
+pub fn bench_queries() -> Vec<Query> {
+    vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Sum,
+        ),
+        Query::new(
+            2,
+            WindowSpec::tumbling_time(2_000).unwrap(),
+            AggFunction::Max,
+        ),
+        Query::new(
+            3,
+            WindowSpec::sliding_time(2_000, 500).unwrap(),
+            AggFunction::Average,
+        ),
+        Query::new(
+            4,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Median,
+        ),
+        Query::new(
+            5,
+            WindowSpec::sliding_time(4_000, 1_000).unwrap(),
+            AggFunction::Quantile(0.9),
+        ),
+        Query::new(6, WindowSpec::tumbling_time(500).unwrap(), AggFunction::Min),
+    ]
+}
+
+fn bench_events(cfg: &ShardBenchConfig) -> Vec<Event> {
+    let gen_cfg = DataGenConfig {
+        keys: cfg.keys,
+        events_per_second: 10_000,
+        key_distribution: KeyDistribution::Uniform,
+        ..Default::default()
+    };
+    let mut g = DataGenerator::new(gen_cfg);
+    let mut events = Vec::with_capacity(cfg.events as usize);
+    while (events.len() as u64) < cfg.events {
+        events.extend(g.next_batch(4_096).into_vec());
+    }
+    events.truncate(cfg.events as usize);
+    events
+}
+
+/// One timed run; returns (events/s, result count).
+fn timed_run(
+    queries: &[Query],
+    events: &[Event],
+    shards: usize,
+    wm_every: DurationMs,
+) -> (f64, usize) {
+    let mut engine =
+        ParallelEngine::new(queries.to_vec(), shards).expect("bench workload is valid");
+    let mut results = 0usize;
+    let mut next_wm = wm_every;
+    let last_ts = events.last().map_or(0, |e| e.ts);
+    let start = Instant::now();
+    for chunk in events.chunks(4_096) {
+        let mut batch = EventBatch::with_capacity(chunk.len());
+        for ev in chunk {
+            batch.push(*ev);
+        }
+        engine.on_batch(&batch);
+        let ts = chunk.last().map_or(0, |e| e.ts);
+        if ts >= next_wm {
+            engine.on_watermark(ts);
+            results += engine.drain_results().len();
+            next_wm = ts + wm_every;
+        }
+    }
+    engine.on_watermark(last_ts + 60_000);
+    engine.finish();
+    results += engine.drain_results().len();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (events.len() as f64 / elapsed, results)
+}
+
+/// Runs the shard-scaling sweep and returns the report.
+pub fn run_shard_bench(cfg: &ShardBenchConfig) -> ShardBenchReport {
+    let queries = bench_queries();
+    let events = bench_events(cfg);
+    let mut points = Vec::new();
+    for &shards in &cfg.shard_counts {
+        let mut samples = Vec::with_capacity(cfg.repeats);
+        let mut results = 0usize;
+        for _ in 0..cfg.repeats.max(1) {
+            let (eps, n) = timed_run(&queries, &events, shards, cfg.watermark_every);
+            samples.push(eps);
+            results = n;
+        }
+        let best = samples.iter().copied().fold(0.0f64, f64::max);
+        points.push(ShardPoint {
+            shards,
+            events_per_sec: best,
+            samples,
+            results,
+        });
+    }
+    ShardBenchReport {
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        events: cfg.events,
+        queries: queries.len(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_and_serializes() {
+        let report = run_shard_bench(&ShardBenchConfig::smoke());
+        assert_eq!(report.points.len(), 3);
+        for p in &report.points {
+            assert!(p.events_per_sec > 0.0, "shards={} measured 0", p.shards);
+            assert_eq!(p.samples.len(), 2);
+        }
+        // Shard count must not change what the engine computes.
+        let results: Vec<usize> = report.points.iter().map(|p| p.results).collect();
+        assert!(
+            results.iter().all(|&r| r > 0 && r == results[0]),
+            "{results:?}"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"BENCH_5\""));
+        assert!(json.contains("\"cpus\""));
+        assert!(json.contains("\"speedup_4_over_1\""));
+        assert!(report.speedup(1, 4).is_some());
+    }
+
+    #[test]
+    fn sharded_runs_match_sequential_results_exactly() {
+        let cfg = ShardBenchConfig::smoke();
+        let queries = bench_queries();
+        let events = bench_events(&cfg);
+        let run = |shards: usize| {
+            let mut engine = ParallelEngine::new(queries.clone(), shards).unwrap();
+            for ev in &events {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(events.last().unwrap().ts + 60_000);
+            engine.finish();
+            engine.drain_results()
+        };
+        let sequential = run(1);
+        assert!(!sequential.is_empty());
+        assert_eq!(run(4), sequential);
+    }
+}

@@ -10,6 +10,7 @@
 pub mod analyzer;
 pub mod assembler;
 pub mod group;
+pub mod parallel;
 pub mod reorder;
 pub mod slice;
 pub mod slicer;
@@ -17,6 +18,7 @@ pub mod slicer;
 pub use analyzer::{Deployment, QueryAnalyzer, SharingPolicy};
 pub use assembler::Assembler;
 pub use group::{GroupExecution, GroupId, QueryGroup, Selection, SelectionId};
+pub use parallel::{ParallelConfig, ParallelEngine, ShardedSlicer};
 pub use reorder::ReorderBuffer;
 pub use slice::{SealedSlice, SessionGap, SliceData, SliceId, WindowEnd};
 pub use slicer::GroupSlicer;
@@ -134,9 +136,15 @@ impl AggregationEngine {
         }
     }
 
-    /// Takes all results produced since the last drain.
+    /// Takes all results produced since the last drain, in canonical
+    /// `(query, window end, key, window start)` order
+    /// ([`crate::query::QueryResult::emit_order`]) — assemblers emit
+    /// per-key results in hash-map iteration order, which this makes
+    /// byte-reproducible.
     pub fn drain_results(&mut self) -> Vec<QueryResult> {
-        std::mem::take(&mut self.results)
+        let mut out = std::mem::take(&mut self.results);
+        crate::query::sort_results(&mut out);
+        out
     }
 
     /// Results produced and not yet drained.

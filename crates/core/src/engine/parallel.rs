@@ -1,0 +1,1356 @@
+//! Key-sharded parallel engine (ROADMAP "as fast as the hardware
+//! allows": sharding + batching).
+//!
+//! Scotty-style slicing is embarrassingly parallel across keys: slice
+//! partials merge associatively and every key's events fold into exactly
+//! one shard, so per-key operator states are computed in the same order
+//! as a sequential engine and merging shard partials per slice
+//! reconstructs the sequential slice exactly. [`ParallelEngine`]
+//! hash-partitions events by `key % shards` across N worker threads,
+//! each running the existing reorder→slicer pipeline, and a
+//! shard-merging window assembler recombines the per-shard slice
+//! partials before emission.
+//!
+//! **What shards.** Only *fixed time* windows
+//! ([`crate::window::WindowSpec::has_precomputable_puncts`]) slice at
+//! data-independent instants on every shard and therefore merge by
+//! slice-end timestamp. Session, user-defined, and count windows define
+//! their boundaries over the *whole* stream; queries with such windows
+//! are analyzed into separate groups *pinned* to a sequential pipeline
+//! fed with the full stream on the caller thread, which keeps every
+//! result exact at any shard count (at the cost of the cross-type slice
+//! sharing a sequential engine would get between the two sets).
+//!
+//! **Determinism.** Watermarks are barriers: [`ParallelEngine::on_watermark`]
+//! waits until every live shard acknowledged the watermark, so the set
+//! of results visible to a drain after a watermark depends only on the
+//! ingested events and watermarks — never on thread scheduling. Drained
+//! results are sorted into the canonical `(query, window end, key,
+//! window start)` order ([`crate::query::QueryResult::emit_order`]), so
+//! parallel runs are byte-reproducible.
+//!
+//! **Shutdown.** A shard worker that panics is *degraded*: a drop guard
+//! reports the panic through the [`handoff::Inbox`], the collector stops
+//! waiting for the shard, and later slices are force-released without
+//! its contributions (counted by `engine.shard_panics`) — mirroring how
+//! the decentralized substrate degrades lost children.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+
+use crate::aggregate::{AggFunction, OperatorBundle};
+use crate::engine::reorder::ReorderBuffer;
+use crate::engine::slice::{SealedSlice, SliceData, SliceId};
+use crate::engine::slicer::GroupSlicer;
+use crate::engine::{Assembler, QueryAnalyzer, QueryGroup};
+use crate::error::DesisError;
+use crate::event::{Event, EventBatch, Key};
+use crate::metrics::EngineMetrics;
+use crate::obs::trace::{SpanKind, TraceCollector, TraceRecorder};
+use crate::obs::{names, MetricsRegistry};
+use crate::query::{Query, QueryId, QueryResult};
+use crate::time::{DurationMs, Timestamp};
+use crate::window::WindowSpec;
+
+pub mod handoff;
+
+use handoff::{Inbox, InboxGuard, ShardExit};
+
+/// Tunables of the parallel engine.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker shard count (clamped to at least 1).
+    pub shards: usize,
+    /// Events accumulated at the inlet before a batch is sent to the
+    /// shards (amortizes channel overhead).
+    pub batch_size: usize,
+    /// Per-shard channel capacity in batches (bounded channels give
+    /// backpressure, i.e. sustainable throughput).
+    pub channel_capacity: usize,
+    /// Allowed out-of-orderness: `Some(l)` runs a reorder buffer of
+    /// lateness `l` in front of every shard's slicers (and the pinned
+    /// pipeline); `None` assumes timestamp-ordered input, like
+    /// [`super::AggregationEngine`].
+    pub lateness: Option<DurationMs>,
+}
+
+impl ParallelConfig {
+    /// A configuration with `shards` workers and default batching.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            batch_size: 256,
+            channel_capacity: 64,
+            lateness: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard-side worker.
+// ---------------------------------------------------------------------
+
+/// Messages from the inlet to one shard worker.
+#[derive(Debug)]
+enum ShardMsg {
+    /// A key-partitioned event batch, in ingestion order.
+    Batch(Vec<Event>),
+    /// Advance event time (punctuation-seals idle spans); the worker
+    /// acknowledges with a frontier item.
+    Watermark(Timestamp),
+    /// Remove a query at runtime.
+    Remove { id: QueryId, immediate: bool },
+    /// Enable causal tracing: mint one recorder per slicer for `node`.
+    Install(TraceCollector, u32),
+    /// End of stream: report metrics and exit cleanly.
+    Flush,
+}
+
+/// Items a shard worker hands to the collector.
+#[derive(Debug)]
+enum ShardItem {
+    /// Sealed slices of one shardable group (index into the sharded
+    /// group list).
+    Slices {
+        group: usize,
+        slices: Vec<SealedSlice>,
+    },
+    /// The shard has processed every event up to this watermark.
+    Frontier(Timestamp),
+    /// Final per-shard metrics, sent right before a clean exit.
+    Done {
+        metrics: EngineMetrics,
+        late_dropped: u64,
+    },
+}
+
+/// The shard worker loop: reorder (optional) → one slicer per shardable
+/// group → handoff inbox. Runs on its own thread; panics anywhere in the
+/// loop are reported by the guard and degrade only this shard.
+fn run_shard(
+    shard: usize,
+    mut slicers: Vec<GroupSlicer>,
+    lateness: Option<DurationMs>,
+    rx: crossbeam_channel::Receiver<ShardMsg>,
+    inbox: Arc<Inbox<ShardItem>>,
+) {
+    let guard = InboxGuard::new(inbox, shard);
+    let mut reorder = lateness.map(ReorderBuffer::new);
+    let mut ordered: Vec<Event> = Vec::new();
+    let mut scratch: Vec<SealedSlice> = Vec::new();
+    let feed = |slicers: &mut Vec<GroupSlicer>,
+                scratch: &mut Vec<SealedSlice>,
+                guard: &InboxGuard<ShardItem>,
+                events: &[Event]| {
+        for (group, slicer) in slicers.iter_mut().enumerate() {
+            for ev in events {
+                slicer.on_event(ev, scratch);
+            }
+            if !scratch.is_empty() {
+                guard.push(ShardItem::Slices {
+                    group,
+                    slices: std::mem::take(scratch),
+                });
+            }
+        }
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(events) => {
+                if let Some(rb) = &mut reorder {
+                    for ev in events {
+                        rb.push(ev, &mut ordered);
+                    }
+                    feed(&mut slicers, &mut scratch, &guard, &ordered);
+                    ordered.clear();
+                } else {
+                    feed(&mut slicers, &mut scratch, &guard, &events);
+                }
+            }
+            ShardMsg::Watermark(ts) => {
+                if let Some(rb) = &mut reorder {
+                    rb.advance(ts, &mut ordered);
+                    feed(&mut slicers, &mut scratch, &guard, &ordered);
+                    ordered.clear();
+                }
+                for (group, slicer) in slicers.iter_mut().enumerate() {
+                    slicer.on_watermark(ts, &mut scratch);
+                    if !scratch.is_empty() {
+                        guard.push(ShardItem::Slices {
+                            group,
+                            slices: std::mem::take(&mut scratch),
+                        });
+                    }
+                }
+                guard.push(ShardItem::Frontier(ts));
+            }
+            ShardMsg::Remove { id, immediate } => {
+                for slicer in &mut slicers {
+                    slicer.remove_query(id, immediate);
+                }
+            }
+            ShardMsg::Install(collector, node) => {
+                for slicer in &mut slicers {
+                    slicer.set_recorder(collector.recorder(node));
+                }
+            }
+            ShardMsg::Flush => break,
+        }
+    }
+    // Events still buffered past the final watermark fold in best-effort
+    // (their slices seal only if a punctuation is crossed) — the same
+    // contract as draining a sequential engine without a final watermark.
+    if let Some(rb) = &mut reorder {
+        rb.flush(&mut ordered);
+        feed(&mut slicers, &mut scratch, &guard, &ordered);
+        ordered.clear();
+    }
+    let mut metrics = EngineMetrics::default();
+    for slicer in &slicers {
+        metrics.absorb(slicer.metrics());
+    }
+    let late_dropped = reorder.as_ref().map_or(0, ReorderBuffer::late_dropped);
+    guard.push(ShardItem::Done {
+        metrics,
+        late_dropped,
+    });
+    guard.finish();
+}
+
+// ---------------------------------------------------------------------
+// Collector-side merging of per-shard slices.
+// ---------------------------------------------------------------------
+
+/// Merges the per-shard partials of one shardable group back into the
+/// sequential slice stream.
+///
+/// Fixed time windows punctuate at the same instants on every shard, so
+/// per-shard slices merge by **end** timestamp (start timestamps can
+/// differ when a shard saw no early events). Merged slices are released
+/// strictly in end order, once either every shard contributed
+/// (`coverage == shards`) or the shard frontier watermark passed the end
+/// (idle shards sealed nothing for the span). This is the in-core twin
+/// of the decentralized `AlignedSliceMerger` over child nodes.
+#[derive(Debug)]
+struct ShardMerger {
+    expected_coverage: u32,
+    pending: BTreeMap<Timestamp, PendingMerge>,
+    next_id: SliceId,
+    forced_up_to: Timestamp,
+    ready: VecDeque<SealedSlice>,
+    recorder: Option<TraceRecorder>,
+}
+
+#[derive(Debug)]
+struct PendingMerge {
+    start_ts: Timestamp,
+    data: SliceData,
+    coverage: u32,
+    low_ts: Timestamp,
+    trace: Option<crate::obs::trace::TraceId>,
+}
+
+impl ShardMerger {
+    fn new(expected_coverage: u32) -> Self {
+        Self {
+            expected_coverage: expected_coverage.max(1),
+            pending: BTreeMap::new(),
+            next_id: 0,
+            forced_up_to: 0,
+            ready: VecDeque::new(),
+            recorder: None,
+        }
+    }
+
+    fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Folds one shard's sealed slice in. Shardable groups carry no
+    /// session gaps, and fixed-window end punctuations are re-derived by
+    /// the assembler, so only the partial data travels.
+    fn on_slice(&mut self, partial: SealedSlice) {
+        let end_ts = partial.end_ts;
+        let entry = self.pending.entry(end_ts).or_insert_with(|| PendingMerge {
+            start_ts: partial.start_ts,
+            data: SliceData::new(partial.data.per_selection.len()),
+            coverage: 0,
+            low_ts: Timestamp::MAX,
+            trace: None,
+        });
+        if entry.trace.is_none() {
+            if let Some(id) = partial.trace {
+                entry.trace = Some(id);
+                if let Some(rec) = &mut self.recorder {
+                    rec.record(id, SpanKind::MergeStart);
+                }
+            }
+        }
+        entry.start_ts = entry.start_ts.min(partial.start_ts);
+        entry.data.merge(&partial.data);
+        entry.coverage += 1;
+        entry.low_ts = entry.low_ts.min(partial.low_watermark_ts);
+        self.release();
+    }
+
+    /// Every live shard has passed `wm`: incomplete slices ending at or
+    /// before it become releasable (missing shards were idle or
+    /// degraded).
+    fn advance(&mut self, wm: Timestamp) {
+        if wm > self.forced_up_to {
+            self.forced_up_to = wm;
+            self.release();
+        }
+    }
+
+    fn release(&mut self) {
+        loop {
+            let releasable = match self.pending.iter().next() {
+                Some((&end_ts, entry)) => {
+                    entry.coverage >= self.expected_coverage || end_ts <= self.forced_up_to
+                }
+                None => false,
+            };
+            if !releasable {
+                break;
+            }
+            let Some((end_ts, done)) = self.pending.pop_first() else {
+                break;
+            };
+            let id = self.next_id;
+            self.next_id += 1;
+            if let (Some(rec), Some(trace)) = (&mut self.recorder, done.trace) {
+                rec.record(trace, SpanKind::MergeDone);
+            }
+            self.ready.push_back(SealedSlice {
+                id,
+                start_ts: done.start_ts,
+                end_ts,
+                data: done.data,
+                ends: Vec::new(),
+                session_gaps: Vec::new(),
+                low_watermark: 0,
+                low_watermark_ts: done.low_ts.min(end_ts),
+                trace: done.trace,
+            });
+        }
+    }
+
+    fn drain_ready(&mut self, group: usize, out: &mut Vec<(usize, SealedSlice)>) {
+        out.extend(self.ready.drain(..).map(|s| (group, s)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Window assembly over merged slices, by time range.
+// ---------------------------------------------------------------------
+
+/// Assembles fixed time windows from shard-merged slices, selecting
+/// slices by time range (merged slice ids are collector-local, and end
+/// punctuations are derived from the specs — "Desis is able to calculate
+/// window ends in advance").
+#[derive(Debug)]
+pub struct FixedAssembler {
+    queries: Vec<FixedQuery>,
+    slices: VecDeque<(Timestamp, Timestamp, SliceData)>,
+    results_emitted: u64,
+    merges: u64,
+    recorder: Option<TraceRecorder>,
+}
+
+#[derive(Debug)]
+struct FixedQuery {
+    id: QueryId,
+    selection: usize,
+    functions: Vec<AggFunction>,
+    spec: WindowSpec,
+}
+
+impl FixedAssembler {
+    /// Creates an assembler for a group whose windows are all fixed time
+    /// windows.
+    pub fn new(group: &QueryGroup) -> Self {
+        let queries = group
+            .queries
+            .iter()
+            .filter(|cq| cq.query.window.has_precomputable_puncts())
+            .map(|cq| FixedQuery {
+                id: cq.query.id,
+                selection: cq.selection as usize,
+                functions: cq.query.functions.clone(),
+                spec: cq.query.window,
+            })
+            .collect();
+        Self {
+            queries,
+            slices: VecDeque::new(),
+            results_emitted: 0,
+            merges: 0,
+            recorder: None,
+        }
+    }
+
+    /// Enables causal slice tracing: traced slices that terminate
+    /// windows record `WindowAssembled`/`ResultEmitted` spans.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Results emitted so far.
+    pub fn results_emitted(&self) -> u64 {
+        self.results_emitted
+    }
+
+    /// Slice-partial merge operations performed so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Slices currently retained.
+    pub fn retained_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Stops assembling windows for `query` (runtime removal).
+    pub fn remove_query(&mut self, query: QueryId) -> bool {
+        let before = self.queries.len();
+        self.queries.retain(|q| q.id != query);
+        self.queries.len() != before
+    }
+
+    /// Ingests one merged slice; assembles every window ending with it.
+    pub fn on_slice(&mut self, slice: SealedSlice, out: &mut Vec<QueryResult>) {
+        let low_ts = slice.low_watermark_ts;
+        let slice_end = slice.end_ts;
+        let trace = slice.trace;
+        let before = out.len();
+        self.slices
+            .push_back((slice.start_ts, slice.end_ts, slice.data));
+        // Windows of different queries often cover the same range; merge
+        // each distinct (selection, range) once.
+        let mut cache: FxHashMap<(usize, Timestamp, Timestamp), FxHashMap<Key, OperatorBundle>> =
+            FxHashMap::default();
+        for qi in 0..self.queries.len() {
+            let (sel, start) = {
+                let q = &self.queries[qi];
+                match q.spec.fixed_window_ending_at(slice_end) {
+                    Some(ws) => (q.selection, ws),
+                    None => continue,
+                }
+            };
+            let cache_key = (sel, start, slice_end);
+            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(cache_key) {
+                let mut merged: FxHashMap<Key, OperatorBundle> = FxHashMap::default();
+                for (s, e, data) in &self.slices {
+                    if *s >= start && *e <= slice_end {
+                        if let Some(map) = data.per_selection.get(sel) {
+                            for (key, bundle) in map {
+                                self.merges += 1;
+                                match merged.get_mut(key) {
+                                    Some(b) => b.merge(bundle),
+                                    None => {
+                                        merged.insert(*key, bundle.clone());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                slot.insert(merged);
+            }
+            let Some(merged) = cache.get(&cache_key) else {
+                continue;
+            };
+            if merged.is_empty() {
+                continue;
+            }
+            let q = &self.queries[qi];
+            for (key, bundle) in merged {
+                let values = q.functions.iter().map(|f| bundle.finalize(f)).collect();
+                out.push(QueryResult {
+                    query: q.id,
+                    key: *key,
+                    window_start: start,
+                    window_end: slice_end,
+                    values,
+                });
+            }
+        }
+        self.results_emitted += (out.len() - before) as u64;
+        if let (Some(rec), Some(id)) = (&mut self.recorder, trace) {
+            if out.len() > before {
+                rec.record(id, SpanKind::WindowAssembled);
+                let mut queries: Vec<QueryId> = out[before..].iter().map(|r| r.query).collect();
+                queries.sort_unstable();
+                queries.dedup();
+                for query in queries {
+                    rec.record(id, SpanKind::ResultEmitted { query });
+                }
+            }
+        }
+        while let Some((_, e, _)) = self.slices.front() {
+            if *e <= low_ts {
+                self.slices.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded slicer: inlet batching, worker threads, merge-back.
+// ---------------------------------------------------------------------
+
+/// Lifecycle of one shard as seen by the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardState {
+    Running,
+    Done,
+    Degraded,
+}
+
+/// Runs the slicers of a set of *shardable* (fixed-time-window) groups
+/// across N worker threads, partitioned by `key % shards`, and merges
+/// the per-shard sealed slices back into one deterministic slice stream
+/// per group.
+///
+/// This is the engine-internal building block shared by
+/// [`ParallelEngine`] (which assembles windows from the merged stream)
+/// and the decentralized local node (which ships the merged stream to
+/// its parent exactly as if one sequential slicer had produced it).
+#[derive(Debug)]
+pub struct ShardedSlicer {
+    senders: Vec<crossbeam_channel::Sender<ShardMsg>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    inbox: Arc<Inbox<ShardItem>>,
+    mergers: Vec<ShardMerger>,
+    frontiers: Vec<Timestamp>,
+    states: Vec<ShardState>,
+    inlet: EventBatch,
+    batch_size: usize,
+    shards: usize,
+    panics: u64,
+    shard_events: Vec<u64>,
+    shard_batches: Vec<u64>,
+    collected: EngineMetrics,
+    late_dropped: u64,
+    item_buf: Vec<ShardItem>,
+    finished: bool,
+}
+
+impl ShardedSlicer {
+    /// Spawns `cfg.shards` worker threads, each owning one slicer per
+    /// group in `groups` (which must all be shardable, i.e. fixed time
+    /// windows only).
+    pub fn new(groups: &[QueryGroup], cfg: &ParallelConfig) -> Result<Self, DesisError> {
+        let shards = cfg.shards.max(1);
+        let inbox = Arc::new(Inbox::new(shards));
+        let mut senders = Vec::with_capacity(shards);
+        let mut threads = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = crossbeam_channel::bounded(cfg.channel_capacity.max(1));
+            let slicers: Vec<GroupSlicer> =
+                groups.iter().map(|g| GroupSlicer::new(g.clone())).collect();
+            let lateness = cfg.lateness;
+            let inbox = Arc::clone(&inbox);
+            let handle = std::thread::Builder::new()
+                .name(format!("desis-shard-{shard}"))
+                .spawn(move || run_shard(shard, slicers, lateness, rx, inbox))
+                .map_err(|_| DesisError::Cluster("failed to spawn shard worker thread"))?;
+            senders.push(tx);
+            threads.push(handle);
+        }
+        Ok(Self {
+            senders,
+            threads,
+            inbox,
+            mergers: groups
+                .iter()
+                .map(|_| ShardMerger::new(shards as u32))
+                .collect(),
+            frontiers: vec![0; shards],
+            states: vec![ShardState::Running; shards],
+            inlet: EventBatch::with_capacity(cfg.batch_size.max(1)),
+            batch_size: cfg.batch_size.max(1),
+            shards,
+            panics: 0,
+            shard_events: vec![0; shards],
+            shard_batches: vec![0; shards],
+            collected: EngineMetrics::default(),
+            late_dropped: 0,
+            item_buf: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of sharded groups.
+    pub fn group_count(&self) -> usize {
+        self.mergers.len()
+    }
+
+    /// Shard workers that panicked and were degraded.
+    pub fn shard_panics(&self) -> u64 {
+        self.panics
+    }
+
+    /// Events dropped as too late by the per-shard reorder buffers
+    /// (complete only after [`ShardedSlicer::finish`]).
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Enables causal tracing: every shard worker mints per-slicer ring
+    /// recorders for `node`, and the merge-back records
+    /// `MergeStart`/`MergeDone` spans.
+    pub fn install_tracing(&mut self, collector: &TraceCollector, node: u32) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Install(collector.clone(), node));
+        }
+        for merger in &mut self.mergers {
+            merger.set_recorder(collector.recorder(node));
+        }
+    }
+
+    /// Removes a query at runtime on every shard.
+    pub fn remove_query(&mut self, id: QueryId, immediate: bool) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Remove { id, immediate });
+        }
+    }
+
+    /// Ingests one event; returns `true` when the inlet batch filled and
+    /// was flushed to the shards (a natural point to drain merged
+    /// slices).
+    #[inline]
+    pub fn on_event(&mut self, ev: &Event) -> bool {
+        self.inlet.push(*ev);
+        if self.inlet.len() >= self.batch_size {
+            self.flush_inlet();
+            return true;
+        }
+        false
+    }
+
+    /// Ingests a pre-built batch.
+    pub fn on_batch(&mut self, batch: &EventBatch) {
+        for ev in batch {
+            self.inlet.push(*ev);
+        }
+        if self.inlet.len() >= self.batch_size {
+            self.flush_inlet();
+        }
+    }
+
+    fn flush_inlet(&mut self) {
+        if self.inlet.is_empty() {
+            return;
+        }
+        let parts = self.inlet.partition_by_key(self.shards);
+        self.inlet = EventBatch::with_capacity(self.batch_size);
+        for (shard, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            self.shard_events[shard] += part.len() as u64;
+            self.shard_batches[shard] += 1;
+            // A failed send means the worker died; the panic surfaces
+            // through the inbox guard on the next collect.
+            let _ = self.senders[shard].send(ShardMsg::Batch(part));
+        }
+    }
+
+    /// Flushes the inlet and broadcasts a watermark, then **blocks**
+    /// until every live shard acknowledged it — the barrier that makes
+    /// results deterministic: after this returns, everything implied by
+    /// the events and watermarks ingested so far is in the mergers.
+    pub fn on_watermark(&mut self, ts: Timestamp) {
+        self.flush_inlet();
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Watermark(ts));
+        }
+        loop {
+            self.collect();
+            let reached = self
+                .states
+                .iter()
+                .zip(&self.frontiers)
+                .all(|(state, frontier)| *state != ShardState::Running || *frontier >= ts);
+            if reached {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Drains handoff items from every shard into the mergers and
+    /// advances the mergers' forced watermark to the minimum live shard
+    /// frontier.
+    fn collect(&mut self) {
+        for shard in 0..self.shards {
+            let exit = self.inbox.drain(shard, &mut self.item_buf);
+            for item in self.item_buf.drain(..) {
+                match item {
+                    ShardItem::Slices { group, slices } => {
+                        if let Some(merger) = self.mergers.get_mut(group) {
+                            for slice in slices {
+                                merger.on_slice(slice);
+                            }
+                        }
+                    }
+                    ShardItem::Frontier(ts) => {
+                        if ts > self.frontiers[shard] {
+                            self.frontiers[shard] = ts;
+                        }
+                    }
+                    ShardItem::Done {
+                        metrics,
+                        late_dropped,
+                    } => {
+                        self.collected.absorb(&metrics);
+                        self.late_dropped += late_dropped;
+                    }
+                }
+            }
+            if self.states[shard] == ShardState::Running {
+                match exit {
+                    Some(ShardExit::Clean) => self.states[shard] = ShardState::Done,
+                    Some(ShardExit::Panicked) => {
+                        // Degrade: stop waiting for the shard; later
+                        // slices release without its contributions.
+                        self.states[shard] = ShardState::Degraded;
+                        self.frontiers[shard] = Timestamp::MAX;
+                        self.panics += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+        let wm = self
+            .states
+            .iter()
+            .zip(&self.frontiers)
+            .filter(|(state, _)| **state != ShardState::Degraded)
+            .map(|(_, frontier)| *frontier)
+            .min()
+            .unwrap_or(Timestamp::MAX);
+        for merger in &mut self.mergers {
+            merger.advance(wm);
+        }
+    }
+
+    /// Drains merged slices, tagged with their group index, in
+    /// end-timestamp order per group.
+    pub fn drain_merged(&mut self, out: &mut Vec<(usize, SealedSlice)>) {
+        self.collect();
+        for group in 0..self.mergers.len() {
+            self.mergers[group].drain_ready(group, out);
+        }
+    }
+
+    /// Ends the stream: flushes the inlet, tells every worker to exit,
+    /// joins the threads, and collects their final metrics. Idempotent.
+    /// Slices still pending afterwards were never covered by a watermark
+    /// and stay unreleased (the sequential engine would not have sealed
+    /// them everywhere either).
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.flush_inlet();
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Flush);
+        }
+        for handle in self.threads.drain(..) {
+            // A panicked worker already reported through the guard.
+            let _ = handle.join();
+        }
+        self.collect();
+    }
+
+    /// Summed slicer metrics of all shards, available in full after
+    /// [`ShardedSlicer::finish`] (workers report on exit). The `events`
+    /// field counts per-group ingests, like [`GroupSlicer::metrics`].
+    pub fn metrics(&self) -> EngineMetrics {
+        self.collected.clone()
+    }
+
+    /// Publishes per-shard inlet counters and the panic count into
+    /// `registry`.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        for shard in 0..self.shards {
+            registry
+                .counter(&names::engine_shard_events(shard))
+                .raise_to(self.shard_events[shard]);
+            registry
+                .counter(&names::engine_shard_batches(shard))
+                .raise_to(self.shard_batches[shard]);
+        }
+        registry
+            .counter(names::ENGINE_SHARD_PANICS)
+            .raise_to(self.panics);
+    }
+}
+
+impl Drop for ShardedSlicer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The parallel engine facade.
+// ---------------------------------------------------------------------
+
+/// A pinned (non-shardable) group: the existing sequential pipeline fed
+/// with the full stream on the caller thread.
+#[derive(Debug)]
+struct PinnedPipeline {
+    slicer: GroupSlicer,
+    assembler: Assembler,
+}
+
+/// Key-sharded parallel twin of [`super::AggregationEngine`]: same
+/// queries, same results, N slicer threads (see the module docs for the
+/// sharding model and determinism argument).
+///
+/// ```
+/// use desis_core::prelude::*;
+///
+/// let queries = vec![
+///     Query::new(1, WindowSpec::tumbling_time(1_000)?, AggFunction::Max),
+///     Query::new(2, WindowSpec::sliding_time(2_000, 500)?, AggFunction::Quantile(0.9)),
+/// ];
+/// let mut engine = ParallelEngine::new(queries, 4)?;
+/// for ts in 0..5_000u64 {
+///     engine.on_event(&Event::new(ts, (ts % 10) as u32, (ts % 97) as f64));
+/// }
+/// engine.on_watermark(10_000);
+/// let results = engine.drain_results();
+/// assert!(!results.is_empty());
+/// // Results arrive in canonical (query, window end, key) order.
+/// assert!(results.windows(2).all(|w| w[0].emit_order() <= w[1].emit_order()));
+/// # Ok::<(), desis_core::DesisError>(())
+/// ```
+#[derive(Debug)]
+pub struct ParallelEngine {
+    sharded: Option<ShardedSlicer>,
+    sharded_assemblers: Vec<FixedAssembler>,
+    pinned: Vec<PinnedPipeline>,
+    pinned_reorder: Option<ReorderBuffer>,
+    ordered: Vec<Event>,
+    scratch: Vec<SealedSlice>,
+    merged: Vec<(usize, SealedSlice)>,
+    results: Vec<QueryResult>,
+    registry: Arc<MetricsRegistry>,
+    events: u64,
+    shards: usize,
+}
+
+impl ParallelEngine {
+    /// Builds a parallel engine with `shards` worker threads.
+    pub fn new(queries: Vec<Query>, shards: usize) -> Result<Self, DesisError> {
+        Self::with_config(queries, ParallelConfig::new(shards))
+    }
+
+    /// Builds a parallel engine with explicit tunables.
+    pub fn with_config(queries: Vec<Query>, cfg: ParallelConfig) -> Result<Self, DesisError> {
+        Self::with_registry(queries, cfg, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Builds a parallel engine publishing observability into `registry`.
+    pub fn with_registry(
+        queries: Vec<Query>,
+        cfg: ParallelConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self, DesisError> {
+        // Partition *queries* before analysis: a single session query
+        // sharing a predicate with ten fixed-window queries would
+        // otherwise pin the whole group sequential. Splitting trades the
+        // cross-type slice sharing between the two sets (only ever
+        // present within one predicate-group) for parallelism of the
+        // entire fixed-window set.
+        let (fixed, unfixed): (Vec<_>, Vec<_>) = queries
+            .into_iter()
+            .partition(|q| q.window.has_precomputable_puncts());
+        let analyzer = QueryAnalyzer::default();
+        let shardable = if fixed.is_empty() {
+            Vec::new()
+        } else {
+            analyzer.analyze(fixed)?
+        };
+        let mut pinned_groups = if unfixed.is_empty() {
+            Vec::new()
+        } else {
+            analyzer.analyze(unfixed)?
+        };
+        // Re-number the second analysis so group ids stay unique.
+        let base = shardable.len() as crate::engine::GroupId;
+        for (i, g) in pinned_groups.iter_mut().enumerate() {
+            g.id = base + i as crate::engine::GroupId;
+        }
+        debug_assert!(shardable.iter().all(group_is_shardable));
+        let sharded_assemblers: Vec<FixedAssembler> =
+            shardable.iter().map(FixedAssembler::new).collect();
+        let sharded = if shardable.is_empty() {
+            None
+        } else {
+            Some(ShardedSlicer::new(&shardable, &cfg)?)
+        };
+        let pinned = pinned_groups
+            .into_iter()
+            .map(|g| PinnedPipeline {
+                assembler: Assembler::with_registry(&g, Arc::clone(&registry)),
+                slicer: GroupSlicer::new(g),
+            })
+            .collect();
+        Ok(Self {
+            sharded,
+            sharded_assemblers,
+            pinned,
+            pinned_reorder: cfg.lateness.map(ReorderBuffer::new),
+            ordered: Vec::new(),
+            scratch: Vec::new(),
+            merged: Vec::new(),
+            results: Vec::new(),
+            registry,
+            events: 0,
+            shards: cfg.shards.max(1),
+        })
+    }
+
+    /// Worker shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of query-groups (sharded + pinned).
+    pub fn group_count(&self) -> usize {
+        self.sharded_assemblers.len() + self.pinned.len()
+    }
+
+    /// The engine's observability registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Shard workers that panicked and were degraded.
+    pub fn shard_panics(&self) -> u64 {
+        self.sharded.as_ref().map_or(0, ShardedSlicer::shard_panics)
+    }
+
+    /// Events dropped as too late across the sharded reorder buffers and
+    /// the pinned pipeline's buffer (0 when no lateness is configured).
+    pub fn late_dropped(&self) -> u64 {
+        let sharded = self.sharded.as_ref().map_or(0, ShardedSlicer::late_dropped);
+        let pinned = self
+            .pinned_reorder
+            .as_ref()
+            .map_or(0, ReorderBuffer::late_dropped);
+        sharded + pinned
+    }
+
+    /// Enables causal slice tracing on every shard worker and the
+    /// merge-back/assembly path; `node` keys the ring buffers.
+    pub fn install_tracing(&mut self, collector: &TraceCollector, node: u32) {
+        if let Some(sharded) = &mut self.sharded {
+            sharded.install_tracing(collector, node);
+        }
+        for assembler in &mut self.sharded_assemblers {
+            assembler.set_recorder(collector.recorder(node));
+        }
+        for p in &mut self.pinned {
+            p.slicer.set_recorder(collector.recorder(node));
+        }
+    }
+
+    /// Ingests one event (batched internally; see
+    /// [`ParallelEngine::on_batch`] for amortized ingestion).
+    #[inline]
+    pub fn on_event(&mut self, ev: &Event) {
+        self.events += 1;
+        self.feed_pinned(ev);
+        if let Some(sharded) = &mut self.sharded {
+            if sharded.on_event(ev) {
+                self.collect_ready();
+            }
+        }
+    }
+
+    /// Ingests a batch of events.
+    pub fn on_batch(&mut self, batch: &EventBatch) {
+        self.events += batch.len() as u64;
+        for ev in batch {
+            self.feed_pinned(ev);
+        }
+        if let Some(sharded) = &mut self.sharded {
+            sharded.on_batch(batch);
+        }
+        self.collect_ready();
+    }
+
+    #[inline]
+    fn feed_pinned(&mut self, ev: &Event) {
+        if self.pinned.is_empty() {
+            return;
+        }
+        if let Some(rb) = &mut self.pinned_reorder {
+            rb.push(*ev, &mut self.ordered);
+            if self.ordered.is_empty() {
+                return;
+            }
+            for idx in 0..self.ordered.len() {
+                let ev = self.ordered[idx];
+                for p in &mut self.pinned {
+                    p.slicer.on_event(&ev, &mut self.scratch);
+                    for slice in self.scratch.drain(..) {
+                        p.assembler.on_slice(slice, &mut self.results);
+                    }
+                }
+            }
+            self.ordered.clear();
+        } else {
+            for p in &mut self.pinned {
+                p.slicer.on_event(ev, &mut self.scratch);
+                for slice in self.scratch.drain(..) {
+                    p.assembler.on_slice(slice, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Advances event time. This is a **barrier**: it returns once every
+    /// live shard has processed the watermark, so a subsequent
+    /// [`ParallelEngine::drain_results`] is deterministic.
+    pub fn on_watermark(&mut self, ts: Timestamp) {
+        if let Some(rb) = &mut self.pinned_reorder {
+            rb.advance(ts, &mut self.ordered);
+            for idx in 0..self.ordered.len() {
+                let ev = self.ordered[idx];
+                for p in &mut self.pinned {
+                    p.slicer.on_event(&ev, &mut self.scratch);
+                    for slice in self.scratch.drain(..) {
+                        p.assembler.on_slice(slice, &mut self.results);
+                    }
+                }
+            }
+            self.ordered.clear();
+        }
+        for p in &mut self.pinned {
+            p.slicer.on_watermark(ts, &mut self.scratch);
+            for slice in self.scratch.drain(..) {
+                p.assembler.on_slice(slice, &mut self.results);
+            }
+        }
+        if let Some(sharded) = &mut self.sharded {
+            sharded.on_watermark(ts);
+        }
+        self.collect_ready();
+    }
+
+    fn collect_ready(&mut self) {
+        if let Some(sharded) = &mut self.sharded {
+            sharded.drain_merged(&mut self.merged);
+            for (group, slice) in self.merged.drain(..) {
+                if let Some(assembler) = self.sharded_assemblers.get_mut(group) {
+                    assembler.on_slice(slice, &mut self.results);
+                }
+            }
+        }
+    }
+
+    /// Takes all results produced since the last drain, in canonical
+    /// `(query, window end, key, window start)` order.
+    pub fn drain_results(&mut self) -> Vec<QueryResult> {
+        self.collect_ready();
+        let mut out = std::mem::take(&mut self.results);
+        crate::query::sort_results(&mut out);
+        out
+    }
+
+    /// Results produced and not yet drained.
+    pub fn pending_results(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Removes a query at runtime on every shard and pinned pipeline.
+    pub fn remove_query(&mut self, id: QueryId, immediate: bool) {
+        if let Some(sharded) = &mut self.sharded {
+            sharded.remove_query(id, immediate);
+        }
+        for assembler in &mut self.sharded_assemblers {
+            assembler.remove_query(id);
+        }
+        for p in &mut self.pinned {
+            p.slicer.remove_query(id, immediate);
+        }
+    }
+
+    /// Ends the stream: joins the shard workers and drains what their
+    /// watermarks covered. Call after a final
+    /// [`ParallelEngine::on_watermark`] past the last window of
+    /// interest.
+    pub fn finish(&mut self) {
+        if let Some(sharded) = &mut self.sharded {
+            sharded.finish();
+        }
+        self.collect_ready();
+    }
+
+    /// Aggregated metrics over all shards and pipelines; the slicer
+    /// counters of shard workers are complete after
+    /// [`ParallelEngine::finish`]. Also publishes cumulative `engine.*`
+    /// and per-shard counters into the registry.
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut m = EngineMetrics::default();
+        if let Some(sharded) = &self.sharded {
+            m.absorb(&sharded.metrics());
+            sharded.publish(&self.registry);
+        }
+        for assembler in &self.sharded_assemblers {
+            m.results += assembler.results_emitted();
+            m.merges += assembler.merges();
+        }
+        for p in &self.pinned {
+            m.absorb(p.slicer.metrics());
+            m.results += p.assembler.results_emitted();
+            m.merges += p.assembler.merges();
+        }
+        m.events = self.events;
+        m.publish(&self.registry, "engine");
+        m
+    }
+}
+
+/// Whether every window of the group punctuates at data-independent
+/// instants (fixed time windows), making the group safe to shard by key.
+fn group_is_shardable(group: &QueryGroup) -> bool {
+    group
+        .queries
+        .iter()
+        .all(|cq| cq.query.window.has_precomputable_puncts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AggregationEngine;
+    use crate::window::WindowSpec;
+
+    fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
+        crate::query::sort_results(&mut results);
+        results
+    }
+
+    fn run_sequential(
+        queries: Vec<Query>,
+        events: &[Event],
+        final_wm: Timestamp,
+    ) -> Vec<QueryResult> {
+        let mut engine = AggregationEngine::new(queries).unwrap();
+        for ev in events {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(final_wm);
+        canon(engine.drain_results())
+    }
+
+    fn run_parallel(
+        queries: Vec<Query>,
+        events: &[Event],
+        final_wm: Timestamp,
+        shards: usize,
+    ) -> Vec<QueryResult> {
+        let mut engine = ParallelEngine::new(queries, shards).unwrap();
+        for ev in events {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(final_wm);
+        engine.finish();
+        canon(engine.drain_results())
+    }
+
+    fn mixed_queries() -> Vec<Query> {
+        vec![
+            Query::new(
+                1,
+                WindowSpec::tumbling_time(1_000).unwrap(),
+                AggFunction::Max,
+            ),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(2_000, 500).unwrap(),
+                AggFunction::Quantile(0.9),
+            ),
+            Query::new(3, WindowSpec::session(400).unwrap(), AggFunction::Median),
+        ]
+    }
+
+    fn events(n: u64, keys: u32) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new(i, (i as u32) % keys, (i % 97) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_with_mixed_groups() {
+        let evs = events(4_000, 10);
+        let seq = run_sequential(mixed_queries(), &evs, 10_000);
+        for shards in [1, 2, 4] {
+            let par = run_parallel(mixed_queries(), &evs, 10_000, shards);
+            assert_eq!(par, seq, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_with_fewer_keys_than_shards() {
+        // Shards 2..6 see no events at all: watermark forcing must still
+        // complete every merged slice.
+        let evs: Vec<Event> = (0..2_000u64)
+            .map(|i| Event::new(i, (i % 2) as u32, i as f64))
+            .collect();
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(500).unwrap(),
+            AggFunction::Average,
+        )];
+        let seq = run_sequential(queries.clone(), &evs, 5_000);
+        let par = run_parallel(queries, &evs, 5_000, 7);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn drain_is_deterministic_at_watermark_barriers() {
+        let queries = vec![
+            Query::new(
+                1,
+                WindowSpec::tumbling_time(1_000).unwrap(),
+                AggFunction::Sum,
+            ),
+            Query::new(
+                2,
+                WindowSpec::tumbling_time(1_000).unwrap(),
+                AggFunction::Median,
+            ),
+        ];
+        let run = || {
+            let mut engine = ParallelEngine::new(queries.clone(), 4).unwrap();
+            let mut drained: Vec<Vec<QueryResult>> = Vec::new();
+            for i in 0..6_000u64 {
+                engine.on_event(&Event::new(i, (i % 8) as u32, (i % 13) as f64));
+                if i % 1_000 == 999 {
+                    engine.on_watermark(i + 1);
+                    drained.push(engine.drain_results());
+                }
+            }
+            engine.on_watermark(10_000);
+            engine.finish();
+            drained.push(engine.drain_results());
+            drained
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "watermark-aligned drains must be byte-identical");
+        assert!(a.iter().any(|batch| !batch.is_empty()));
+    }
+
+    #[test]
+    fn batched_ingestion_matches_per_event() {
+        let evs = events(3_000, 5);
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::sliding_time(1_000, 250).unwrap(),
+            AggFunction::Variance,
+        )];
+        let per_event = run_parallel(queries.clone(), &evs, 8_000, 3);
+        let mut engine = ParallelEngine::new(queries, 3).unwrap();
+        for chunk in evs.chunks(173) {
+            engine.on_batch(&EventBatch::from(chunk.to_vec()));
+        }
+        engine.on_watermark(8_000);
+        engine.finish();
+        assert_eq!(canon(engine.drain_results()), per_event);
+    }
+
+    #[test]
+    fn out_of_order_input_with_lateness_matches_sorted_sequential() {
+        let mut evs: Vec<Event> = (0..2_000u64)
+            .map(|i| Event::new(i, (i % 6) as u32, (i % 31) as f64))
+            .collect();
+        // Bounded jitter well within the lateness budget.
+        for i in (0..evs.len()).step_by(7) {
+            let j = (i + 3).min(evs.len() - 1);
+            evs.swap(i, j);
+        }
+        let mut sorted = evs.clone();
+        sorted.sort_by_key(|e| e.ts);
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(200).unwrap(),
+            AggFunction::Sum,
+        )];
+        let seq = run_sequential(queries.clone(), &sorted, 5_000);
+        let mut cfg = ParallelConfig::new(4);
+        cfg.lateness = Some(100);
+        let mut engine = ParallelEngine::with_config(queries, cfg).unwrap();
+        for ev in &evs {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(5_000);
+        engine.finish();
+        assert_eq!(canon(engine.drain_results()), seq);
+    }
+
+    #[test]
+    fn metrics_cover_all_shards_and_publish() {
+        let evs = events(1_000, 4);
+        let mut engine = ParallelEngine::new(mixed_queries(), 2).unwrap();
+        for ev in &evs {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(5_000);
+        engine.finish();
+        let m = engine.metrics();
+        assert_eq!(m.events, 1_000);
+        assert!(m.slices > 0);
+        assert!(m.results > 0);
+        let snap = engine.registry().snapshot();
+        let shard0 = snap.counters[&names::engine_shard_events(0)];
+        let shard1 = snap.counters[&names::engine_shard_events(1)];
+        assert!(shard0 > 0);
+        assert!(shard1 > 0);
+        assert_eq!(shard0 + shard1, 1_000);
+        assert_eq!(snap.counters[names::ENGINE_SHARD_PANICS], 0);
+    }
+
+    #[test]
+    fn remove_query_stops_new_windows() {
+        let queries = vec![
+            Query::new(1, WindowSpec::tumbling_time(100).unwrap(), AggFunction::Sum),
+            Query::new(
+                2,
+                WindowSpec::tumbling_time(100).unwrap(),
+                AggFunction::Count,
+            ),
+        ];
+        let mut engine = ParallelEngine::new(queries, 2).unwrap();
+        engine.on_event(&Event::new(0, 0, 1.0));
+        engine.remove_query(2, true);
+        for i in 1..500u64 {
+            engine.on_event(&Event::new(i, (i % 2) as u32, 1.0));
+        }
+        engine.on_watermark(1_000);
+        engine.finish();
+        let results = engine.drain_results();
+        assert!(results.iter().all(|r| r.query != 2));
+        assert!(results.iter().any(|r| r.query == 1));
+    }
+}

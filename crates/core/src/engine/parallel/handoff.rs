@@ -1,0 +1,244 @@
+//! The shard→collector handoff: per-shard mailboxes with unwind-safe
+//! close semantics.
+//!
+//! Each shard worker pushes items into its own mailbox slot; the
+//! collector drains the slots in shard order. The contract the loom
+//! suite (`crates/core/tests/loom.rs`) model-checks:
+//!
+//! * **No lost items** — everything pushed before a close is drained.
+//! * **No double-emit** — draining moves items out exactly once.
+//! * **Exit is always reported** — [`InboxGuard`] closes the slot from
+//!   its `Drop` impl, so a worker that unwinds mid-push still reports
+//!   [`ShardExit::Panicked`]; only an explicit
+//!   [`InboxGuard::finish`] reports [`ShardExit::Clean`].
+//!
+//! The mailbox uses the [`crate::sync`] facade, so a `--cfg loom` build
+//! swaps in the model-checked primitives.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::sync::{Mutex, MutexGuard};
+
+/// How a shard worker left its mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardExit {
+    /// The worker drained its channel and exited normally.
+    Clean,
+    /// The worker unwound (panicked) before finishing; its mailbox holds
+    /// everything it managed to push.
+    Panicked,
+}
+
+/// One shard's mailbox slot.
+#[derive(Debug)]
+struct ShardQueue<T> {
+    items: VecDeque<T>,
+    closed: Option<ShardExit>,
+}
+
+/// Per-shard mailboxes from N workers to one collector.
+#[derive(Debug)]
+pub struct Inbox<T> {
+    shards: Vec<Mutex<ShardQueue<T>>>,
+}
+
+/// Locks one slot, treating poison as recoverable: a worker that panics
+/// while holding the lock must not wedge the collector (the guard's
+/// close still goes through, and item state is a plain queue).
+fn lock<T>(slot: &Mutex<ShardQueue<T>>) -> MutexGuard<'_, ShardQueue<T>> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T> Inbox<T> {
+    /// An inbox with `shards` empty open slots.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| {
+                    Mutex::new(ShardQueue {
+                        items: VecDeque::new(),
+                        closed: None,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Appends an item to `shard`'s slot. Returns `false` (dropping the
+    /// item) if the slot is closed or out of range — pushes never block
+    /// and never panic.
+    pub fn push(&self, shard: usize, item: T) -> bool {
+        let Some(slot) = self.shards.get(shard) else {
+            return false;
+        };
+        let mut q = lock(slot);
+        if q.closed.is_some() {
+            return false;
+        }
+        q.items.push_back(item);
+        true
+    }
+
+    /// Closes `shard`'s slot with `exit`. The first close wins; later
+    /// calls are no-ops (so a guard dropped after an explicit close
+    /// cannot overwrite a panic verdict).
+    pub fn close(&self, shard: usize, exit: ShardExit) {
+        if let Some(slot) = self.shards.get(shard) {
+            let mut q = lock(slot);
+            if q.closed.is_none() {
+                q.closed = Some(exit);
+            }
+        }
+    }
+
+    /// Moves every pending item of `shard` into `out` (in push order)
+    /// and reports the slot's exit status, if closed. Draining a closed
+    /// slot again returns the same status and no items.
+    pub fn drain(&self, shard: usize, out: &mut Vec<T>) -> Option<ShardExit> {
+        let slot = self.shards.get(shard)?;
+        let mut q = lock(slot);
+        out.extend(q.items.drain(..));
+        q.closed
+    }
+}
+
+/// Closes one shard's slot on drop, reporting [`ShardExit::Panicked`]
+/// unless [`InboxGuard::finish`] ran first.
+///
+/// Declared as the *first* local of a worker function, the guard drops
+/// last on unwind, after any partially-pushed state — making panic
+/// detection automatic with no `catch_unwind` in the data path.
+#[derive(Debug)]
+pub struct InboxGuard<T> {
+    inbox: Arc<Inbox<T>>,
+    shard: usize,
+    clean: bool,
+}
+
+impl<T> InboxGuard<T> {
+    /// Guards `shard`'s slot of `inbox`.
+    pub fn new(inbox: Arc<Inbox<T>>, shard: usize) -> Self {
+        Self {
+            inbox,
+            shard,
+            clean: false,
+        }
+    }
+
+    /// Pushes an item to the guarded slot.
+    pub fn push(&self, item: T) -> bool {
+        self.inbox.push(self.shard, item)
+    }
+
+    /// Marks the worker's exit as clean; the close itself happens on
+    /// drop.
+    pub fn finish(mut self) {
+        self.clean = true;
+    }
+}
+
+impl<T> Drop for InboxGuard<T> {
+    fn drop(&mut self) {
+        let exit = if self.clean {
+            ShardExit::Clean
+        } else {
+            ShardExit::Panicked
+        };
+        self.inbox.close(self.shard, exit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drain_roundtrip_in_order() {
+        let inbox: Inbox<u32> = Inbox::new(2);
+        assert_eq!(inbox.shard_count(), 2);
+        assert!(inbox.push(0, 1));
+        assert!(inbox.push(0, 2));
+        assert!(inbox.push(1, 9));
+        let mut out = Vec::new();
+        assert_eq!(inbox.drain(0, &mut out), None);
+        assert_eq!(out, vec![1, 2]);
+        out.clear();
+        assert_eq!(inbox.drain(1, &mut out), None);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn close_rejects_later_pushes_but_keeps_earlier_items() {
+        let inbox: Inbox<u32> = Inbox::new(1);
+        assert!(inbox.push(0, 7));
+        inbox.close(0, ShardExit::Clean);
+        assert!(!inbox.push(0, 8));
+        let mut out = Vec::new();
+        assert_eq!(inbox.drain(0, &mut out), Some(ShardExit::Clean));
+        assert_eq!(out, vec![7]);
+        // Draining again yields nothing new but the same status.
+        out.clear();
+        assert_eq!(inbox.drain(0, &mut out), Some(ShardExit::Clean));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn first_close_wins() {
+        let inbox: Inbox<u32> = Inbox::new(1);
+        inbox.close(0, ShardExit::Panicked);
+        inbox.close(0, ShardExit::Clean);
+        assert_eq!(inbox.drain(0, &mut Vec::new()), Some(ShardExit::Panicked));
+    }
+
+    #[test]
+    fn out_of_range_shard_is_inert() {
+        let inbox: Inbox<u32> = Inbox::new(1);
+        assert!(!inbox.push(5, 1));
+        inbox.close(5, ShardExit::Clean);
+        assert_eq!(inbox.drain(5, &mut Vec::new()), None);
+    }
+
+    #[test]
+    fn guard_drop_without_finish_reports_panic() {
+        let inbox = Arc::new(Inbox::new(1));
+        {
+            let guard = InboxGuard::new(Arc::clone(&inbox), 0);
+            assert!(guard.push(3));
+        }
+        let mut out = Vec::new();
+        assert_eq!(inbox.drain(0, &mut out), Some(ShardExit::Panicked));
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn guard_finish_reports_clean() {
+        let inbox = Arc::new(Inbox::new(1));
+        let guard: InboxGuard<u32> = InboxGuard::new(Arc::clone(&inbox), 0);
+        guard.finish();
+        assert_eq!(inbox.drain(0, &mut Vec::new()), Some(ShardExit::Clean));
+    }
+
+    #[test]
+    fn unwinding_worker_is_detected() {
+        let inbox: Arc<Inbox<u32>> = Arc::new(Inbox::new(1));
+        let worker = {
+            let inbox = Arc::clone(&inbox);
+            std::thread::spawn(move || {
+                let guard = InboxGuard::new(inbox, 0);
+                guard.push(1);
+                panic!("shard worker dies");
+            })
+        };
+        assert!(worker.join().is_err());
+        let mut out = Vec::new();
+        assert_eq!(inbox.drain(0, &mut out), Some(ShardExit::Panicked));
+        assert_eq!(out, vec![1]);
+    }
+}

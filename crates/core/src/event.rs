@@ -99,6 +99,93 @@ impl Event {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Watermark(pub Timestamp);
 
+/// A batch of events moved through an ingestion pipeline as one unit.
+///
+/// Per-event channel sends and codec calls dominate ingestion cost long
+/// before the slicer does; generators, links, and the engine inlets
+/// therefore hand events around in `EventBatch`es and amortize that
+/// overhead over `len()` events. The wrapper is deliberately thin — a
+/// `Vec<Event>` plus helpers — so batching never changes *which* events
+/// flow, only how many cross a boundary per call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventBatch {
+    events: Vec<Event>,
+}
+
+impl EventBatch {
+    /// An empty batch with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    /// Number of batched events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The batched events, in ingestion order.
+    pub fn as_slice(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Unwraps into the underlying vector (for wire messages).
+    pub fn into_vec(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Takes the batched events out, leaving the (allocated) batch empty.
+    pub fn take(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Splits the batch into `shards` per-shard batches by `key % shards`,
+    /// preserving the relative order of events within each shard — the
+    /// partitioning a key-sharded engine relies on for per-key exactness.
+    pub fn partition_by_key(&self, shards: usize) -> Vec<Vec<Event>> {
+        let shards = shards.max(1);
+        let mut parts = vec![Vec::new(); shards];
+        for ev in &self.events {
+            parts[ev.key as usize % shards].push(*ev);
+        }
+        parts
+    }
+}
+
+impl From<Vec<Event>> for EventBatch {
+    fn from(events: Vec<Event>) -> Self {
+        Self { events }
+    }
+}
+
+impl FromIterator<Event> for EventBatch {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Self {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EventBatch {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +229,33 @@ mod tests {
         let ev = Event::new(1, 2, 3.0);
         assert!(!ev.starts_channel(0));
         assert!(!ev.ends_channel(0));
+    }
+
+    #[test]
+    fn batch_partition_preserves_per_shard_order() {
+        let batch: EventBatch = (0..10u64)
+            .map(|i| Event::new(i, (i % 3) as u32, i as f64))
+            .collect();
+        assert_eq!(batch.len(), 10);
+        let parts = batch.partition_by_key(3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 10);
+        for (shard, part) in parts.iter().enumerate() {
+            assert!(part.iter().all(|ev| ev.key as usize % 3 == shard));
+            assert!(part.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+        // One shard sees everything when shards == 1 (and 0 is clamped).
+        assert_eq!(batch.partition_by_key(1)[0].len(), 10);
+        assert_eq!(batch.partition_by_key(0).len(), 1);
+    }
+
+    #[test]
+    fn batch_take_leaves_empty() {
+        let mut batch = EventBatch::with_capacity(4);
+        batch.push(Event::new(1, 0, 1.0));
+        assert!(!batch.is_empty());
+        let taken = batch.take();
+        assert_eq!(taken.len(), 1);
+        assert!(batch.is_empty());
+        assert_eq!(EventBatch::from(taken).as_slice().len(), 1);
     }
 }

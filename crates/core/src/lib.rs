@@ -75,11 +75,12 @@ pub mod prelude {
     pub use crate::aggregate::{AggFunction, OperatorBundle, OperatorKind, OperatorSet};
     pub use crate::dsl::{parse_queries, parse_query, to_dsl};
     pub use crate::engine::{
-        AggregationEngine, Assembler, Deployment, GroupExecution, GroupSlicer, QueryAnalyzer,
-        QueryGroup, ReorderBuffer, SealedSlice, SharingPolicy, SliceId, WindowEnd,
+        AggregationEngine, Assembler, Deployment, GroupExecution, GroupSlicer, ParallelConfig,
+        ParallelEngine, QueryAnalyzer, QueryGroup, ReorderBuffer, SealedSlice, ShardedSlicer,
+        SharingPolicy, SliceId, WindowEnd,
     };
     pub use crate::error::DesisError;
-    pub use crate::event::{Event, Key, Marker, MarkerKind, Watermark};
+    pub use crate::event::{Event, EventBatch, Key, Marker, MarkerKind, Watermark};
     pub use crate::metrics::EngineMetrics;
     pub use crate::obs::trace::{
         SpanKind, TraceChain, TraceCollector, TraceId, TraceRecorder, TraceTimeline,
@@ -89,7 +90,7 @@ pub mod prelude {
         MetricsSnapshot,
     };
     pub use crate::predicate::Predicate;
-    pub use crate::query::{Query, QueryId, QueryResult};
+    pub use crate::query::{sort_results, Query, QueryId, QueryResult};
     pub use crate::time::{DurationMs, Timestamp, MINUTE, SECOND};
     pub use crate::window::{Measure, WindowKind, WindowSpec};
 }

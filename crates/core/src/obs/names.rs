@@ -129,6 +129,20 @@ pub fn engine_result_latency_us(query: u64) -> String {
     format!("engine.result_latency_us.q{query}")
 }
 
+/// Shard workers of the parallel engine that panicked and were degraded
+/// (their in-flight contributions are force-released without the shard).
+pub const ENGINE_SHARD_PANICS: &str = "engine.shard_panics";
+
+/// Events routed to one shard worker of the parallel engine.
+pub fn engine_shard_events(shard: usize) -> String {
+    format!("engine.shard{shard}.events")
+}
+
+/// Event batches sent to one shard worker of the parallel engine.
+pub fn engine_shard_batches(shard: usize) -> String {
+    format!("engine.shard{shard}.batches")
+}
+
 // --- trace.* ----------------------------------------------------------
 
 /// Trace events overwritten by ring-buffer drop-oldest.
@@ -165,6 +179,8 @@ mod tests {
         assert_eq!(egress_bytes(7), "net.node7.egress_bytes");
         assert_eq!(trace_stage_us(3, "merge"), "trace.q3.merge_us");
         assert_eq!(engine_result_latency_us(1), "engine.result_latency_us.q1");
+        assert_eq!(engine_shard_events(2), "engine.shard2.events");
+        assert_eq!(engine_shard_batches(0), "engine.shard0.batches");
         assert_eq!(cluster_system_prefix("desis"), "cluster.desis.");
     }
 

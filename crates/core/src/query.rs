@@ -100,6 +100,31 @@ pub struct QueryResult {
     pub values: Vec<Option<f64>>,
 }
 
+impl QueryResult {
+    /// The canonical emission order `(query, window end, key, window
+    /// start)`. Every result drain in the workspace sorts by this key, so
+    /// runs are byte-reproducible regardless of how assemblers interleave
+    /// per-query emissions on window-end ties (or how hash maps iterate
+    /// keys within one window).
+    #[inline]
+    pub fn emit_order(
+        &self,
+    ) -> (
+        QueryId,
+        crate::time::Timestamp,
+        crate::event::Key,
+        crate::time::Timestamp,
+    ) {
+        (self.query, self.window_end, self.key, self.window_start)
+    }
+}
+
+/// Sorts results into the canonical `(query, window end, key, window
+/// start)` emission order (see [`QueryResult::emit_order`]).
+pub fn sort_results(results: &mut [QueryResult]) {
+    results.sort_unstable_by_key(QueryResult::emit_order);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

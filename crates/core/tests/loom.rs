@@ -146,3 +146,123 @@ fn model_explores_multiple_interleavings() {
     });
     assert_eq!(single, 1, "a single-threaded model has one schedule");
 }
+
+// ---------------------------------------------------------------------
+// Shard → assembler handoff (PR 5): crates/core/src/engine/parallel/
+// handoff.rs under every interleaving.
+// ---------------------------------------------------------------------
+
+use desis_core::engine::parallel::handoff::{Inbox, InboxGuard, ShardExit};
+
+/// No lost partials, no double-emit: whatever interleaving the drains
+/// take against the pushes, every item arrives exactly once and in push
+/// order, and the clean exit is observed after the last item.
+#[test]
+fn handoff_delivers_every_item_exactly_once() {
+    let executions = loom::count_executions(|| {
+        let inbox: Arc<Inbox<u32>> = Arc::new(Inbox::new(1));
+        let worker_inbox = Arc::clone(&inbox);
+        let t = loom::thread::spawn(move || {
+            let guard = InboxGuard::new(worker_inbox, 0);
+            assert!(guard.push(1));
+            assert!(guard.push(2));
+            guard.finish();
+        });
+        // Race a drain against the worker's pushes, then settle.
+        let mut got = Vec::new();
+        let early_exit = inbox.drain(0, &mut got);
+        assert_ne!(
+            early_exit,
+            Some(ShardExit::Panicked),
+            "a running or cleanly-finished worker must never read as panicked"
+        );
+        t.join().unwrap();
+        let exit = inbox.drain(0, &mut got);
+        assert_eq!(exit, Some(ShardExit::Clean));
+        assert_eq!(got, vec![1, 2], "items lost, duplicated, or reordered");
+        // A third drain re-reports the exit but re-emits nothing.
+        let mut again = Vec::new();
+        assert_eq!(inbox.drain(0, &mut again), Some(ShardExit::Clean));
+        assert!(again.is_empty(), "double-emit after close");
+    });
+    assert!(
+        executions > 1,
+        "drain/push race must branch, got {executions}"
+    );
+}
+
+/// A worker that unwinds before `finish` (modeled by dropping the guard)
+/// is detected as panicked, and the items it pushed before dying are
+/// still delivered — the degrade path the engine uses to keep the other
+/// shards running.
+#[test]
+fn handoff_guard_drop_reports_panic_and_keeps_items() {
+    loom::model(|| {
+        let inbox: Arc<Inbox<u32>> = Arc::new(Inbox::new(1));
+        let worker_inbox = Arc::clone(&inbox);
+        let t = loom::thread::spawn(move || {
+            let guard = InboxGuard::new(worker_inbox, 0);
+            assert!(guard.push(7));
+            // No finish(): the drop below is the unwind path.
+            drop(guard);
+        });
+        t.join().unwrap();
+        let mut got = Vec::new();
+        assert_eq!(inbox.drain(0, &mut got), Some(ShardExit::Panicked));
+        assert_eq!(got, vec![7], "pre-panic items must survive");
+        // The slot stays closed: a zombie worker cannot resurrect it.
+        assert!(!inbox.push(0, 8), "closed slot must reject pushes");
+    });
+}
+
+/// Two shards closing concurrently — one clean, one degraded — terminate
+/// without wedging the collector, and each slot keeps its own verdict.
+#[test]
+fn handoff_shutdown_with_mixed_exits_is_clean() {
+    loom::model(|| {
+        let inbox: Arc<Inbox<u32>> = Arc::new(Inbox::new(2));
+        let clean_inbox = Arc::clone(&inbox);
+        let t_clean = loom::thread::spawn(move || {
+            let guard = InboxGuard::new(clean_inbox, 0);
+            assert!(guard.push(10));
+            guard.finish();
+        });
+        let dead_inbox = Arc::clone(&inbox);
+        let t_dead = loom::thread::spawn(move || {
+            let guard = InboxGuard::new(dead_inbox, 1);
+            drop(guard);
+        });
+        t_clean.join().unwrap();
+        t_dead.join().unwrap();
+        let mut got = Vec::new();
+        assert_eq!(inbox.drain(0, &mut got), Some(ShardExit::Clean));
+        assert_eq!(got, vec![10]);
+        got.clear();
+        assert_eq!(inbox.drain(1, &mut got), Some(ShardExit::Panicked));
+        assert!(got.is_empty());
+    });
+}
+
+/// First close wins: an explicit clean close followed by the guard's
+/// drop must not flip the verdict to panicked (and vice versa), under
+/// any schedule of a racing drain.
+#[test]
+fn handoff_first_close_wins_over_guard_drop() {
+    loom::model(|| {
+        let inbox: Arc<Inbox<u32>> = Arc::new(Inbox::new(1));
+        let worker_inbox = Arc::clone(&inbox);
+        let t = loom::thread::spawn(move || {
+            let guard = InboxGuard::new(Arc::clone(&worker_inbox), 0);
+            guard.push(1);
+            // Explicit close before the guard unwinds: the panic verdict
+            // from the later drop must not override it.
+            worker_inbox.close(0, ShardExit::Clean);
+            drop(guard);
+        });
+        let mut got = Vec::new();
+        let _ = inbox.drain(0, &mut got);
+        t.join().unwrap();
+        assert_eq!(inbox.drain(0, &mut got), Some(ShardExit::Clean));
+        assert_eq!(got, vec![1]);
+    });
+}

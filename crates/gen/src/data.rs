@@ -8,7 +8,7 @@
 //! activity bursts with session gaps. Streams are deterministic per seed;
 //! different "read offsets" are modelled by different seeds per node.
 
-use desis_core::event::{Event, Key, Marker, MarkerChannel, MarkerKind};
+use desis_core::event::{Event, EventBatch, Key, Marker, MarkerChannel, MarkerKind};
 use desis_core::time::{DurationMs, Timestamp};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -237,6 +237,21 @@ impl DataGenerator {
     pub fn produced(&self) -> u64 {
         self.produced
     }
+
+    /// Produces the next `max` events as one [`EventBatch`] — the batched
+    /// ingestion unit of the parallel engine. Equivalent to taking `max`
+    /// events off the iterator (the generator is infinite, so the batch
+    /// is full unless `max == 0`).
+    pub fn next_batch(&mut self, max: usize) -> EventBatch {
+        let mut batch = EventBatch::with_capacity(max);
+        for _ in 0..max {
+            match self.next() {
+                Some(ev) => batch.push(ev),
+                None => break,
+            }
+        }
+        batch
+    }
 }
 
 impl Iterator for DataGenerator {
@@ -280,6 +295,20 @@ mod tests {
         let events = take(cfg, 201);
         // 100 events per second -> the 200th event is at 2_000 ms.
         assert_eq!(events[200].ts, 2_000);
+    }
+
+    #[test]
+    fn next_batch_matches_iterator() {
+        let mut by_iter = DataGenerator::new(DataGenConfig::default());
+        let mut by_batch = DataGenerator::new(DataGenConfig::default());
+        let flat: Vec<Event> = (&mut by_iter).take(1_000).collect();
+        let mut batched = Vec::new();
+        for _ in 0..4 {
+            batched.extend(by_batch.next_batch(250).into_vec());
+        }
+        assert_eq!(flat, batched);
+        assert_eq!(by_batch.produced(), 1_000);
+        assert!(by_batch.next_batch(0).is_empty());
     }
 
     #[test]

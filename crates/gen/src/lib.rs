@@ -18,6 +18,7 @@ pub use data::{
     BurstConfig, DataGenConfig, DataGenerator, KeyDistribution, MarkerConfig, ValueModel,
 };
 pub use dataset::{write_dataset, Dataset, Replayer};
+pub use desis_core::event::EventBatch;
 pub use query::{
     spread_quantile_queries, spread_tumbling_queries, QueryGenConfig, QueryGenerator,
     WindowTypeWeights,

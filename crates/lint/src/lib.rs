@@ -701,6 +701,28 @@ mod tests {
         assert!(findings("crates/net/src/recovery.rs", src).is_empty());
     }
 
+    /// The parallel engine (PR 5) is a hot path AND a deterministic
+    /// path: both rules must cover the module and its handoff submodule.
+    /// A rename that silently drops it out of scope fails here.
+    #[test]
+    fn parallel_engine_is_in_no_panic_and_no_wallclock_scope() {
+        for path in [
+            "crates/core/src/engine/parallel.rs",
+            "crates/core/src/engine/parallel/handoff.rs",
+        ] {
+            assert!(in_scope("no-panic", path), "{path} left no-panic scope");
+            assert!(
+                in_scope("no-wallclock", path),
+                "{path} left no-wallclock scope"
+            );
+            assert!(in_scope("metric-names", path));
+        }
+        let src = "fn f() { x.unwrap(); let t = Instant::now(); }\n";
+        let v = findings("crates/core/src/engine/parallel.rs", src);
+        assert_eq!(by_rule(&v).get("no-panic"), Some(&1));
+        assert_eq!(by_rule(&v).get("no-wallclock"), Some(&1));
+    }
+
     #[test]
     fn allow_line_round_trips() {
         let (rule, path, source, why) = parse_allow_line(

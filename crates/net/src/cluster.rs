@@ -96,7 +96,32 @@ pub struct ClusterConfig {
     /// Tunables of the recovery protocol (NACK budget, grace period,
     /// retransmit history, reorder buffer, suspect lag).
     pub recovery: RecoveryConfig,
+    /// Worker shards per local node (Desis only). `1` runs the classic
+    /// sequential pipeline; `> 1` hash-partitions events by key across
+    /// that many engine threads per local (see
+    /// [`desis_core::engine::ParallelEngine`]). Defaults to the
+    /// process-global value set by [`install_default_shards`] (the bench
+    /// driver's `--shards` flag), or `1`.
+    pub shards: usize,
 }
+
+/// Installs the process-global default for [`ClusterConfig::shards`]
+/// (clamped to at least 1). Harnesses that cannot thread the value
+/// through their plumbing — the bench driver's `--shards` flag — set it
+/// once at startup; configs built afterwards pick it up.
+pub fn install_default_shards(shards: usize) {
+    DEFAULT_SHARDS.store(shards.max(1), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The process-global default local shard count (1 unless
+/// [`install_default_shards`] was called).
+pub fn default_shards() -> usize {
+    DEFAULT_SHARDS
+        .load(std::sync::atomic::Ordering::Relaxed)
+        .max(1)
+}
+
+static DEFAULT_SHARDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
 
 impl ClusterConfig {
     /// A configuration with the paper-ish defaults.
@@ -117,6 +142,7 @@ impl ClusterConfig {
             trace: None,
             faults: None,
             recovery: RecoveryConfig::default(),
+            shards: default_shards(),
         }
     }
 
@@ -441,9 +467,16 @@ pub fn run_cluster(
             let stall_at = plan.as_ref().and_then(|p| p.stall_at(node));
             let fault_stats = Arc::clone(&fault_stats);
             let recovery_cfg = cfg.recovery.clone();
+            let shards = cfg.shards.max(1);
             scope.spawn(move || {
-                let mut worker =
-                    LocalWorker::new(node, system, &groups, batch_size, watermark_every);
+                let mut worker = LocalWorker::with_shards(
+                    node,
+                    system,
+                    &groups,
+                    batch_size,
+                    watermark_every,
+                    shards,
+                );
                 if let Some(tc) = &tracing {
                     worker.install_tracing(tc);
                     uplink.set_recorder(tc.recorder(node));
@@ -651,6 +684,10 @@ pub fn run_cluster(
             }
             results.push(result);
         }
+        // Canonical (query, window-end, key) order: shard counts, merge
+        // timing, and link interleavings must not change the report
+        // byte-for-byte.
+        desis_core::query::sort_results(&mut results);
 
         let bytes_by_node = stats.iter().map(|(node, st)| (*node, st.bytes())).collect();
         let local_metrics = local_metrics.lock().clone();
@@ -749,6 +786,40 @@ mod tests {
         let report = run_cluster(cfg, feeds.clone()).unwrap();
         assert_eq!(report.events, 1_000);
         assert_eq!(sorted(report.results), reference(queries, &feeds, 2_000));
+    }
+
+    #[test]
+    fn desis_sharded_locals_match_sequential_and_reference() {
+        // A workload that splits inside each local: fixed-time windows
+        // (incl. a non-decomposable quantile) run on the sharded path,
+        // the session query stays on the pinned sequential path.
+        let queries = vec![
+            avg_query(500),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(1_000, 500).unwrap(),
+                AggFunction::Quantile(0.9),
+            ),
+            Query::new(3, WindowSpec::session(300).unwrap(), AggFunction::Median),
+        ];
+        let feeds = vec![feed(600, 5, 0), feed(600, 5, 7)];
+        let topo = Topology::three_tier(1, 2);
+        let run = |shards: usize| {
+            let mut cfg =
+                ClusterConfig::new(DistributedSystem::Desis, queries.clone(), topo.clone());
+            cfg.shards = shards;
+            run_cluster(cfg, feeds.clone()).unwrap()
+        };
+        let sequential = run(1);
+        let sharded = run(4);
+        assert_eq!(sharded.results, sequential.results);
+        assert_eq!(
+            sorted(sharded.results.clone()),
+            reference(queries.clone(), &feeds, 2_000)
+        );
+        // Determinism across repeated sharded runs: the report is already
+        // canonically ordered, so equality is byte-for-byte.
+        assert_eq!(run(4).results, sharded.results);
     }
 
     #[test]

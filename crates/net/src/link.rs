@@ -215,6 +215,17 @@ impl LinkSender {
         ok
     }
 
+    /// Sends a raw event batch as one [`Message::Events`] frame, taking
+    /// the events out of `batch` (its allocation survives for reuse).
+    /// Empty batches send nothing. Returns `false` if the receiver is
+    /// gone.
+    pub fn send_batch(&mut self, batch: &mut desis_core::event::EventBatch) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        self.send(&Message::Events(batch.take()))
+    }
+
     /// Pushes one already-encoded frame onto the wire, counting it.
     fn transmit(&mut self, frame: Vec<u8>) -> bool {
         if let Some(limiter) = &mut self.limiter {

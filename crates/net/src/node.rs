@@ -18,9 +18,10 @@ use rustc_hash::{FxHashMap, FxHashSet};
 
 use desis_baselines::Processor;
 use desis_core::engine::{
-    Assembler, GroupExecution, GroupId, GroupSlicer, QueryGroup, SealedSlice,
+    Assembler, GroupExecution, GroupId, GroupSlicer, ParallelConfig, QueryGroup, SealedSlice,
+    ShardedSlicer,
 };
-use desis_core::event::Event;
+use desis_core::event::{Event, EventBatch};
 use desis_core::metrics::EngineMetrics;
 use desis_core::obs::trace::TraceCollector;
 use desis_core::query::{Query, QueryResult};
@@ -133,8 +134,15 @@ pub struct LocalWorker {
     id: NodeId,
     system: DistributedSystem,
     groups: Vec<LocalGroup>,
+    /// Key-sharded slicers for fixed-time-window groups when the node
+    /// runs with more than one shard (PR 5); `sharded_gids` maps the
+    /// slicer's group indices back to wire group ids.
+    sharded: Option<ShardedSlicer>,
+    sharded_gids: Vec<GroupId>,
+    sharded_queries: Vec<desis_core::query::QueryId>,
+    merged: Vec<(usize, SealedSlice)>,
     /// Raw-event batch shared by all `Raw` groups (empty if none).
-    batch: Vec<Event>,
+    batch: EventBatch,
     needs_raw: bool,
     batch_size: usize,
     watermark_every: DurationMs,
@@ -145,7 +153,8 @@ pub struct LocalWorker {
 }
 
 impl LocalWorker {
-    /// Builds the local worker for `system` over the analyzed `groups`.
+    /// Builds the local worker for `system` over the analyzed `groups`
+    /// (single-sharded; see [`LocalWorker::with_shards`]).
     pub fn new(
         id: NodeId,
         system: DistributedSystem,
@@ -153,13 +162,38 @@ impl LocalWorker {
         batch_size: usize,
         watermark_every: DurationMs,
     ) -> Self {
-        let groups: Vec<LocalGroup> = match system {
+        Self::with_shards(id, system, groups, batch_size, watermark_every, 1)
+    }
+
+    /// Builds the local worker with `shards` slicer threads for the
+    /// node's fixed-time-window Desis groups (other groups, systems, and
+    /// `shards <= 1` run sequentially on the node's event loop). The
+    /// sharded slicers feed a per-group merger, so the uplink carries the
+    /// same deterministic slice stream a sequential node would ship.
+    pub fn with_shards(
+        id: NodeId,
+        system: DistributedSystem,
+        groups: &[QueryGroup],
+        batch_size: usize,
+        watermark_every: DurationMs,
+        shards: usize,
+    ) -> Self {
+        let want_sharding = shards > 1 && system == DistributedSystem::Desis;
+        let mut shardable: Vec<QueryGroup> = Vec::new();
+        let local_groups: Vec<LocalGroup> = match system {
             DistributedSystem::Centralized(_) => vec![LocalGroup::Raw],
             DistributedSystem::Desis => groups
                 .iter()
-                .map(|g| match g.execution {
-                    GroupExecution::RootRaw => LocalGroup::Raw,
-                    _ => LocalGroup::Slice(GroupSlicer::new(g.clone()), g.has_unfixed_windows()),
+                .filter_map(|g| match g.execution {
+                    GroupExecution::RootRaw => Some(LocalGroup::Raw),
+                    _ if want_sharding && !g.has_unfixed_windows() => {
+                        shardable.push(g.clone());
+                        None
+                    }
+                    _ => Some(LocalGroup::Slice(
+                        GroupSlicer::new(g.clone()),
+                        g.has_unfixed_windows(),
+                    )),
                 })
                 .collect(),
             DistributedSystem::Disco => groups
@@ -173,12 +207,42 @@ impl LocalWorker {
                 })
                 .collect(),
         };
+        let mut groups = local_groups;
+        let mut cfg = ParallelConfig::new(shards);
+        cfg.batch_size = batch_size.max(1);
+        let (sharded, sharded_gids, sharded_queries) = if shardable.is_empty() {
+            (None, Vec::new(), Vec::new())
+        } else {
+            match ShardedSlicer::new(&shardable, &cfg) {
+                Ok(s) => {
+                    let gids = shardable.iter().map(|g| g.id).collect();
+                    let qids = shardable
+                        .iter()
+                        .flat_map(|g| g.queries.iter().map(|cq| cq.query.id))
+                        .collect();
+                    (Some(s), gids, qids)
+                }
+                Err(_) => {
+                    // Could not spawn worker threads: degrade to the
+                    // sequential path rather than losing the groups.
+                    groups.extend(shardable.into_iter().map(|g| {
+                        let unfixed = g.has_unfixed_windows();
+                        LocalGroup::Slice(GroupSlicer::new(g), unfixed)
+                    }));
+                    (None, Vec::new(), Vec::new())
+                }
+            }
+        };
         let needs_raw = groups.iter().any(|g| matches!(g, LocalGroup::Raw));
         Self {
             id,
             system,
             groups,
-            batch: Vec::with_capacity(batch_size),
+            sharded,
+            sharded_gids,
+            sharded_queries,
+            merged: Vec::new(),
+            batch: EventBatch::with_capacity(batch_size),
             needs_raw,
             batch_size,
             watermark_every,
@@ -198,6 +262,9 @@ impl LocalWorker {
             if let LocalGroup::Slice(slicer, _) = group {
                 slicer.set_recorder(collector.recorder(self.id));
             }
+        }
+        if let Some(sharded) = &mut self.sharded {
+            sharded.install_tracing(collector, self.id);
         }
     }
 
@@ -235,6 +302,12 @@ impl LocalWorker {
                 LocalGroup::Raw => {}
             }
         }
+        if self.sharded_queries.contains(&id) {
+            if let Some(sharded) = &mut self.sharded {
+                sharded.remove_query(id, immediate);
+                removed = true;
+            }
+        }
         removed
     }
 
@@ -270,17 +343,47 @@ impl LocalWorker {
                 LocalGroup::Raw => {}
             }
         }
+        let sharded_flushed = match &mut self.sharded {
+            Some(sharded) => sharded.on_event(ev),
+            None => false,
+        };
+        if sharded_flushed && !self.ship_sharded(uplink) {
+            return false;
+        }
         if self.needs_raw {
             self.batch.push(*ev);
-            if self.batch.len() >= self.batch_size
-                && !uplink.send(&Message::Events(std::mem::take(&mut self.batch)))
-            {
+            if self.batch.len() >= self.batch_size && !uplink.send_batch(&mut self.batch) {
                 return false;
             }
         }
         if ev.ts >= self.next_watermark {
             self.next_watermark = (ev.ts / self.watermark_every + 1) * self.watermark_every;
             if !self.send_watermark(ev.ts, uplink) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Ships merged slices of the sharded groups upstream, exactly as the
+    /// sequential path ships its per-group slices (coverage 1; ends
+    /// cleared — sharded groups are fixed-window, so the root re-derives
+    /// their `ep`s from the specs).
+    fn ship_sharded(&mut self, uplink: &mut LinkSender) -> bool {
+        let Some(sharded) = &mut self.sharded else {
+            return true;
+        };
+        sharded.drain_merged(&mut self.merged);
+        for (group, partial) in self.merged.drain(..) {
+            let Some(&gid) = self.sharded_gids.get(group) else {
+                continue;
+            };
+            if !uplink.send(&Message::Slice {
+                group: gid,
+                origin: self.id,
+                coverage: 1,
+                partial,
+            }) {
                 return false;
             }
         }
@@ -317,10 +420,15 @@ impl LocalWorker {
                 LocalGroup::Raw => {}
             }
         }
-        if self.needs_raw
-            && !self.batch.is_empty()
-            && !uplink.send(&Message::Events(std::mem::take(&mut self.batch)))
-        {
+        if let Some(sharded) = &mut self.sharded {
+            // Barrier: every shard acknowledges `ts` before the watermark
+            // goes upstream, so the shipped slice stream is deterministic.
+            sharded.on_watermark(ts);
+        }
+        if self.sharded.is_some() && !self.ship_sharded(uplink) {
+            return false;
+        }
+        if self.needs_raw && !self.batch.is_empty() && !uplink.send_batch(&mut self.batch) {
             return false;
         }
         uplink.send(&Message::Watermark(ts))
@@ -333,10 +441,17 @@ impl LocalWorker {
         if !self.send_watermark(final_ts, uplink) {
             return false;
         }
+        if let Some(sharded) = &mut self.sharded {
+            sharded.finish();
+        }
+        if self.sharded.is_some() && !self.ship_sharded(uplink) {
+            return false;
+        }
         uplink.send(&Message::Flush)
     }
 
-    /// Slicer metrics summed over groups.
+    /// Slicer metrics summed over groups (including sharded workers,
+    /// complete once [`LocalWorker::finish`] joined them).
     pub fn metrics(&self) -> EngineMetrics {
         let mut m = EngineMetrics::default();
         for group in &self.groups {
@@ -347,8 +462,16 @@ impl LocalWorker {
                 LocalGroup::Raw => {}
             }
         }
+        if let Some(sharded) = &self.sharded {
+            m.absorb(&sharded.metrics());
+        }
         m.events = self.events;
         m
+    }
+
+    /// Shard count of the node's parallel slicers (1 when sequential).
+    pub fn shards(&self) -> usize {
+        self.sharded.as_ref().map_or(1, ShardedSlicer::shards)
     }
 }
 

@@ -21,9 +21,9 @@ use desis_net::fault::NodeFaultKind;
 use desis_net::prelude::*;
 
 /// The fig6a cluster: `Topology::star(1)` (root 0, local 1), one 1 s
-/// tumbling average over 10 keys. Unpaced — chaos runs care about
-/// results, not latency.
-fn fig6a_cfg() -> ClusterConfig {
+/// tumbling average over 10 keys, `shards` engine shards in the local.
+/// Unpaced — chaos runs care about results, not latency.
+fn fig6a_cfg(shards: usize) -> ClusterConfig {
     let queries = vec![Query::new(
         1,
         WindowSpec::tumbling_time(1_000).expect("valid window"),
@@ -32,8 +32,14 @@ fn fig6a_cfg() -> ClusterConfig {
     let mut cfg = ClusterConfig::new(DistributedSystem::Desis, queries, Topology::star(1));
     // Tight grace keeps the retransmit round-trips short in tests.
     cfg.recovery.nack_grace = std::time::Duration::from_millis(30);
+    cfg.shards = shards;
     cfg
 }
+
+/// Shard counts every recoverable-fault scenario runs at: the sequential
+/// local and the 4-shard parallel local must behave identically under
+/// faults.
+const SHARD_COUNTS: [usize; 2] = [1, 4];
 
 /// A deterministic feed spanning `seconds` seconds of event time.
 fn feed(seconds: u64) -> Vec<Event> {
@@ -47,78 +53,86 @@ fn fingerprint(report: &desis_net::cluster::ClusterReport) -> String {
     format!("{:?}", report.results)
 }
 
-fn run_with(plan: Option<FaultPlan>) -> desis_net::cluster::ClusterReport {
-    let mut cfg = fig6a_cfg();
+fn run_with(plan: Option<FaultPlan>, shards: usize) -> desis_net::cluster::ClusterReport {
+    let mut cfg = fig6a_cfg(shards);
     cfg.faults = plan;
     run_cluster(cfg, vec![feed(20)]).expect("cluster run completes")
 }
 
 #[test]
 fn recoverable_drop_matches_fault_free_run() {
-    let clean = run_with(None);
-    assert!(!clean.results.is_empty());
-    let plan = FaultPlan::new(11).with_link_fault(1, LinkFaultKind::Drop, 2, 4);
-    let faulty = run_with(Some(plan));
-    assert_eq!(
-        fingerprint(&faulty),
-        fingerprint(&clean),
-        "drops within the retry budget must not change results"
-    );
-    assert!(faulty.lost_children.is_empty());
-    assert_eq!(faulty.metrics.counters["net.fault.dropped"], 3);
-    assert!(faulty.metrics.counters["net.recovery.gaps"] >= 1);
-    assert!(faulty.metrics.counters["net.recovery.recovered"] >= 1);
-    assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    for shards in SHARD_COUNTS {
+        let clean = run_with(None, shards);
+        assert!(!clean.results.is_empty());
+        let plan = FaultPlan::new(11).with_link_fault(1, LinkFaultKind::Drop, 2, 4);
+        let faulty = run_with(Some(plan), shards);
+        assert_eq!(
+            fingerprint(&faulty),
+            fingerprint(&clean),
+            "drops within the retry budget must not change results ({shards} shards)"
+        );
+        assert!(faulty.lost_children.is_empty());
+        assert_eq!(faulty.metrics.counters["net.fault.dropped"], 3);
+        assert!(faulty.metrics.counters["net.recovery.gaps"] >= 1);
+        assert!(faulty.metrics.counters["net.recovery.recovered"] >= 1);
+        assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    }
 }
 
 #[test]
 fn recoverable_corruption_matches_fault_free_run() {
-    let clean = run_with(None);
-    let plan = FaultPlan::new(5).with_link_fault(1, LinkFaultKind::Corrupt, 3, 3);
-    let faulty = run_with(Some(plan));
-    assert_eq!(fingerprint(&faulty), fingerprint(&clean));
-    assert!(faulty.lost_children.is_empty());
-    assert_eq!(faulty.metrics.counters["net.fault.corrupted"], 1);
-    assert_eq!(faulty.metrics.counters["net.root.decode_errors"], 1);
-    assert!(faulty.metrics.counters["net.recovery.recovered"] >= 1);
-    assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    for shards in SHARD_COUNTS {
+        let clean = run_with(None, shards);
+        let plan = FaultPlan::new(5).with_link_fault(1, LinkFaultKind::Corrupt, 3, 3);
+        let faulty = run_with(Some(plan), shards);
+        assert_eq!(fingerprint(&faulty), fingerprint(&clean), "{shards} shards");
+        assert!(faulty.lost_children.is_empty());
+        assert_eq!(faulty.metrics.counters["net.fault.corrupted"], 1);
+        assert_eq!(faulty.metrics.counters["net.root.decode_errors"], 1);
+        assert!(faulty.metrics.counters["net.recovery.recovered"] >= 1);
+        assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    }
 }
 
 #[test]
 fn recoverable_duplicates_match_fault_free_run() {
-    let clean = run_with(None);
-    let plan = FaultPlan::new(3).with_link_fault(1, LinkFaultKind::Duplicate, 0, 5);
-    let faulty = run_with(Some(plan));
-    assert_eq!(
-        fingerprint(&faulty),
-        fingerprint(&clean),
-        "duplicates must be delivered exactly once"
-    );
-    assert!(faulty.lost_children.is_empty());
-    assert_eq!(faulty.metrics.counters["net.fault.duplicated"], 6);
-    assert_eq!(
-        faulty.metrics.counters["net.recovery.duplicates_dropped"],
-        6
-    );
-    assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    for shards in SHARD_COUNTS {
+        let clean = run_with(None, shards);
+        let plan = FaultPlan::new(3).with_link_fault(1, LinkFaultKind::Duplicate, 0, 5);
+        let faulty = run_with(Some(plan), shards);
+        assert_eq!(
+            fingerprint(&faulty),
+            fingerprint(&clean),
+            "duplicates must be delivered exactly once ({shards} shards)"
+        );
+        assert!(faulty.lost_children.is_empty());
+        assert_eq!(faulty.metrics.counters["net.fault.duplicated"], 6);
+        assert_eq!(
+            faulty.metrics.counters["net.recovery.duplicates_dropped"],
+            6
+        );
+        assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    }
 }
 
 #[test]
 fn recoverable_delays_match_fault_free_run() {
-    let clean = run_with(None);
-    let plan = FaultPlan::new(9).with_link_fault(1, LinkFaultKind::Delay { ms: 15 }, 0, 3);
-    let faulty = run_with(Some(plan));
-    assert_eq!(fingerprint(&faulty), fingerprint(&clean));
-    assert!(faulty.lost_children.is_empty());
-    assert_eq!(faulty.metrics.counters["net.fault.delayed"], 4);
-    assert_eq!(faulty.metrics.counters["net.recovery.gaps"], 0);
-    assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    for shards in SHARD_COUNTS {
+        let clean = run_with(None, shards);
+        let plan = FaultPlan::new(9).with_link_fault(1, LinkFaultKind::Delay { ms: 15 }, 0, 3);
+        let faulty = run_with(Some(plan), shards);
+        assert_eq!(fingerprint(&faulty), fingerprint(&clean), "{shards} shards");
+        assert!(faulty.lost_children.is_empty());
+        assert_eq!(faulty.metrics.counters["net.fault.delayed"], 4);
+        assert_eq!(faulty.metrics.counters["net.recovery.gaps"], 0);
+        assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+    }
 }
 
 #[test]
 fn node_crash_is_reported_and_flushed_exactly_once() {
     let plan = FaultPlan::new(1).with_node_fault(1, NodeFaultKind::Crash, 10_000);
-    let report = run_with(Some(plan));
+    let report = run_with(Some(plan), 1);
     assert_eq!(
         report.lost_children,
         vec![1],
@@ -132,7 +146,7 @@ fn node_crash_is_reported_and_flushed_exactly_once() {
     // The run still completed and emitted the windows that closed before
     // the crash (degraded, documented behavior — not byte-identical).
     assert!(!report.results.is_empty());
-    let clean = run_with(None);
+    let clean = run_with(None, 1);
     assert_ne!(fingerprint(&report), fingerprint(&clean));
 }
 
@@ -143,8 +157,8 @@ fn same_seed_places_identical_faults() {
         p.links[0].prob = 0.4;
         p
     };
-    let a = run_with(Some(plan(42)));
-    let b = run_with(Some(plan(42)));
+    let a = run_with(Some(plan(42)), 1);
+    let b = run_with(Some(plan(42)), 1);
     assert!(
         !a.faults_injected.is_empty(),
         "p=0.4 over 31 frames should fire at least once"
@@ -153,7 +167,7 @@ fn same_seed_places_identical_faults() {
         a.faults_injected, b.faults_injected,
         "same seed + same plan must place exactly the same faults"
     );
-    let c = run_with(Some(plan(43)));
+    let c = run_with(Some(plan(43)), 1);
     assert_ne!(
         a.faults_injected, c.faults_injected,
         "a different seed must move probabilistic faults"
@@ -165,23 +179,24 @@ fn json_plan_files_drive_runs() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../plans");
     let recoverable = std::fs::read_to_string(format!("{dir}/recoverable_drop.json"))
         .expect("plans/recoverable_drop.json exists");
-    let clean = run_with(None);
-    let faulty = run_with(Some(
-        FaultPlan::from_json(&recoverable).expect("valid plan"),
-    ));
+    let clean = run_with(None, 1);
+    let faulty = run_with(
+        Some(FaultPlan::from_json(&recoverable).expect("valid plan")),
+        1,
+    );
     assert_eq!(fingerprint(&faulty), fingerprint(&clean));
     assert!(faulty.lost_children.is_empty());
 
     let crash = std::fs::read_to_string(format!("{dir}/crash_local.json"))
         .expect("plans/crash_local.json exists");
-    let lost = run_with(Some(FaultPlan::from_json(&crash).expect("valid plan")));
+    let lost = run_with(Some(FaultPlan::from_json(&crash).expect("valid plan")), 1);
     assert_eq!(lost.lost_children, vec![1]);
 }
 
 #[test]
 fn invalid_plans_are_rejected_before_the_run() {
     // The root (node 0 in a star) has no uplink to fault.
-    let mut cfg = fig6a_cfg();
+    let mut cfg = fig6a_cfg(1);
     cfg.faults = Some(FaultPlan::new(0).with_link_fault(0, LinkFaultKind::Drop, 0, 1));
     let err = run_cluster(cfg, vec![feed(1)]).expect_err("plan must be rejected");
     assert!(err.to_string().contains("fault plan"), "got: {err}");
@@ -221,4 +236,24 @@ fn stalled_local_goes_suspect_and_clears() {
     clean_cfg.recovery.nack_grace = std::time::Duration::from_millis(30);
     let clean = run_cluster(clean_cfg, vec![feed(30), feed(30)]).expect("clean run");
     assert_eq!(fingerprint(&report), fingerprint(&clean));
+}
+
+#[test]
+fn four_shard_clean_run_matches_one_shard() {
+    // Shard-count invariance end to end: the parallel local ships a
+    // slice stream that merges to byte-identical root results.
+    let one = run_with(None, 1);
+    let four = run_with(None, 4);
+    assert!(!one.results.is_empty());
+    assert_eq!(
+        fingerprint(&four),
+        fingerprint(&one),
+        "4-shard locals must reproduce the sequential results exactly"
+    );
+    assert!(four.lost_children.is_empty());
+    // And a recoverable fault on the sharded run still lands on the same
+    // fingerprint.
+    let plan = FaultPlan::new(11).with_link_fault(1, LinkFaultKind::Drop, 2, 4);
+    let faulty = run_with(Some(plan), 4);
+    assert_eq!(fingerprint(&faulty), fingerprint(&one));
 }

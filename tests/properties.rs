@@ -476,6 +476,144 @@ fn memory_stays_bounded_over_long_streams() {
     assert!(max_retained <= 12, "retained {max_retained} slices");
 }
 
+// ---------------------------------------------------------------------
+// Parallel engine differentials (PR 5).
+// ---------------------------------------------------------------------
+
+/// Feeds a [`ParallelEngine`] the stream with periodic watermark
+/// barriers, then a final watermark + finish; returns the canonicalized
+/// results. `lateness` sizes the reorder buffers for disordered inputs
+/// (watermarks are then withheld until end-of-stream so nothing is
+/// dropped by the barrier itself).
+fn run_parallel(
+    queries: Vec<Query>,
+    events: &[Event],
+    shards: usize,
+    lateness: Option<u64>,
+) -> Vec<QueryResult> {
+    let mut cfg = ParallelConfig::new(shards);
+    cfg.lateness = lateness;
+    let mut engine = ParallelEngine::with_config(queries, cfg).expect("valid queries");
+    let last = events.iter().map(|e| e.ts).max().unwrap_or(0);
+    let mut out = Vec::new();
+    let mut next_wm = 200u64;
+    for ev in events {
+        engine.on_event(ev);
+        if lateness.is_none() && ev.ts >= next_wm {
+            engine.on_watermark(ev.ts);
+            out.extend(engine.drain_results());
+            next_wm = ev.ts + 200;
+        }
+    }
+    engine.on_watermark(last + 10_000);
+    engine.finish();
+    out.extend(engine.drain_results());
+    assert_eq!(engine.late_dropped(), 0, "bounded disorder must not drop");
+    canon(out)
+}
+
+/// Sequential reference: the classic [`AggregationEngine`] over the same
+/// stream.
+fn run_sequential(queries: Vec<Query>, events: &[Event]) -> Vec<QueryResult> {
+    let mut engine = desis::core::engine::AggregationEngine::new(queries).expect("valid queries");
+    for ev in events {
+        engine.on_event(ev);
+    }
+    engine.on_watermark(events.iter().map(|e| e.ts).max().unwrap_or(0) + 10_000);
+    canon(engine.drain_results())
+}
+
+/// The parallel engine is shard-count invariant: for arbitrary query
+/// mixes (fixed, session, and count windows; decomposable and
+/// sort-based functions) and arbitrary streams, every shard count
+/// produces *exactly* the sequential engine's results — and both agree
+/// with the naive per-window baseline.
+///
+/// Exactness holds because the generated values are integers: f64 sums
+/// of integers below 2^53 are associative, so re-associating slice
+/// merges across shards cannot change any result bit.
+#[test]
+fn parallel_engine_matches_sequential_across_shard_counts() {
+    for_cases(32, |seed, rng| {
+        let queries = arb_queries(rng, 5);
+        let events = arb_events(rng, 400);
+        let sequential = run_sequential(queries.clone(), &events);
+        let naive = run_kind(SystemKind::DeBucket, queries.clone(), &events);
+        assert_eq!(sequential.len(), naive.len(), "seed {seed}: {queries:?}");
+        for shards in [1usize, 2, 4, 7] {
+            let parallel = run_parallel(queries.clone(), &events, shards, None);
+            assert_eq!(
+                parallel, sequential,
+                "seed {seed}, {shards} shards: {queries:?}"
+            );
+        }
+    });
+}
+
+/// Repeating a sharded run reproduces the drained result stream
+/// byte-for-byte — not just as a set: every intermediate drain is
+/// canonically ordered, so run-to-run output is identical.
+#[test]
+fn parallel_engine_is_reproducible_run_to_run() {
+    for_cases(16, |seed, rng| {
+        let queries = arb_queries(rng, 4);
+        let events = arb_events(rng, 300);
+        let run = |queries: Vec<Query>| {
+            let mut engine = ParallelEngine::new(queries, 4).expect("valid queries");
+            let mut drains = Vec::new();
+            for (i, ev) in events.iter().enumerate() {
+                engine.on_event(ev);
+                if i % 64 == 63 {
+                    engine.on_watermark(ev.ts);
+                    drains.push(engine.drain_results());
+                }
+            }
+            engine.on_watermark(events.last().map_or(0, |e| e.ts) + 10_000);
+            engine.finish();
+            drains.push(engine.drain_results());
+            drains
+        };
+        let first = run(queries.clone());
+        let second = run(queries);
+        assert_eq!(first, second, "seed {seed}");
+        for drain in &first {
+            for pair in drain.windows(2) {
+                assert!(
+                    (pair[0].query, pair[0].window_end, pair[0].key)
+                        <= (pair[1].query, pair[1].window_end, pair[1].key),
+                    "seed {seed}: drain not canonically ordered"
+                );
+            }
+        }
+    });
+}
+
+/// Out-of-order streams with bounded displacement, fed through the
+/// parallel engine's reorder buffers, match the sequential engine over
+/// the time-sorted stream — at every shard count, with zero drops.
+#[test]
+fn parallel_engine_restores_bounded_disorder() {
+    for_cases(24, |seed, rng| {
+        let queries = arb_queries(rng, 4);
+        let mut events = arb_events(rng, 300);
+        // Bounded jitter: pull each timestamp back by < 40; displacement
+        // stays under the lateness budget of 100.
+        for ev in &mut events {
+            ev.ts = ev.ts.saturating_sub(rng.gen_range(0u64..40));
+        }
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.ts);
+        let sequential = run_sequential(queries.clone(), &sorted);
+        for shards in [1usize, 2, 4, 7] {
+            let parallel = run_parallel(queries.clone(), &events, shards, Some(100));
+            assert_eq!(
+                parallel, sequential,
+                "seed {seed}, {shards} shards: {queries:?}"
+            );
+        }
+    });
+}
+
 /// Decoding corrupted frames must fail gracefully (error, never panic,
 /// never runaway allocation).
 #[test]

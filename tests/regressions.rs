@@ -6,6 +6,11 @@
 //! * Quantile/median edges: `quantile(0)` / `quantile(1)` are min/max,
 //!   single-element windows, and even-length median interpolation must
 //!   agree between merge-then-finalize and naive single-pass execution.
+//! * Parallel-engine edges graduated from `tests/properties.rs`: drains
+//!   are canonically ordered, key counts below the shard count leave
+//!   permanently empty shards whose watermark forcing must still release
+//!   merged slices, and batch boundaries landing exactly on a watermark
+//!   must not double-feed or drop the boundary event.
 
 use desis::prelude::*;
 
@@ -265,4 +270,146 @@ fn even_length_median_interpolates_and_matches_naive() {
     let cluster_results = canon(report.results);
     assert_eq!(cluster_results.len(), 1);
     assert_eq!(cluster_results[0].values, vec![Some(2.5)]);
+}
+
+// ---------------------------------------------------------------------
+// Parallel engine (PR 5), graduated from tests/properties.rs.
+// ---------------------------------------------------------------------
+
+fn parallel_mixed_queries() -> Vec<Query> {
+    vec![
+        Query::new(1, WindowSpec::tumbling_time(500).unwrap(), AggFunction::Sum),
+        Query::new(
+            2,
+            WindowSpec::sliding_time(1_000, 250).unwrap(),
+            AggFunction::Median,
+        ),
+        Query::new(3, WindowSpec::session(200).unwrap(), AggFunction::Max),
+    ]
+}
+
+fn run_parallel_engine(
+    queries: Vec<Query>,
+    events: &[Event],
+    shards: usize,
+    final_wm: Timestamp,
+) -> Vec<QueryResult> {
+    let mut engine = ParallelEngine::new(queries, shards).unwrap();
+    for ev in events {
+        engine.on_event(ev);
+    }
+    engine.on_watermark(final_wm);
+    engine.finish();
+    engine.drain_results()
+}
+
+/// Every drain — including mid-stream barrier drains — comes out in
+/// canonical (query, window-end, key) order, strictly sorted with no
+/// duplicate result rows.
+#[test]
+fn parallel_drains_are_strictly_sorted_without_duplicates() {
+    let mut engine = ParallelEngine::new(parallel_mixed_queries(), 4).unwrap();
+    let mut all = Vec::new();
+    for i in 0..5_000u64 {
+        engine.on_event(&Event::new(i, (i % 6) as u32, (i % 23) as f64));
+        if i % 700 == 699 {
+            engine.on_watermark(i + 1);
+            let drain = engine.drain_results();
+            for pair in drain.windows(2) {
+                let a = &pair[0];
+                let b = &pair[1];
+                assert!(
+                    (a.query, a.window_end, a.key, a.window_start)
+                        < (b.query, b.window_end, b.key, b.window_start),
+                    "duplicate or misordered: {a:?} then {b:?}"
+                );
+            }
+            all.extend(drain);
+        }
+    }
+    engine.on_watermark(10_000);
+    engine.finish();
+    all.extend(engine.drain_results());
+    assert_eq!(
+        canon(all),
+        run_engine(
+            parallel_mixed_queries(),
+            &(0..5_000u64)
+                .map(|i| Event::new(i, (i % 6) as u32, (i % 23) as f64))
+                .collect::<Vec<_>>(),
+            10_000
+        )
+    );
+}
+
+/// Fewer keys than shards: most shards never see an event, and a single
+/// hot key pins all traffic to one shard. Watermark forcing must still
+/// complete every merged slice and the results must match sequential.
+#[test]
+fn parallel_with_fewer_keys_than_shards_and_single_key() {
+    for keys in [1u32, 2] {
+        let events: Vec<Event> = (0..3_000u64)
+            .map(|i| Event::new(i, (i % u64::from(keys)) as u32, i as f64))
+            .collect();
+        let reference = run_engine(parallel_mixed_queries(), &events, 8_000);
+        for shards in [4usize, 7] {
+            let got = canon(run_parallel_engine(
+                parallel_mixed_queries(),
+                &events,
+                shards,
+                8_000,
+            ));
+            assert_eq!(got, reference, "keys={keys} shards={shards}");
+        }
+    }
+}
+
+/// A batch boundary landing exactly on a watermark barrier: the boundary
+/// event must be flushed to its shard before the barrier (not dropped,
+/// not replayed into the next batch).
+#[test]
+fn parallel_batch_boundary_at_watermark_is_exact() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::tumbling_time(256).unwrap(),
+        AggFunction::Count,
+    )];
+    let events: Vec<Event> = (0..2_048u64)
+        .map(|i| Event::new(i, (i % 3) as u32, 1.0))
+        .collect();
+    let mut cfg = ParallelConfig::new(4);
+    cfg.batch_size = 256; // inlet flush lines up with the window length
+    let mut engine = ParallelEngine::with_config(queries.clone(), cfg).unwrap();
+    let mut out = Vec::new();
+    for chunk in events.chunks(256) {
+        engine.on_batch(&EventBatch::from(chunk.to_vec()));
+        // Watermark exactly at the first timestamp past the chunk.
+        engine.on_watermark(chunk.last().unwrap().ts + 1);
+        out.extend(engine.drain_results());
+    }
+    engine.on_watermark(4_096);
+    engine.finish();
+    out.extend(engine.drain_results());
+    let reference = run_engine(queries, &events, 4_096);
+    assert_eq!(canon(out), reference);
+    // Count windows: every one of the 8 windows holds exactly 256 events.
+    let total: f64 = reference
+        .iter()
+        .flat_map(|r| r.values.iter().flatten())
+        .sum();
+    assert_eq!(total, 2_048.0);
+}
+
+/// An empty stream with watermarks: no results, no panics, clean finish
+/// at every shard count.
+#[test]
+fn parallel_empty_stream_finishes_cleanly() {
+    for shards in [1usize, 4] {
+        let mut engine = ParallelEngine::new(parallel_mixed_queries(), shards).unwrap();
+        engine.on_watermark(1_000);
+        engine.on_watermark(2_000);
+        engine.finish();
+        assert!(engine.drain_results().is_empty());
+        assert_eq!(engine.shard_panics(), 0);
+    }
 }
