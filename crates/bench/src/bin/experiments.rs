@@ -193,18 +193,21 @@ fn main() {
             ShardBenchConfig::default()
         };
         let report = run_shard_bench(&cfg);
-        for p in &report.points {
-            println!(
-                "bench5 shards={} events/s={:.0} (best of {})",
-                p.shards,
-                p.events_per_sec,
-                p.samples.len()
-            );
+        for (workload, points) in [("fixed", &report.points), ("mixed", &report.mixed_points)] {
+            for p in points.iter() {
+                println!(
+                    "bench5 {workload} shards={} events/s={:.0} (median of {})",
+                    p.shards,
+                    p.events_per_sec,
+                    p.samples.len()
+                );
+            }
         }
         println!(
-            "bench5 cpus={} speedup(4/1)={:.2}",
+            "bench5 cpus={} speedup(4/1)={:.2} mixed_speedup(4/1)={:.2}",
             report.cpus,
-            report.speedup(1, 4).unwrap_or(0.0)
+            report.speedup(1, 4).unwrap_or(0.0),
+            report.mixed_speedup(1, 4).unwrap_or(0.0)
         );
         let path = std::path::Path::new(&bench_out);
         std::fs::write(path, report.to_json()).unwrap_or_else(|err| {
@@ -318,7 +321,8 @@ fn print_usage() {
          --faults injects a deterministic fault plan (EXPERIMENTS.md \"Chaos\n\
          runs\") into every cluster; --fault-seed overrides the plan's seed\n\
          --shards N runs every cluster's local nodes with N engine shards\n\
-         `bench5` sweeps ParallelEngine throughput at 1/2/4 shards and\n\
+         `bench5` sweeps ParallelEngine throughput at 1/2/4 shards over the\n\
+         fixed-window and mixed (session/count/user-defined) workloads and\n\
          writes BENCH_5.json (override with --bench-out; --smoke shrinks it)"
     );
 }

@@ -11,15 +11,23 @@
 //! shard-merging window assembler recombines the per-shard slice
 //! partials before emission.
 //!
-//! **What shards.** Only *fixed time* windows
+//! **What shards.** *Fixed time* windows
 //! ([`crate::window::WindowSpec::has_precomputable_puncts`]) slice at
-//! data-independent instants on every shard and therefore merge by
-//! slice-end timestamp. Session, user-defined, and count windows define
-//! their boundaries over the *whole* stream; queries with such windows
-//! are analyzed into separate groups *pinned* to a sequential pipeline
-//! fed with the full stream on the caller thread, which keeps every
-//! result exact at any shard count (at the cost of the cross-type slice
-//! sharing a sequential engine would get between the two sets).
+//! data-independent instants on every shard and merge by slice-end
+//! timestamp. *Session* and *user-defined* windows define their
+//! boundaries over the whole stream, so their per-shard slicers see only
+//! fragments; the collector-side [`unfixed::UnfixedShardMerger`]
+//! span-overlap-merges per-shard session fragments (gated by per-shard
+//! *clear frontiers* so no session is released before the sequential
+//! engine would have closed it) and aligns user-defined windows, whose
+//! boundary markers the inlet broadcasts to every shard. *Count*
+//! windows advance only on selection-matching events, so each shard
+//! runs the query's selection predicates as a filter and forwards
+//! matches — tagged with inlet sequence numbers — back to the
+//! collector, where a sequential replay pipeline consumes them in
+//! global ingest order at every watermark barrier (the parallel win is
+//! the distributed predicate evaluation, not the aggregation itself).
+//! No query class pins the caller thread anymore.
 //!
 //! **Determinism.** Watermarks are barriers: [`ParallelEngine::on_watermark`]
 //! waits until every live shard acknowledged the watermark, so the set
@@ -50,13 +58,16 @@ use crate::event::{Event, EventBatch, Key};
 use crate::metrics::EngineMetrics;
 use crate::obs::trace::{SpanKind, TraceCollector, TraceRecorder};
 use crate::obs::{names, MetricsRegistry};
+use crate::predicate::Predicate;
 use crate::query::{Query, QueryId, QueryResult};
 use crate::time::{DurationMs, Timestamp};
-use crate::window::WindowSpec;
+use crate::window::{WindowKind, WindowSpec};
 
 pub mod handoff;
+pub mod unfixed;
 
 use handoff::{Inbox, InboxGuard, ShardExit};
+use unfixed::UnfixedShardMerger;
 
 /// Tunables of the parallel engine.
 #[derive(Debug, Clone)]
@@ -70,9 +81,9 @@ pub struct ParallelConfig {
     /// backpressure, i.e. sustainable throughput).
     pub channel_capacity: usize,
     /// Allowed out-of-orderness: `Some(l)` runs a reorder buffer of
-    /// lateness `l` in front of every shard's slicers (and the pinned
-    /// pipeline); `None` assumes timestamp-ordered input, like
-    /// [`super::AggregationEngine`].
+    /// lateness `l` in front of every shard's slicers (and the
+    /// collector-side count replays); `None` assumes timestamp-ordered
+    /// input, like [`super::AggregationEngine`].
     pub lateness: Option<DurationMs>,
 }
 
@@ -97,11 +108,21 @@ impl ParallelConfig {
 enum ShardMsg {
     /// A key-partitioned event batch, in ingestion order.
     Batch(Vec<Event>),
+    /// A key-partitioned batch tagged with global inlet sequence
+    /// numbers, sent instead of [`ShardMsg::Batch`] while count-query
+    /// filters are installed (the tags let the collector replay
+    /// forwarded events in global ingest order).
+    SeqBatch(Vec<(u64, Event)>),
     /// Advance event time (punctuation-seals idle spans); the worker
     /// acknowledges with a frontier item.
     Watermark(Timestamp),
     /// Remove a query at runtime.
     Remove { id: QueryId, immediate: bool },
+    /// Add a query-group at runtime: one more slicer on this shard.
+    AddGroup(QueryGroup),
+    /// Install a count-query filter: forward events matching any of the
+    /// predicates to the collector's replay slot.
+    AddCountFilter(usize, Vec<Predicate>),
     /// Enable causal tracing: mint one recorder per slicer for `node`.
     Install(TraceCollector, u32),
     /// End of stream: report metrics and exit cleanly.
@@ -111,11 +132,25 @@ enum ShardMsg {
 /// Items a shard worker hands to the collector.
 #[derive(Debug)]
 enum ShardItem {
-    /// Sealed slices of one shardable group (index into the sharded
+    /// Sealed slices of one sharded group (index into the sharded
     /// group list).
     Slices {
         group: usize,
         slices: Vec<SealedSlice>,
+    },
+    /// Per-session-query clear frontiers of one unfixed group, reported
+    /// at every watermark (floor = the watermark) and at flush
+    /// (floor = `Timestamp::MAX`): no session fragment starting before
+    /// its query's clear can still arrive from this shard.
+    Clears {
+        group: usize,
+        clears: Vec<(usize, Timestamp)>,
+    },
+    /// Events matching a count query's selections, tagged with inlet
+    /// sequence numbers, for the collector's replay slot.
+    CountEvents {
+        replay: usize,
+        items: Vec<(u64, Event)>,
     },
     /// The shard has processed every event up to this watermark.
     Frontier(Timestamp),
@@ -126,11 +161,74 @@ enum ShardItem {
     },
 }
 
-/// The shard worker loop: reorder (optional) → one slicer per shardable
-/// group → handoff inbox. Runs on its own thread; panics anywhere in the
-/// loop are reported by the guard and degrade only this shard.
+/// Feeds a run of in-order events through every slicer of the shard and
+/// pushes the sealed slices, one item per group.
+///
+/// Marker events are broadcast by the inlet so every shard closes
+/// user-defined windows at the same stream position: a marker whose key
+/// hashes to *another* shard drives only the window *boundaries* of
+/// unfixed groups ([`GroupSlicer::on_marker`]) — its data belongs to the
+/// owning shard, which processes it as an ordinary event.
+fn feed_events(
+    shard: usize,
+    shards_total: usize,
+    slicers: &mut [GroupSlicer],
+    outs: &mut Vec<Vec<SealedSlice>>,
+    guard: &InboxGuard<ShardItem>,
+    events: &[Event],
+) {
+    outs.resize_with(slicers.len(), Vec::new);
+    let foreign_marker = events
+        .iter()
+        .any(|ev| ev.marker.is_some() && (ev.key as usize) % shards_total != shard);
+    if foreign_marker {
+        for ev in events {
+            let owned = ev.marker.is_none() || (ev.key as usize) % shards_total == shard;
+            for (group, slicer) in slicers.iter_mut().enumerate() {
+                if owned {
+                    slicer.on_event(ev, &mut outs[group]);
+                } else if slicer.group().has_unfixed_windows() {
+                    slicer.on_marker(ev, &mut outs[group]);
+                }
+            }
+        }
+    } else {
+        for (group, slicer) in slicers.iter_mut().enumerate() {
+            for ev in events {
+                slicer.on_event(ev, &mut outs[group]);
+            }
+        }
+    }
+    for (group, out) in outs.iter_mut().enumerate() {
+        if !out.is_empty() {
+            guard.push(ShardItem::Slices {
+                group,
+                slices: std::mem::take(out),
+            });
+        }
+    }
+}
+
+/// Reports the clear frontiers of every unfixed group on this shard
+/// (see [`ShardItem::Clears`]).
+fn push_clears(slicers: &[GroupSlicer], guard: &InboxGuard<ShardItem>, floor: Timestamp) {
+    for (group, slicer) in slicers.iter().enumerate() {
+        if slicer.group().has_unfixed_windows() {
+            guard.push(ShardItem::Clears {
+                group,
+                clears: slicer.unfixed_clears(floor),
+            });
+        }
+    }
+}
+
+/// The shard worker loop: reorder (optional) → one slicer per sharded
+/// group (+ count-query filters) → handoff inbox. Runs on its own
+/// thread; panics anywhere in the loop are reported by the guard and
+/// degrade only this shard.
 fn run_shard(
     shard: usize,
+    shards_total: usize,
     mut slicers: Vec<GroupSlicer>,
     lateness: Option<DurationMs>,
     rx: crossbeam_channel::Receiver<ShardMsg>,
@@ -140,39 +238,45 @@ fn run_shard(
     let mut reorder = lateness.map(ReorderBuffer::new);
     let mut ordered: Vec<Event> = Vec::new();
     let mut scratch: Vec<SealedSlice> = Vec::new();
-    let feed = |slicers: &mut Vec<GroupSlicer>,
-                scratch: &mut Vec<SealedSlice>,
-                guard: &InboxGuard<ShardItem>,
-                events: &[Event]| {
-        for (group, slicer) in slicers.iter_mut().enumerate() {
-            for ev in events {
-                slicer.on_event(ev, scratch);
-            }
-            if !scratch.is_empty() {
-                guard.push(ShardItem::Slices {
-                    group,
-                    slices: std::mem::take(scratch),
-                });
-            }
-        }
-    };
+    let mut outs: Vec<Vec<SealedSlice>> = Vec::new();
+    let mut count_filters: Vec<(usize, Vec<Predicate>)> = Vec::new();
     while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Batch(events) => {
-                if let Some(rb) = &mut reorder {
-                    for ev in events {
-                        rb.push(ev, &mut ordered);
+        let batch: Option<Vec<Event>> = match msg {
+            ShardMsg::Batch(events) => Some(events),
+            ShardMsg::SeqBatch(items) => {
+                // Count windows advance only on selection matches, so
+                // forwarding just the matching events (in sequence
+                // order) is result-preserving. Broadcast markers are
+                // forwarded by their owning shard only.
+                for (replay, predicates) in &count_filters {
+                    let matched: Vec<(u64, Event)> = items
+                        .iter()
+                        .filter(|(_, ev)| {
+                            (ev.marker.is_none() || (ev.key as usize) % shards_total == shard)
+                                && predicates.iter().any(|p| p.matches(ev))
+                        })
+                        .copied()
+                        .collect();
+                    if !matched.is_empty() {
+                        guard.push(ShardItem::CountEvents {
+                            replay: *replay,
+                            items: matched,
+                        });
                     }
-                    feed(&mut slicers, &mut scratch, &guard, &ordered);
-                    ordered.clear();
-                } else {
-                    feed(&mut slicers, &mut scratch, &guard, &events);
                 }
+                Some(items.into_iter().map(|(_, ev)| ev).collect())
             }
             ShardMsg::Watermark(ts) => {
                 if let Some(rb) = &mut reorder {
                     rb.advance(ts, &mut ordered);
-                    feed(&mut slicers, &mut scratch, &guard, &ordered);
+                    feed_events(
+                        shard,
+                        shards_total,
+                        &mut slicers,
+                        &mut outs,
+                        &guard,
+                        &ordered,
+                    );
                     ordered.clear();
                 }
                 for (group, slicer) in slicers.iter_mut().enumerate() {
@@ -184,19 +288,56 @@ fn run_shard(
                         });
                     }
                 }
+                push_clears(&slicers, &guard, ts);
                 guard.push(ShardItem::Frontier(ts));
+                None
             }
             ShardMsg::Remove { id, immediate } => {
                 for slicer in &mut slicers {
                     slicer.remove_query(id, immediate);
                 }
+                None
+            }
+            ShardMsg::AddGroup(group) => {
+                slicers.push(GroupSlicer::new(group));
+                None
+            }
+            ShardMsg::AddCountFilter(replay, predicates) => {
+                count_filters.push((replay, predicates));
+                None
             }
             ShardMsg::Install(collector, node) => {
                 for slicer in &mut slicers {
                     slicer.set_recorder(collector.recorder(node));
                 }
+                None
             }
             ShardMsg::Flush => break,
+        };
+        if let Some(events) = batch {
+            if let Some(rb) = &mut reorder {
+                for ev in events {
+                    rb.push(ev, &mut ordered);
+                }
+                feed_events(
+                    shard,
+                    shards_total,
+                    &mut slicers,
+                    &mut outs,
+                    &guard,
+                    &ordered,
+                );
+                ordered.clear();
+            } else {
+                feed_events(
+                    shard,
+                    shards_total,
+                    &mut slicers,
+                    &mut outs,
+                    &guard,
+                    &events,
+                );
+            }
         }
     }
     // Events still buffered past the final watermark fold in best-effort
@@ -204,9 +345,19 @@ fn run_shard(
     // contract as draining a sequential engine without a final watermark.
     if let Some(rb) = &mut reorder {
         rb.flush(&mut ordered);
-        feed(&mut slicers, &mut scratch, &guard, &ordered);
+        feed_events(
+            shard,
+            shards_total,
+            &mut slicers,
+            &mut outs,
+            &guard,
+            &ordered,
+        );
         ordered.clear();
     }
+    // End of stream: no slot can open another session fragment, so
+    // closed session queries clear all the way out.
+    push_clears(&slicers, &guard, Timestamp::MAX);
     let mut metrics = EngineMetrics::default();
     for slicer in &slicers {
         metrics.absorb(slicer.metrics());
@@ -340,6 +491,74 @@ impl ShardMerger {
 
     fn drain_ready(&mut self, group: usize, out: &mut Vec<(usize, SealedSlice)>) {
         out.extend(self.ready.drain(..).map(|s| (group, s)));
+    }
+}
+
+/// The per-group collector-side merger: fixed-only groups align by
+/// slice-end timestamp, groups with session/user-defined windows merge
+/// by span overlap and clear frontiers.
+#[derive(Debug)]
+enum GroupMerger {
+    Fixed(ShardMerger),
+    Unfixed(UnfixedShardMerger),
+}
+
+impl GroupMerger {
+    fn for_group(group: &QueryGroup, shards: usize) -> Self {
+        if group.has_unfixed_windows() {
+            GroupMerger::Unfixed(UnfixedShardMerger::new(group, shards))
+        } else {
+            GroupMerger::Fixed(ShardMerger::new(shards as u32))
+        }
+    }
+
+    fn on_slice(&mut self, shard: usize, slice: SealedSlice) {
+        match self {
+            GroupMerger::Fixed(m) => m.on_slice(slice),
+            GroupMerger::Unfixed(m) => m.on_slice(shard, slice),
+        }
+    }
+
+    fn on_clears(&mut self, shard: usize, clears: &[(usize, Timestamp)]) {
+        if let GroupMerger::Unfixed(m) = self {
+            m.on_clears(shard, clears);
+        }
+    }
+
+    fn advance(&mut self, wm: Timestamp) {
+        match self {
+            GroupMerger::Fixed(m) => m.advance(wm),
+            GroupMerger::Unfixed(m) => m.advance(wm),
+        }
+    }
+
+    fn mark_dead(&mut self, shard: usize) {
+        if let GroupMerger::Unfixed(m) = self {
+            m.mark_dead(shard);
+        }
+    }
+
+    /// Purges merger-side state of an immediately-removed query (the
+    /// fixed merger keeps no per-query state).
+    fn remove_query(&mut self, id: QueryId) {
+        if let GroupMerger::Unfixed(m) = self {
+            m.remove_query(id);
+        }
+    }
+
+    /// Causal tracing follows the fixed merge path only: unfixed
+    /// windows re-emit as synthesized slices with no trace id.
+    fn set_recorder(&mut self, recorder: TraceRecorder) {
+        if let GroupMerger::Fixed(m) = self {
+            m.set_recorder(recorder);
+        }
+    }
+
+    fn drain_ready(&mut self, group: usize, out: &mut Vec<(usize, SealedSlice)>) {
+        match self {
+            GroupMerger::Fixed(m) => m.drain_ready(group, out),
+            GroupMerger::Unfixed(m) => m.drain_ready(group, out),
+        }
     }
 }
 
@@ -512,10 +731,13 @@ enum ShardState {
     Degraded,
 }
 
-/// Runs the slicers of a set of *shardable* (fixed-time-window) groups
-/// across N worker threads, partitioned by `key % shards`, and merges
-/// the per-shard sealed slices back into one deterministic slice stream
-/// per group.
+/// Runs the slicers of a set of sharded groups (fixed time windows
+/// *and* session/user-defined windows) across N worker threads,
+/// partitioned by `key % shards`, and merges the per-shard sealed
+/// slices back into one deterministic slice stream per group. Count
+/// query-groups ride along as shard-side selection filters whose
+/// matches the collector replays sequentially
+/// ([`ShardedSlicer::take_count_events`]).
 ///
 /// This is the engine-internal building block shared by
 /// [`ParallelEngine`] (which assembles windows from the merged stream)
@@ -526,12 +748,21 @@ pub struct ShardedSlicer {
     senders: Vec<crossbeam_channel::Sender<ShardMsg>>,
     threads: Vec<std::thread::JoinHandle<()>>,
     inbox: Arc<Inbox<ShardItem>>,
-    mergers: Vec<ShardMerger>,
+    mergers: Vec<GroupMerger>,
     frontiers: Vec<Timestamp>,
     states: Vec<ShardState>,
     inlet: EventBatch,
     batch_size: usize,
     shards: usize,
+    /// Broadcast marker events to every shard (any group has
+    /// user-defined windows).
+    broadcast: bool,
+    /// Tag batches with inlet sequence numbers (count filters are
+    /// installed).
+    stamp: bool,
+    seq: u64,
+    /// Per-replay-slot count events collected from the shard filters.
+    count_buf: Vec<Vec<(u64, Event)>>,
     panics: u64,
     shard_events: Vec<u64>,
     shard_batches: Vec<u64>,
@@ -543,9 +774,21 @@ pub struct ShardedSlicer {
 
 impl ShardedSlicer {
     /// Spawns `cfg.shards` worker threads, each owning one slicer per
-    /// group in `groups` (which must all be shardable, i.e. fixed time
-    /// windows only).
+    /// group in `groups` (fixed-window groups merge by slice end,
+    /// session/user-defined groups by span overlap).
     pub fn new(groups: &[QueryGroup], cfg: &ParallelConfig) -> Result<Self, DesisError> {
+        Self::with_counts(groups, &[], cfg)
+    }
+
+    /// Like [`ShardedSlicer::new`], additionally installing one
+    /// shard-side selection filter per count query-group: matching
+    /// events come back through [`ShardedSlicer::take_count_events`]
+    /// tagged with inlet sequence numbers for ordered replay.
+    pub fn with_counts(
+        groups: &[QueryGroup],
+        count_groups: &[QueryGroup],
+        cfg: &ParallelConfig,
+    ) -> Result<Self, DesisError> {
         let shards = cfg.shards.max(1);
         let inbox = Arc::new(Inbox::new(shards));
         let mut senders = Vec::with_capacity(shards);
@@ -558,24 +801,28 @@ impl ShardedSlicer {
             let inbox = Arc::clone(&inbox);
             let handle = std::thread::Builder::new()
                 .name(format!("desis-shard-{shard}"))
-                .spawn(move || run_shard(shard, slicers, lateness, rx, inbox))
+                .spawn(move || run_shard(shard, shards, slicers, lateness, rx, inbox))
                 .map_err(|_| DesisError::Cluster("failed to spawn shard worker thread"))?;
             senders.push(tx);
             threads.push(handle);
         }
-        Ok(Self {
+        let this = Self {
             senders,
             threads,
             inbox,
             mergers: groups
                 .iter()
-                .map(|_| ShardMerger::new(shards as u32))
+                .map(|g| GroupMerger::for_group(g, shards))
                 .collect(),
             frontiers: vec![0; shards],
             states: vec![ShardState::Running; shards],
             inlet: EventBatch::with_capacity(cfg.batch_size.max(1)),
             batch_size: cfg.batch_size.max(1),
             shards,
+            broadcast: groups.iter().any(|g| !g.user_defined_queries().is_empty()),
+            stamp: !count_groups.is_empty(),
+            seq: 0,
+            count_buf: vec![Vec::new(); count_groups.len()],
             panics: 0,
             shard_events: vec![0; shards],
             shard_batches: vec![0; shards],
@@ -583,7 +830,14 @@ impl ShardedSlicer {
             late_dropped: 0,
             item_buf: Vec::new(),
             finished: false,
-        })
+        };
+        for (replay, g) in count_groups.iter().enumerate() {
+            let predicates: Vec<Predicate> = g.selections.iter().map(|s| s.predicate).collect();
+            for tx in &this.senders {
+                let _ = tx.send(ShardMsg::AddCountFilter(replay, predicates.clone()));
+            }
+        }
+        Ok(this)
     }
 
     /// Shard count.
@@ -619,11 +873,64 @@ impl ShardedSlicer {
         }
     }
 
-    /// Removes a query at runtime on every shard.
+    /// Removes a query at runtime on every shard. With `immediate` the
+    /// collector-side merger state is purged too; a draining removal
+    /// keeps it so in-flight windows still complete (shards report the
+    /// query's slot gone once drained, which releases any remainder).
     pub fn remove_query(&mut self, id: QueryId, immediate: bool) {
+        // Flush first so the removal lands between the events ingested
+        // before and after this call, like the sequential engine's.
+        self.flush_inlet();
         for tx in &self.senders {
             let _ = tx.send(ShardMsg::Remove { id, immediate });
         }
+        if immediate {
+            for merger in &mut self.mergers {
+                merger.remove_query(id);
+            }
+        }
+    }
+
+    /// Adds a query-group at runtime: one more slicer on every shard
+    /// and a matching collector-side merger. Returns the group's index
+    /// in the merged-slice stream. The group starts processing with the
+    /// next ingested event (the inlet is flushed first).
+    pub fn add_group(&mut self, group: QueryGroup) -> usize {
+        self.flush_inlet();
+        self.broadcast |= !group.user_defined_queries().is_empty();
+        self.mergers
+            .push(GroupMerger::for_group(&group, self.shards));
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::AddGroup(group.clone()));
+        }
+        self.mergers.len() - 1
+    }
+
+    /// Adds a count-query replay slot at runtime: every shard starts
+    /// forwarding events matching any of `predicates`, tagged with
+    /// inlet sequence numbers. Returns the replay slot index.
+    pub fn add_count_filter(&mut self, predicates: Vec<Predicate>) -> usize {
+        self.flush_inlet();
+        self.stamp = true;
+        self.count_buf.push(Vec::new());
+        let replay = self.count_buf.len() - 1;
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::AddCountFilter(replay, predicates.clone()));
+        }
+        replay
+    }
+
+    /// Drains the count-query events forwarded for replay slot
+    /// `replay`. The set is complete (for everything up to a watermark)
+    /// only right after [`ShardedSlicer::on_watermark`] or
+    /// [`ShardedSlicer::finish`]; sort by the sequence tag to restore
+    /// global ingest order.
+    pub fn take_count_events(&mut self, replay: usize) -> Vec<(u64, Event)> {
+        self.collect();
+        self.count_buf
+            .get_mut(replay)
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Ingests one event; returns `true` when the inlet batch filled and
@@ -651,6 +958,62 @@ impl ShardedSlicer {
 
     fn flush_inlet(&mut self) {
         if self.inlet.is_empty() {
+            return;
+        }
+        if self.stamp {
+            // Count filters installed: tag every event with its global
+            // inlet sequence number so the collector can restore ingest
+            // order across shards. Markers still broadcast (each copy
+            // keeps the original's sequence number; only the owning
+            // shard forwards it to the count filters).
+            let inlet =
+                std::mem::replace(&mut self.inlet, EventBatch::with_capacity(self.batch_size));
+            let mut parts: Vec<Vec<(u64, Event)>> = vec![Vec::new(); self.shards];
+            for ev in &inlet {
+                let seq = self.seq;
+                self.seq += 1;
+                if self.broadcast && ev.marker.is_some() {
+                    for part in &mut parts {
+                        part.push((seq, *ev));
+                    }
+                } else {
+                    parts[ev.key as usize % self.shards].push((seq, *ev));
+                }
+            }
+            for (shard, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                self.shard_events[shard] += part.len() as u64;
+                self.shard_batches[shard] += 1;
+                let _ = self.senders[shard].send(ShardMsg::SeqBatch(part));
+            }
+            return;
+        }
+        if self.broadcast {
+            // User-defined windows close at markers, which every shard
+            // must observe at the same stream position: copy marker
+            // events into every part, in place.
+            let inlet =
+                std::mem::replace(&mut self.inlet, EventBatch::with_capacity(self.batch_size));
+            let mut parts: Vec<Vec<Event>> = vec![Vec::new(); self.shards];
+            for ev in &inlet {
+                if ev.marker.is_some() {
+                    for part in &mut parts {
+                        part.push(*ev);
+                    }
+                } else {
+                    parts[ev.key as usize % self.shards].push(*ev);
+                }
+            }
+            for (shard, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                self.shard_events[shard] += part.len() as u64;
+                self.shard_batches[shard] += 1;
+                let _ = self.senders[shard].send(ShardMsg::Batch(part));
+            }
             return;
         }
         let parts = self.inlet.partition_by_key(self.shards);
@@ -701,8 +1064,18 @@ impl ShardedSlicer {
                     ShardItem::Slices { group, slices } => {
                         if let Some(merger) = self.mergers.get_mut(group) {
                             for slice in slices {
-                                merger.on_slice(slice);
+                                merger.on_slice(shard, slice);
                             }
+                        }
+                    }
+                    ShardItem::Clears { group, clears } => {
+                        if let Some(merger) = self.mergers.get_mut(group) {
+                            merger.on_clears(shard, &clears);
+                        }
+                    }
+                    ShardItem::CountEvents { replay, items } => {
+                        if let Some(buf) = self.count_buf.get_mut(replay) {
+                            buf.extend(items);
                         }
                     }
                     ShardItem::Frontier(ts) => {
@@ -728,6 +1101,9 @@ impl ShardedSlicer {
                         self.states[shard] = ShardState::Degraded;
                         self.frontiers[shard] = Timestamp::MAX;
                         self.panics += 1;
+                        for merger in &mut self.mergers {
+                            merger.mark_dead(shard);
+                        }
                     }
                     None => {}
                 }
@@ -810,12 +1186,68 @@ impl Drop for ShardedSlicer {
 // The parallel engine facade.
 // ---------------------------------------------------------------------
 
-/// A pinned (non-shardable) group: the existing sequential pipeline fed
-/// with the full stream on the caller thread.
+/// Collector-side assembler of one sharded group's merged slice stream.
 #[derive(Debug)]
-struct PinnedPipeline {
+enum MergedAssembler {
+    /// Fixed time windows: range-select assembly over merged slices.
+    Fixed(FixedAssembler),
+    /// Session/user-defined windows: the unfixed merger emits
+    /// self-contained per-window slices that the ordinary assembler
+    /// consumes unchanged.
+    Unfixed(Assembler),
+}
+
+impl MergedAssembler {
+    fn on_slice(&mut self, slice: SealedSlice, out: &mut Vec<QueryResult>) {
+        match self {
+            MergedAssembler::Fixed(a) => a.on_slice(slice, out),
+            MergedAssembler::Unfixed(a) => a.on_slice(slice, out),
+        }
+    }
+
+    /// Stops emission for a removed query. Only the fixed assembler
+    /// acts: it derives window ends from the specs itself, while the
+    /// unfixed path is governed by slicer/merger-side removal (so a
+    /// draining removal still emits in-flight windows, like the
+    /// sequential engine).
+    fn remove_query(&mut self, id: QueryId) {
+        if let MergedAssembler::Fixed(a) = self {
+            a.remove_query(id);
+        }
+    }
+
+    fn set_recorder(&mut self, recorder: TraceRecorder) {
+        match self {
+            MergedAssembler::Fixed(a) => a.set_recorder(recorder),
+            MergedAssembler::Unfixed(a) => a.set_recorder(recorder),
+        }
+    }
+
+    fn results_emitted(&self) -> u64 {
+        match self {
+            MergedAssembler::Fixed(a) => a.results_emitted(),
+            MergedAssembler::Unfixed(a) => a.results_emitted(),
+        }
+    }
+
+    fn merges(&self) -> u64 {
+        match self {
+            MergedAssembler::Fixed(a) => a.merges(),
+            MergedAssembler::Unfixed(a) => a.merges(),
+        }
+    }
+}
+
+/// A count-measured query-group, replayed sequentially at the
+/// collector: the shard-side filters forward only selection-matching
+/// events (count windows advance on matches only, so the filter is
+/// result-preserving), and this pipeline consumes them in global ingest
+/// order at every watermark barrier.
+#[derive(Debug)]
+struct CountReplay {
     slicer: GroupSlicer,
     assembler: Assembler,
+    reorder: Option<ReorderBuffer>,
 }
 
 /// Key-sharded parallel twin of [`super::AggregationEngine`]: same
@@ -843,16 +1275,17 @@ struct PinnedPipeline {
 #[derive(Debug)]
 pub struct ParallelEngine {
     sharded: Option<ShardedSlicer>,
-    sharded_assemblers: Vec<FixedAssembler>,
-    pinned: Vec<PinnedPipeline>,
-    pinned_reorder: Option<ReorderBuffer>,
+    assemblers: Vec<MergedAssembler>,
+    replays: Vec<CountReplay>,
     ordered: Vec<Event>,
     scratch: Vec<SealedSlice>,
     merged: Vec<(usize, SealedSlice)>,
     results: Vec<QueryResult>,
     registry: Arc<MetricsRegistry>,
     events: u64,
-    shards: usize,
+    cfg: ParallelConfig,
+    query_ids: Vec<QueryId>,
+    next_group_id: crate::engine::GroupId,
 }
 
 impl ParallelEngine {
@@ -869,72 +1302,96 @@ impl ParallelEngine {
     /// Builds a parallel engine publishing observability into `registry`.
     pub fn with_registry(
         queries: Vec<Query>,
-        cfg: ParallelConfig,
+        mut cfg: ParallelConfig,
         registry: Arc<MetricsRegistry>,
     ) -> Result<Self, DesisError> {
+        cfg.shards = cfg.shards.max(1);
+        let query_ids: Vec<QueryId> = queries.iter().map(|q| q.id).collect();
         // Partition *queries* before analysis: a single session query
         // sharing a predicate with ten fixed-window queries would
-        // otherwise pin the whole group sequential. Splitting trades the
-        // cross-type slice sharing between the two sets (only ever
-        // present within one predicate-group) for parallelism of the
-        // entire fixed-window set.
-        let (fixed, unfixed): (Vec<_>, Vec<_>) = queries
+        // otherwise drag the whole group through the (costlier) unfixed
+        // merge. Splitting trades the cross-type slice sharing between
+        // the sets (only ever present within one predicate-group) for
+        // the cheapest merge path per window class.
+        let (fixed, rest): (Vec<_>, Vec<_>) = queries
             .into_iter()
             .partition(|q| q.window.has_precomputable_puncts());
+        let (unfixed, counts): (Vec<_>, Vec<_>) = rest.into_iter().partition(|q| {
+            matches!(
+                q.window.kind,
+                WindowKind::Session { .. } | WindowKind::UserDefined { .. }
+            )
+        });
         let analyzer = QueryAnalyzer::default();
-        let shardable = if fixed.is_empty() {
-            Vec::new()
-        } else {
-            analyzer.analyze(fixed)?
+        let analyze = |qs: Vec<Query>| -> Result<Vec<QueryGroup>, DesisError> {
+            if qs.is_empty() {
+                Ok(Vec::new())
+            } else {
+                analyzer.analyze(qs)
+            }
         };
-        let mut pinned_groups = if unfixed.is_empty() {
-            Vec::new()
-        } else {
-            analyzer.analyze(unfixed)?
-        };
-        // Re-number the second analysis so group ids stay unique.
-        let base = shardable.len() as crate::engine::GroupId;
-        for (i, g) in pinned_groups.iter_mut().enumerate() {
-            g.id = base + i as crate::engine::GroupId;
+        let mut sharded_groups = analyze(fixed)?;
+        let mut unfixed_groups = analyze(unfixed)?;
+        let mut count_groups = analyze(counts)?;
+        debug_assert!(sharded_groups.iter().all(group_is_shardable));
+        // Re-number the later analyses so group ids stay unique.
+        let mut next_group_id = sharded_groups.len() as crate::engine::GroupId;
+        for g in unfixed_groups.iter_mut().chain(count_groups.iter_mut()) {
+            g.id = next_group_id;
+            next_group_id += 1;
         }
-        debug_assert!(shardable.iter().all(group_is_shardable));
-        let sharded_assemblers: Vec<FixedAssembler> =
-            shardable.iter().map(FixedAssembler::new).collect();
-        let sharded = if shardable.is_empty() {
+        sharded_groups.append(&mut unfixed_groups);
+        let assemblers: Vec<MergedAssembler> = sharded_groups
+            .iter()
+            .map(|g| {
+                if g.has_unfixed_windows() {
+                    MergedAssembler::Unfixed(Assembler::with_registry(g, Arc::clone(&registry)))
+                } else {
+                    MergedAssembler::Fixed(FixedAssembler::new(g))
+                }
+            })
+            .collect();
+        let sharded = if sharded_groups.is_empty() && count_groups.is_empty() {
             None
         } else {
-            Some(ShardedSlicer::new(&shardable, &cfg)?)
+            Some(ShardedSlicer::with_counts(
+                &sharded_groups,
+                &count_groups,
+                &cfg,
+            )?)
         };
-        let pinned = pinned_groups
+        let replays = count_groups
             .into_iter()
-            .map(|g| PinnedPipeline {
+            .map(|g| CountReplay {
                 assembler: Assembler::with_registry(&g, Arc::clone(&registry)),
+                reorder: cfg.lateness.map(ReorderBuffer::new),
                 slicer: GroupSlicer::new(g),
             })
             .collect();
         Ok(Self {
             sharded,
-            sharded_assemblers,
-            pinned,
-            pinned_reorder: cfg.lateness.map(ReorderBuffer::new),
+            assemblers,
+            replays,
             ordered: Vec::new(),
             scratch: Vec::new(),
             merged: Vec::new(),
             results: Vec::new(),
             registry,
             events: 0,
-            shards: cfg.shards.max(1),
+            cfg,
+            query_ids,
+            next_group_id,
         })
     }
 
     /// Worker shard count.
     pub fn shards(&self) -> usize {
-        self.shards
+        self.cfg.shards
     }
 
-    /// Number of query-groups (sharded + pinned).
+    /// Number of query-groups (sharded + count replays).
     pub fn group_count(&self) -> usize {
-        self.sharded_assemblers.len() + self.pinned.len()
+        self.assemblers.len() + self.replays.len()
     }
 
     /// The engine's observability registry.
@@ -947,15 +1404,18 @@ impl ParallelEngine {
         self.sharded.as_ref().map_or(0, ShardedSlicer::shard_panics)
     }
 
-    /// Events dropped as too late across the sharded reorder buffers and
-    /// the pinned pipeline's buffer (0 when no lateness is configured).
+    /// Events dropped as too late across the sharded reorder buffers
+    /// and the count replays' buffers (0 when no lateness is
+    /// configured).
     pub fn late_dropped(&self) -> u64 {
         let sharded = self.sharded.as_ref().map_or(0, ShardedSlicer::late_dropped);
-        let pinned = self
-            .pinned_reorder
-            .as_ref()
-            .map_or(0, ReorderBuffer::late_dropped);
-        sharded + pinned
+        let replays: u64 = self
+            .replays
+            .iter()
+            .filter_map(|r| r.reorder.as_ref())
+            .map(ReorderBuffer::late_dropped)
+            .sum();
+        sharded + replays
     }
 
     /// Enables causal slice tracing on every shard worker and the
@@ -964,11 +1424,11 @@ impl ParallelEngine {
         if let Some(sharded) = &mut self.sharded {
             sharded.install_tracing(collector, node);
         }
-        for assembler in &mut self.sharded_assemblers {
+        for assembler in &mut self.assemblers {
             assembler.set_recorder(collector.recorder(node));
         }
-        for p in &mut self.pinned {
-            p.slicer.set_recorder(collector.recorder(node));
+        for replay in &mut self.replays {
+            replay.slicer.set_recorder(collector.recorder(node));
         }
     }
 
@@ -977,7 +1437,6 @@ impl ParallelEngine {
     #[inline]
     pub fn on_event(&mut self, ev: &Event) {
         self.events += 1;
-        self.feed_pinned(ev);
         if let Some(sharded) = &mut self.sharded {
             if sharded.on_event(ev) {
                 self.collect_ready();
@@ -988,79 +1447,73 @@ impl ParallelEngine {
     /// Ingests a batch of events.
     pub fn on_batch(&mut self, batch: &EventBatch) {
         self.events += batch.len() as u64;
-        for ev in batch {
-            self.feed_pinned(ev);
-        }
         if let Some(sharded) = &mut self.sharded {
             sharded.on_batch(batch);
         }
         self.collect_ready();
     }
 
-    #[inline]
-    fn feed_pinned(&mut self, ev: &Event) {
-        if self.pinned.is_empty() {
-            return;
-        }
-        if let Some(rb) = &mut self.pinned_reorder {
-            rb.push(*ev, &mut self.ordered);
-            if self.ordered.is_empty() {
-                return;
-            }
-            for idx in 0..self.ordered.len() {
-                let ev = self.ordered[idx];
-                for p in &mut self.pinned {
-                    p.slicer.on_event(&ev, &mut self.scratch);
-                    for slice in self.scratch.drain(..) {
-                        p.assembler.on_slice(slice, &mut self.results);
-                    }
-                }
-            }
-            self.ordered.clear();
-        } else {
-            for p in &mut self.pinned {
-                p.slicer.on_event(ev, &mut self.scratch);
-                for slice in self.scratch.drain(..) {
-                    p.assembler.on_slice(slice, &mut self.results);
-                }
-            }
-        }
-    }
-
     /// Advances event time. This is a **barrier**: it returns once every
     /// live shard has processed the watermark, so a subsequent
     /// [`ParallelEngine::drain_results`] is deterministic.
     pub fn on_watermark(&mut self, ts: Timestamp) {
-        if let Some(rb) = &mut self.pinned_reorder {
-            rb.advance(ts, &mut self.ordered);
-            for idx in 0..self.ordered.len() {
-                let ev = self.ordered[idx];
-                for p in &mut self.pinned {
-                    p.slicer.on_event(&ev, &mut self.scratch);
-                    for slice in self.scratch.drain(..) {
-                        p.assembler.on_slice(slice, &mut self.results);
-                    }
-                }
-            }
-            self.ordered.clear();
-        }
-        for p in &mut self.pinned {
-            p.slicer.on_watermark(ts, &mut self.scratch);
-            for slice in self.scratch.drain(..) {
-                p.assembler.on_slice(slice, &mut self.results);
-            }
-        }
         if let Some(sharded) = &mut self.sharded {
             sharded.on_watermark(ts);
         }
+        self.replay_counts(Some(ts));
         self.collect_ready();
+    }
+
+    /// Replays the count-query events forwarded by the shard filters.
+    /// Called only at watermark barriers (`wm = Some(ts)`) and at finish
+    /// (`wm = None`), when the forwarded set is complete; the inlet
+    /// sequence tags restore global ingest order across shards.
+    fn replay_counts(&mut self, wm: Option<Timestamp>) {
+        if self.replays.is_empty() {
+            return;
+        }
+        let Some(sharded) = &mut self.sharded else {
+            return;
+        };
+        for (idx, replay) in self.replays.iter_mut().enumerate() {
+            let mut items = sharded.take_count_events(idx);
+            items.sort_unstable_by_key(|(seq, _)| *seq);
+            match &mut replay.reorder {
+                Some(rb) => {
+                    for (_, ev) in &items {
+                        rb.push(*ev, &mut self.ordered);
+                    }
+                    match wm {
+                        Some(ts) => rb.advance(ts, &mut self.ordered),
+                        // End of stream: release everything, like the
+                        // shard workers flushing their buffers.
+                        None => rb.flush(&mut self.ordered),
+                    }
+                }
+                None => self.ordered.extend(items.iter().map(|(_, ev)| *ev)),
+            }
+            for i in 0..self.ordered.len() {
+                let ev = self.ordered[i];
+                replay.slicer.on_event(&ev, &mut self.scratch);
+                for slice in self.scratch.drain(..) {
+                    replay.assembler.on_slice(slice, &mut self.results);
+                }
+            }
+            self.ordered.clear();
+            if let Some(ts) = wm {
+                replay.slicer.on_watermark(ts, &mut self.scratch);
+                for slice in self.scratch.drain(..) {
+                    replay.assembler.on_slice(slice, &mut self.results);
+                }
+            }
+        }
     }
 
     fn collect_ready(&mut self) {
         if let Some(sharded) = &mut self.sharded {
             sharded.drain_merged(&mut self.merged);
             for (group, slice) in self.merged.drain(..) {
-                if let Some(assembler) = self.sharded_assemblers.get_mut(group) {
+                if let Some(assembler) = self.assemblers.get_mut(group) {
                     assembler.on_slice(slice, &mut self.results);
                 }
             }
@@ -1081,27 +1534,88 @@ impl ParallelEngine {
         self.results.len()
     }
 
-    /// Removes a query at runtime on every shard and pinned pipeline.
+    /// Removes a query at runtime on every shard and count replay, the
+    /// counterpart of [`ParallelEngine::add_query`]. Same semantics as
+    /// the sequential engine: `immediate` drops in-flight windows,
+    /// otherwise they drain.
     pub fn remove_query(&mut self, id: QueryId, immediate: bool) {
         if let Some(sharded) = &mut self.sharded {
             sharded.remove_query(id, immediate);
         }
-        for assembler in &mut self.sharded_assemblers {
+        for assembler in &mut self.assemblers {
             assembler.remove_query(id);
         }
-        for p in &mut self.pinned {
-            p.slicer.remove_query(id, immediate);
+        for replay in &mut self.replays {
+            replay.slicer.remove_query(id, immediate);
         }
+        self.query_ids.retain(|q| *q != id);
     }
 
-    /// Ends the stream: joins the shard workers and drains what their
-    /// watermarks covered. Call after a final
-    /// [`ParallelEngine::on_watermark`] past the last window of
+    /// Adds a query at runtime (Section 3.2), the counterpart of the
+    /// sequential engine's `add_query`. The query is classified exactly
+    /// like at construction — precomputable punctuations shard as a
+    /// fixed group, session/user-defined windows shard behind the
+    /// cross-shard unfixed merger, count windows install shard-side
+    /// filters feeding a collector replay — and starts processing with
+    /// the next ingested event (the inlet is flushed first, and the
+    /// punctuation sets of the new group are computed from its own
+    /// specs by the per-shard slicers).
+    pub fn add_query(&mut self, query: Query) -> Result<(), DesisError> {
+        if self.query_ids.contains(&query.id) {
+            return Err(DesisError::InvalidQuery(format!(
+                "duplicate query id {}",
+                query.id
+            )));
+        }
+        let id = query.id;
+        let is_fixed = query.window.has_precomputable_puncts();
+        let is_unfixed = matches!(
+            query.window.kind,
+            WindowKind::Session { .. } | WindowKind::UserDefined { .. }
+        );
+        let mut groups = QueryAnalyzer::default().analyze(vec![query])?;
+        let mut group = groups.remove(0);
+        group.id = self.next_group_id;
+        self.next_group_id += 1;
+        if self.sharded.is_none() {
+            self.sharded = Some(ShardedSlicer::with_counts(&[], &[], &self.cfg)?);
+        }
+        if let Some(sharded) = &mut self.sharded {
+            if is_fixed || is_unfixed {
+                let index = sharded.add_group(group.clone());
+                debug_assert_eq!(index, self.assemblers.len());
+                self.assemblers.push(if is_fixed {
+                    MergedAssembler::Fixed(FixedAssembler::new(&group))
+                } else {
+                    MergedAssembler::Unfixed(Assembler::with_registry(
+                        &group,
+                        Arc::clone(&self.registry),
+                    ))
+                });
+            } else {
+                let predicates = group.selections.iter().map(|s| s.predicate).collect();
+                let replay = sharded.add_count_filter(predicates);
+                debug_assert_eq!(replay, self.replays.len());
+                self.replays.push(CountReplay {
+                    assembler: Assembler::with_registry(&group, Arc::clone(&self.registry)),
+                    reorder: self.cfg.lateness.map(ReorderBuffer::new),
+                    slicer: GroupSlicer::new(group),
+                });
+            }
+        }
+        self.query_ids.push(id);
+        Ok(())
+    }
+
+    /// Ends the stream: joins the shard workers, replays the remaining
+    /// count events, and drains what the watermarks covered. Call after
+    /// a final [`ParallelEngine::on_watermark`] past the last window of
     /// interest.
     pub fn finish(&mut self) {
         if let Some(sharded) = &mut self.sharded {
             sharded.finish();
         }
+        self.replay_counts(None);
         self.collect_ready();
     }
 
@@ -1115,14 +1629,14 @@ impl ParallelEngine {
             m.absorb(&sharded.metrics());
             sharded.publish(&self.registry);
         }
-        for assembler in &self.sharded_assemblers {
+        for assembler in &self.assemblers {
             m.results += assembler.results_emitted();
             m.merges += assembler.merges();
         }
-        for p in &self.pinned {
-            m.absorb(p.slicer.metrics());
-            m.results += p.assembler.results_emitted();
-            m.merges += p.assembler.merges();
+        for replay in &self.replays {
+            m.absorb(replay.slicer.metrics());
+            m.results += replay.assembler.results_emitted();
+            m.merges += replay.assembler.merges();
         }
         m.events = self.events;
         m.publish(&self.registry, "engine");
@@ -1143,6 +1657,7 @@ fn group_is_shardable(group: &QueryGroup) -> bool {
 mod tests {
     use super::*;
     use crate::engine::AggregationEngine;
+    use crate::event::{Marker, MarkerKind};
     use crate::window::WindowSpec;
 
     fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
@@ -1329,6 +1844,264 @@ mod tests {
         assert!(shard1 > 0);
         assert_eq!(shard0 + shard1, 1_000);
         assert_eq!(snap.counters[names::ENGINE_SHARD_PANICS], 0);
+    }
+
+    /// All four window classes at once: fixed tumbling/sliding,
+    /// session, user-defined, and (filtered + unfiltered) count.
+    fn full_mix_queries() -> Vec<Query> {
+        let mut filtered_count =
+            Query::new(5, WindowSpec::tumbling_count(64).unwrap(), AggFunction::Sum);
+        filtered_count.predicate = Predicate::ValueAbove(40.0);
+        vec![
+            Query::new(
+                1,
+                WindowSpec::tumbling_time(1_000).unwrap(),
+                AggFunction::Max,
+            ),
+            Query::new(
+                2,
+                WindowSpec::sliding_time(2_000, 500).unwrap(),
+                AggFunction::Quantile(0.9),
+            ),
+            Query::new(3, WindowSpec::session(400).unwrap(), AggFunction::Median),
+            Query::new(4, WindowSpec::user_defined(7), AggFunction::Average),
+            filtered_count,
+            Query::new(
+                6,
+                WindowSpec::sliding_count(100, 25).unwrap(),
+                AggFunction::Count,
+            ),
+        ]
+    }
+
+    /// A stream with idle gaps (closing sessions mid-stream) and
+    /// user-defined window markers on channel 7.
+    fn gapped_marked_events(n: u64, keys: u32) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                let ts = i + (i / 100) * 600;
+                let key = (i as u32) % keys;
+                let value = (i % 97) as f64;
+                match i % 500 {
+                    120 => Event::with_marker(
+                        ts,
+                        key,
+                        value,
+                        Marker {
+                            channel: 7,
+                            kind: MarkerKind::Start,
+                        },
+                    ),
+                    370 => Event::with_marker(
+                        ts,
+                        key,
+                        value,
+                        Marker {
+                            channel: 7,
+                            kind: MarkerKind::End,
+                        },
+                    ),
+                    _ => Event::new(ts, key, value),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_count_and_user_defined_match_sequential_inside_sharded_path() {
+        let evs = gapped_marked_events(4_000, 10);
+        let seq = run_sequential(full_mix_queries(), &evs, 60_000);
+        for query in 1..=6 {
+            assert!(
+                seq.iter().any(|r| r.query == query),
+                "sequential reference must exercise query {query}"
+            );
+        }
+        for shards in [1, 2, 4, 7] {
+            let par = run_parallel(full_mix_queries(), &evs, 60_000, shards);
+            assert_eq!(par, seq, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn user_defined_windows_match_sequential_across_shards() {
+        let evs = gapped_marked_events(3_000, 6);
+        let queries = vec![Query::new(
+            4,
+            WindowSpec::user_defined(7),
+            AggFunction::Average,
+        )];
+        let seq = run_sequential(queries.clone(), &evs, 60_000);
+        assert!(!seq.is_empty());
+        for shards in [1, 2, 4, 7] {
+            let par = run_parallel(queries.clone(), &evs, 60_000, shards);
+            assert_eq!(par, seq, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn count_windows_with_predicate_match_sequential() {
+        let evs = events(3_000, 5);
+        let mut filtered = Query::new(1, WindowSpec::tumbling_count(50).unwrap(), AggFunction::Sum);
+        filtered.predicate = Predicate::ValueAbove(48.0);
+        let queries = vec![
+            filtered,
+            Query::new(
+                2,
+                WindowSpec::sliding_count(80, 20).unwrap(),
+                AggFunction::Median,
+            ),
+        ];
+        let seq = run_sequential(queries.clone(), &evs, 10_000);
+        assert!(!seq.is_empty());
+        for shards in [1, 4, 7] {
+            let par = run_parallel(queries.clone(), &evs, 10_000, shards);
+            assert_eq!(par, seq, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sessions_split_across_shards_merge_to_sequential_results() {
+        // Two keys ping-ponging within the gap: with 2+ shards every
+        // global session is made of overlapping per-shard fragments.
+        let evs: Vec<Event> = (0..2_000u64)
+            .map(|i| {
+                let ts = i * 150 + (i / 40) * 2_000;
+                Event::new(ts, (i % 2) as u32, (i % 13) as f64)
+            })
+            .collect();
+        let queries = vec![Query::new(
+            1,
+            WindowSpec::session(500).unwrap(),
+            AggFunction::Sum,
+        )];
+        let seq = run_sequential(queries.clone(), &evs, 1_000_000);
+        assert!(seq.len() > 10, "stream must close many sessions");
+        for shards in [1, 2, 4, 7] {
+            let par = run_parallel(queries.clone(), &evs, 1_000_000, shards);
+            assert_eq!(par, seq, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn unfixed_results_are_deterministic_at_watermark_barriers() {
+        let run = || {
+            let mut engine = ParallelEngine::new(full_mix_queries(), 4).unwrap();
+            let evs = gapped_marked_events(4_000, 8);
+            let mut drained: Vec<Vec<QueryResult>> = Vec::new();
+            for (i, ev) in evs.iter().enumerate() {
+                engine.on_event(ev);
+                if i % 1_000 == 999 {
+                    engine.on_watermark(ev.ts + 1);
+                    drained.push(engine.drain_results());
+                }
+            }
+            engine.on_watermark(60_000);
+            engine.finish();
+            drained.push(engine.drain_results());
+            drained
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "watermark-aligned drains must be byte-identical");
+        assert!(a.iter().any(|batch| !batch.is_empty()));
+    }
+
+    /// Regression: runtime admission (`add_query`) then removal
+    /// mid-stream stays byte-identical to the sequential engine doing
+    /// the same churn at the same stream positions.
+    #[test]
+    fn add_then_remove_query_mid_stream_matches_sequential() {
+        let evs = gapped_marked_events(3_000, 6);
+        let initial = vec![Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Max,
+        )];
+        let added = || {
+            vec![
+                Query::new(7, WindowSpec::session(400).unwrap(), AggFunction::Sum),
+                Query::new(
+                    8,
+                    WindowSpec::tumbling_count(40).unwrap(),
+                    AggFunction::Average,
+                ),
+                Query::new(
+                    9,
+                    WindowSpec::tumbling_time(500).unwrap(),
+                    AggFunction::Count,
+                ),
+                Query::new(10, WindowSpec::user_defined(7), AggFunction::Max),
+            ]
+        };
+        let seq = {
+            let mut engine = AggregationEngine::new(initial.clone()).unwrap();
+            for ev in &evs[..1_000] {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(evs[999].ts);
+            for q in added() {
+                engine.add_query(q).unwrap();
+            }
+            for ev in &evs[1_000..2_000] {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(evs[1_999].ts);
+            engine.remove_query(9, true).unwrap();
+            for ev in &evs[2_000..] {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(60_000);
+            canon(engine.drain_results())
+        };
+        assert!(seq.iter().any(|r| r.query == 7), "sessions must emit");
+        assert!(seq.iter().any(|r| r.query == 8), "count windows must emit");
+        assert!(seq.iter().any(|r| r.query == 10), "user-defined must emit");
+        for shards in [1, 2, 4] {
+            let mut engine = ParallelEngine::new(initial.clone(), shards).unwrap();
+            for ev in &evs[..1_000] {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(evs[999].ts);
+            for q in added() {
+                engine.add_query(q).unwrap();
+            }
+            assert!(
+                engine.add_query(added().remove(0)).is_err(),
+                "duplicate query ids must be rejected"
+            );
+            for ev in &evs[1_000..2_000] {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(evs[1_999].ts);
+            engine.remove_query(9, true);
+            for ev in &evs[2_000..] {
+                engine.on_event(ev);
+            }
+            engine.on_watermark(60_000);
+            engine.finish();
+            assert_eq!(canon(engine.drain_results()), seq, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn add_query_to_empty_engine_spawns_the_sharded_path() {
+        let evs = events(2_000, 5);
+        let queries = vec![
+            Query::new(1, WindowSpec::tumbling_time(500).unwrap(), AggFunction::Sum),
+            Query::new(2, WindowSpec::session(300).unwrap(), AggFunction::Count),
+        ];
+        let seq = run_sequential(queries.clone(), &evs, 10_000);
+        let mut engine = ParallelEngine::new(Vec::new(), 3).unwrap();
+        for q in queries {
+            engine.add_query(q).unwrap();
+        }
+        for ev in &evs {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(10_000);
+        engine.finish();
+        assert_eq!(canon(engine.drain_results()), seq);
     }
 
     #[test]

@@ -458,6 +458,79 @@ impl GroupSlicer {
         }
     }
 
+    /// Processes a marker event that belongs to another key partition:
+    /// only its *boundary* effects apply — user-defined windows on the
+    /// marker's channel open/close and the slice is sealed at the marker
+    /// position — while the event's value is neither aggregated nor does
+    /// it open/extend sessions (the owning partition does that). This is
+    /// how a key-sharded engine keeps every shard's slice boundaries
+    /// aligned with the global marker sequence.
+    pub fn on_marker(&mut self, ev: &Event, out: &mut Vec<SealedSlice>) {
+        let Some(marker) = ev.marker else { return };
+        if !self.uds.iter().any(|u| u.channel == marker.channel) {
+            return;
+        }
+        if !self.initialized {
+            self.init(ev.ts);
+        }
+        debug_assert!(ev.ts >= self.last_seen_ts, "out-of-order marker");
+        self.last_seen_ts = ev.ts;
+        self.fire_time_puncts(ev.ts, out);
+        match marker.kind {
+            MarkerKind::Start => {
+                if self
+                    .uds
+                    .iter()
+                    .any(|u| u.channel == marker.channel && u.open.is_none())
+                {
+                    self.seal_boundary(ev.ts, out);
+                    for slot in &mut self.uds {
+                        if slot.channel == marker.channel && slot.open.is_none() {
+                            slot.open = Some(OpenUd {
+                                start_ts: ev.ts,
+                                first_slice: self.slice_seq,
+                            });
+                        }
+                    }
+                }
+            }
+            MarkerKind::End => {
+                if self
+                    .uds
+                    .iter()
+                    .any(|u| u.channel == marker.channel && u.open.is_some())
+                {
+                    self.seal_data_boundary(ev, out);
+                }
+            }
+        }
+    }
+
+    /// Per-session-query *clear frontiers*: for each session query (by
+    /// query index), the earliest timestamp at which a session fragment
+    /// this slicer has not yet sealed could still start. An open session
+    /// reports its own start; otherwise no future fragment can begin
+    /// before `max(last seen event time, floor)` — pass the watermark as
+    /// `floor` (idle slicers have seen nothing but are still covered by
+    /// it), or `Timestamp::MAX` at end of stream.
+    pub fn unfixed_clears(&self, floor: Timestamp) -> Vec<(usize, Timestamp)> {
+        let idle = if self.initialized {
+            self.last_seen_ts.max(floor)
+        } else {
+            floor
+        };
+        self.sessions
+            .iter()
+            .map(|slot| {
+                let clear = match &slot.open {
+                    Some(open) => open.first_ts,
+                    None => idle,
+                };
+                (slot.query_idx, clear)
+            })
+            .collect()
+    }
+
     /// Advances event time without data: fires pending time punctuations
     /// and closes sessions whose gap has elapsed by `ts` (Section 5.1.2
     /// watermarks).

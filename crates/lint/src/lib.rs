@@ -702,13 +702,15 @@ mod tests {
     }
 
     /// The parallel engine (PR 5) is a hot path AND a deterministic
-    /// path: both rules must cover the module and its handoff submodule.
-    /// A rename that silently drops it out of scope fails here.
+    /// path: both rules must cover the module and its handoff and
+    /// cross-shard unfixed-merge (PR 6) submodules. A rename that
+    /// silently drops any of them out of scope fails here.
     #[test]
     fn parallel_engine_is_in_no_panic_and_no_wallclock_scope() {
         for path in [
             "crates/core/src/engine/parallel.rs",
             "crates/core/src/engine/parallel/handoff.rs",
+            "crates/core/src/engine/parallel/unfixed.rs",
         ] {
             assert!(in_scope("no-panic", path), "{path} left no-panic scope");
             assert!(

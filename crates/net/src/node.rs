@@ -166,7 +166,9 @@ impl LocalWorker {
     }
 
     /// Builds the local worker with `shards` slicer threads for the
-    /// node's fixed-time-window Desis groups (other groups, systems, and
+    /// node's sliced Desis groups — fixed-time-window groups merge by
+    /// slice end, session/user-defined groups through the cross-shard
+    /// unfixed merger (raw-shipping groups, other systems, and
     /// `shards <= 1` run sequentially on the node's event loop). The
     /// sharded slicers feed a per-group merger, so the uplink carries the
     /// same deterministic slice stream a sequential node would ship.
@@ -186,7 +188,7 @@ impl LocalWorker {
                 .iter()
                 .filter_map(|g| match g.execution {
                     GroupExecution::RootRaw => Some(LocalGroup::Raw),
-                    _ if want_sharding && !g.has_unfixed_windows() => {
+                    _ if want_sharding => {
                         shardable.push(g.clone());
                         None
                     }
@@ -365,10 +367,12 @@ impl LocalWorker {
         true
     }
 
-    /// Ships merged slices of the sharded groups upstream, exactly as the
-    /// sequential path ships its per-group slices (coverage 1; ends
-    /// cleared — sharded groups are fixed-window, so the root re-derives
-    /// their `ep`s from the specs).
+    /// Ships merged slices of the sharded groups upstream, exactly as
+    /// the sequential path ships its per-group slices (coverage 1).
+    /// Fixed-window merges carry no ends (the root re-derives their
+    /// `ep`s from the specs); unfixed merges are self-contained
+    /// per-window slices whose ends and session gaps ship as-is, byte-
+    /// compatible with a sequential child's unfixed slice stream.
     fn ship_sharded(&mut self, uplink: &mut LinkSender) -> bool {
         let Some(sharded) = &mut self.sharded else {
             return true;

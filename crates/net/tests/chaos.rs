@@ -14,7 +14,8 @@
 //!   (`ClusterReport::faults_injected` is reproducible).
 
 use desis_core::aggregate::AggFunction;
-use desis_core::event::Event;
+use desis_core::event::{Event, Marker, MarkerKind};
+use desis_core::predicate::Predicate;
 use desis_core::query::Query;
 use desis_core::window::WindowSpec;
 use desis_net::fault::NodeFaultKind;
@@ -236,6 +237,127 @@ fn stalled_local_goes_suspect_and_clears() {
     clean_cfg.recovery.nack_grace = std::time::Duration::from_millis(30);
     let clean = run_cluster(clean_cfg, vec![feed(30), feed(30)]).expect("clean run");
     assert_eq!(fingerprint(&report), fingerprint(&clean));
+}
+
+/// A mixed-workload fig6a cluster: one query of every window class —
+/// fixed tumbling average, session max, predicate-filtered count sum,
+/// and a user-defined count — so no class can hide behind a sequential
+/// fallback in the local.
+fn mixed_cfg(shards: usize) -> ClusterConfig {
+    let queries = vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).expect("valid window"),
+            AggFunction::Average,
+        ),
+        Query::new(
+            2,
+            WindowSpec::session(250).expect("valid window"),
+            AggFunction::Max,
+        ),
+        Query::new(
+            3,
+            WindowSpec::tumbling_count(64).expect("valid window"),
+            AggFunction::Sum,
+        )
+        .filtered(Predicate::ValueAbove(2.0)),
+        Query::new(4, WindowSpec::user_defined(3), AggFunction::Count),
+    ];
+    let mut cfg = ClusterConfig::new(DistributedSystem::Desis, queries, Topology::star(1));
+    cfg.recovery.nack_grace = std::time::Duration::from_millis(30);
+    cfg.shards = shards;
+    cfg
+}
+
+/// `feed`, with session gaps (a 500 ms jump every 150 events, so the
+/// 250 ms session gap closes spans mid-stream) and Start/End markers on
+/// channel 3 so the user-defined windows open and close repeatedly.
+fn marked_feed(seconds: u64) -> Vec<Event> {
+    (0..seconds * 100)
+        .map(|i| {
+            let ts = i * 10 + (i / 150) * 500;
+            let key = (i % 10) as u32;
+            let value = (i % 7) as f64;
+            match i % 400 {
+                50 => Event::with_marker(
+                    ts,
+                    key,
+                    value,
+                    Marker {
+                        channel: 3,
+                        kind: MarkerKind::Start,
+                    },
+                ),
+                250 => Event::with_marker(
+                    ts,
+                    key,
+                    value,
+                    Marker {
+                        channel: 3,
+                        kind: MarkerKind::End,
+                    },
+                ),
+                _ => Event::new(ts, key, value),
+            }
+        })
+        .collect()
+}
+
+fn run_mixed(plan: Option<FaultPlan>, shards: usize) -> desis_net::cluster::ClusterReport {
+    let mut cfg = mixed_cfg(shards);
+    cfg.faults = plan;
+    run_cluster(cfg, vec![marked_feed(20)]).expect("cluster run completes")
+}
+
+#[test]
+fn mixed_workload_is_shard_count_invariant() {
+    let one = run_mixed(None, 1);
+    assert!(!one.results.is_empty());
+    for query in 1..=4u64 {
+        assert!(
+            one.results.iter().any(|r| r.query == query),
+            "query {query} must emit results in the mixed run"
+        );
+    }
+    for shards in [2usize, 4, 7] {
+        let sharded = run_mixed(None, shards);
+        assert_eq!(
+            fingerprint(&sharded),
+            fingerprint(&one),
+            "{shards}-shard locals must reproduce the sequential mixed results exactly"
+        );
+        assert!(sharded.lost_children.is_empty());
+    }
+}
+
+#[test]
+fn mixed_workload_survives_recoverable_faults_at_every_shard_count() {
+    for shards in [1usize, 4] {
+        let clean = run_mixed(None, shards);
+        for (name, plan) in [
+            (
+                "drop",
+                FaultPlan::new(11).with_link_fault(1, LinkFaultKind::Drop, 2, 4),
+            ),
+            (
+                "duplicate",
+                FaultPlan::new(3).with_link_fault(1, LinkFaultKind::Duplicate, 0, 5),
+            ),
+            (
+                "corrupt",
+                FaultPlan::new(5).with_link_fault(1, LinkFaultKind::Corrupt, 3, 3),
+            ),
+        ] {
+            let faulty = run_mixed(Some(plan), shards);
+            assert_eq!(
+                fingerprint(&faulty),
+                fingerprint(&clean),
+                "recoverable {name} must not change mixed results ({shards} shards)"
+            );
+            assert!(faulty.lost_children.is_empty());
+            assert_eq!(faulty.metrics.counters["net.recovery.lost"], 0);
+        }
+    }
 }
 
 #[test]

@@ -89,6 +89,77 @@ fn arb_events(rng: &mut SmallRng, max: usize) -> Vec<Event> {
         .collect()
 }
 
+/// Query mixes that force every window class into one run: at least
+/// one fixed-time, one session, one count, and one user-defined window,
+/// plus random extras drawn from the general pool.
+fn arb_mixed_queries(rng: &mut SmallRng) -> Vec<Query> {
+    let count_filter = if rng.gen_bool(0.5) {
+        Predicate::ValueAbove(0.0)
+    } else {
+        Predicate::True
+    };
+    let mut queries = vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(rng.gen_range(100u64..400)).unwrap(),
+            arb_function(rng),
+        ),
+        Query::new(
+            2,
+            WindowSpec::session(rng.gen_range(40u64..200)).unwrap(),
+            arb_function(rng),
+        ),
+        Query::new(
+            3,
+            WindowSpec::tumbling_count(rng.gen_range(5u64..40)).unwrap(),
+            arb_function(rng),
+        )
+        .filtered(count_filter),
+        Query::new(
+            4,
+            WindowSpec::user_defined(rng.gen_range(0u32..2)),
+            arb_function(rng),
+        ),
+    ];
+    for extra in 0..rng.gen_range(0usize..3) {
+        queries.push(Query::new(
+            5 + extra as u64,
+            arb_window(rng),
+            arb_function(rng),
+        ));
+    }
+    queries
+}
+
+/// Streams carrying broadcastable markers: ordinary draws interleaved
+/// with Start/End markers on the channels `arb_mixed_queries` listens
+/// on, so user-defined windows actually open and close.
+fn arb_marked_events(rng: &mut SmallRng, max: usize) -> Vec<Event> {
+    use desis::core::event::{Marker, MarkerKind};
+    let n = rng.gen_range(32..=max);
+    let mut ts = 0u64;
+    (0..n)
+        .map(|_| {
+            ts += rng.gen_range(0u64..40);
+            let key = rng.gen_range(0u32..3);
+            let value = f64::from(rng.gen_range(-100i32..100));
+            if rng.gen_bool(0.1) {
+                let marker = Marker {
+                    channel: rng.gen_range(0u32..2),
+                    kind: if rng.gen_bool(0.5) {
+                        MarkerKind::Start
+                    } else {
+                        MarkerKind::End
+                    },
+                };
+                Event::with_marker(ts, key, value, marker)
+            } else {
+                Event::new(ts, key, value)
+            }
+        })
+        .collect()
+}
+
 fn canon(mut results: Vec<QueryResult>) -> Vec<QueryResult> {
     results.sort_by(|a, b| {
         (a.query, a.window_start, a.window_end, a.key).cmp(&(
@@ -598,6 +669,62 @@ fn parallel_engine_restores_bounded_disorder() {
         let mut events = arb_events(rng, 300);
         // Bounded jitter: pull each timestamp back by < 40; displacement
         // stays under the lateness budget of 100.
+        for ev in &mut events {
+            ev.ts = ev.ts.saturating_sub(rng.gen_range(0u64..40));
+        }
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.ts);
+        let sequential = run_sequential(queries.clone(), &sorted);
+        for shards in [1usize, 2, 4, 7] {
+            let parallel = run_parallel(queries.clone(), &events, shards, Some(100));
+            assert_eq!(
+                parallel, sequential,
+                "seed {seed}, {shards} shards: {queries:?}"
+            );
+        }
+    });
+}
+
+/// Mixed workloads — fixed, session, count, and user-defined windows in
+/// one run over marker-carrying streams — are shard-count invariant:
+/// every shard count reproduces the sequential engine byte-for-byte,
+/// and both agree with the naive per-window baseline's window shapes.
+/// This is the differential that certifies no query class falls back to
+/// a pinned sequential pipeline.
+#[test]
+fn parallel_engine_matches_sequential_on_mixed_unfixed_workloads() {
+    for_cases(24, |seed, rng| {
+        let queries = arb_mixed_queries(rng);
+        let events = arb_marked_events(rng, 400);
+        let sequential = run_sequential(queries.clone(), &events);
+        let naive = run_kind(SystemKind::DeBucket, queries.clone(), &events);
+        assert_eq!(sequential.len(), naive.len(), "seed {seed}: {queries:?}");
+        for (a, b) in sequential.iter().zip(&naive) {
+            assert_eq!(
+                (a.query, a.key, a.window_start, a.window_end),
+                (b.query, b.key, b.window_start, b.window_end),
+                "seed {seed}"
+            );
+        }
+        for shards in [1usize, 2, 4, 7] {
+            let parallel = run_parallel(queries.clone(), &events, shards, None);
+            assert_eq!(
+                parallel, sequential,
+                "seed {seed}, {shards} shards: {queries:?}"
+            );
+        }
+    });
+}
+
+/// Mixed workloads under bounded disorder: marker-carrying streams with
+/// bounded displacement, restored by the shard reorder buffers, match
+/// the sequential engine over the time-sorted stream at every shard
+/// count with zero drops.
+#[test]
+fn mixed_unfixed_workloads_restore_bounded_disorder() {
+    for_cases(16, |seed, rng| {
+        let queries = arb_mixed_queries(rng);
+        let mut events = arb_marked_events(rng, 300);
         for ev in &mut events {
             ev.ts = ev.ts.saturating_sub(rng.gen_range(0u64..40));
         }
