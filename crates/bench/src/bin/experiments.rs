@@ -5,7 +5,8 @@
 //!             [--trace-out <path>] [--trace-sample <N>]
 //!             [--faults <plan.json>] [--fault-seed <N>]
 //!             [--shards <N>] [--bench-out <path>] [--smoke]
-//!             <figure-id>... | all | list | bench5
+//!             [--profile-out <path>]
+//!             <figure-id>... | all | list | bench5 | profile | prof-overhead
 //! ```
 //!
 //! Each figure prints the series the paper plots (one row per x-value,
@@ -22,16 +23,37 @@
 //! runs") is injected into every cluster the figures start;
 //! `--fault-seed <N>` overrides the plan's RNG seed so the same plan can
 //! be replayed with different probabilistic placements.
+//!
+//! With `--profile-out <path>`, a process-global pipeline profiler is
+//! installed: every engine the selected figures start attributes wall
+//! time per stage per lane, a background flight recorder samples the
+//! global registry, and the per-stage self-time table plus the flight
+//! timeline are written as JSON. The pseudo-command `profile` prints
+//! the same report as a human-readable table instead (defaulting to
+//! `fig6a` if no figure is named). `prof-overhead` runs the CI gate's
+//! A/B probe: the `end_to_end` workload min-of-5, without a profiler
+//! and with an installed-but-disabled one.
 
 use std::io::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use desis_bench::experiments::all_figures;
 use desis_bench::measure::{write_metrics_report, Scale};
-use desis_bench::shard_bench::{run_shard_bench, ShardBenchConfig};
+use desis_bench::shard_bench::{profile_workloads, run_shard_bench, ShardBenchConfig};
+use desis_core::obs::prof::{
+    self, FlightRecorder, FlightSampler, ProfClock, ProfHandle, Profiler, Stage,
+};
 use desis_core::obs::trace::{TraceCollector, DEFAULT_RING_CAPACITY};
 use desis_core::obs::{MetricsDiff, MetricsRegistry};
 use desis_net::fault::FaultPlan;
+
+/// Per-stage allocation accounting (`--profile-out` reports allocs and
+/// bytes per pipeline stage) when the binary is built with
+/// `--features prof-alloc`; libraries never install a global allocator.
+#[cfg(feature = "prof-alloc")]
+#[global_allocator]
+static COUNTING_ALLOC: desis_core::obs::prof::alloc::CountingAlloc =
+    desis_core::obs::prof::alloc::CountingAlloc;
 
 /// Prints Table 1 (function -> operator lowering) straight from the code.
 fn print_table1() {
@@ -67,6 +89,7 @@ fn main() {
     let mut faults_path: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
     let mut shards: Option<usize> = None;
+    let mut profile_out: Option<String> = None;
     let mut bench_out = String::from("BENCH_5.json");
     let mut bench_smoke = false;
     let mut wanted: Vec<String> = Vec::new();
@@ -122,6 +145,12 @@ fn main() {
                 let value = it.next().unwrap_or_default();
                 shards = Some(value.parse().unwrap_or_else(|_| {
                     eprintln!("--shards requires a positive integer, got {value:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--profile-out" => {
+                profile_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--profile-out requires a file path");
                     std::process::exit(2);
                 }));
             }
@@ -181,18 +210,72 @@ fn main() {
     if wanted.iter().any(|w| w == "list") {
         println!("table1");
         println!("bench5");
+        println!("profile");
+        println!("prof-overhead");
         for (id, _) in &registry {
             println!("{id}");
         }
         return;
     }
+    // The overhead probe measures a profiler-free process first, so it
+    // must run before any profiler is installed — and alone.
+    if wanted.iter().any(|w| w == "prof-overhead") {
+        run_prof_overhead(profile_out.as_deref());
+        return;
+    }
+    let profile_summary = wanted.iter().any(|w| w == "profile");
+    wanted.retain(|w| w != "profile");
+    if profile_summary && wanted.is_empty() {
+        wanted.push("fig6a".to_string());
+    }
+    let prof_session = if profile_out.is_some() || profile_summary {
+        let profiler = Profiler::new(ProfClock::wall()).install_global();
+        profiler.begin();
+        let sampler = FlightSampler::spawn(
+            MetricsRegistry::global(),
+            profiler.clock().clone(),
+            Duration::from_millis(25),
+            4_096,
+        );
+        Some(ProfSession {
+            profiler,
+            sampler,
+            out: profile_out.clone(),
+            summary: profile_summary,
+        })
+    } else {
+        None
+    };
+    // The main lane covers the driver thread: with every figure/bench
+    // run inside a scope, the busiest lane accounts for (nearly) the
+    // whole measured wall span, which is what the coverage acceptance
+    // metric checks.
+    let mut main_lane = Profiler::global().map(|p| p.handle("main"));
     if wanted.iter().any(|w| w == "bench5") {
         let cfg = if bench_smoke {
             ShardBenchConfig::smoke()
         } else {
             ShardBenchConfig::default()
         };
-        let report = run_shard_bench(&cfg);
+        let report = {
+            let _s = prof::scope(&mut main_lane, Stage::Handler);
+            run_shard_bench(&cfg)
+        };
+        if let Some(stem) = &profile_out {
+            let profile_shards = shards
+                .or_else(|| cfg.shard_counts.iter().copied().max())
+                .unwrap_or(4)
+                .max(1);
+            let _s = prof::scope(&mut main_lane, Stage::Handler);
+            for (workload, json) in profile_workloads(&cfg, profile_shards) {
+                let path = profile_sibling(stem, workload);
+                std::fs::write(&path, json).unwrap_or_else(|err| {
+                    eprintln!("cannot write {path}: {err}");
+                    std::process::exit(2);
+                });
+                eprintln!("wrote {path} ({workload} workload, {profile_shards} shards)");
+            }
+        }
         for (workload, points) in [("fixed", &report.points), ("mixed", &report.mixed_points)] {
             for p in points.iter() {
                 println!(
@@ -217,7 +300,13 @@ fn main() {
         eprintln!("wrote {bench_out}");
         wanted.retain(|w| w != "bench5");
         if wanted.is_empty() {
-            finish(metrics_out.as_deref(), trace_out.as_deref(), &[]);
+            wrap_up(
+                prof_session,
+                main_lane,
+                metrics_out.as_deref(),
+                trace_out.as_deref(),
+                &[],
+            );
             return;
         }
     }
@@ -225,7 +314,13 @@ fn main() {
         print_table1();
         wanted.retain(|w| w != "table1");
         if wanted.is_empty() {
-            finish(metrics_out.as_deref(), trace_out.as_deref(), &[]);
+            wrap_up(
+                prof_session,
+                main_lane,
+                metrics_out.as_deref(),
+                trace_out.as_deref(),
+                &[],
+            );
             return;
         }
     }
@@ -254,7 +349,10 @@ fn main() {
     for (id, generator) in selected {
         let before = MetricsRegistry::global().snapshot();
         let started = Instant::now();
-        let figure = generator(scale);
+        let figure = {
+            let _s = prof::scope(&mut main_lane, Stage::Handler);
+            generator(scale)
+        };
         let elapsed = started.elapsed().as_secs_f64();
         figure_diffs.push((
             id.to_string(),
@@ -271,22 +369,98 @@ fn main() {
             eprintln!("wrote {path}");
         }
     }
-    finish(metrics_out.as_deref(), trace_out.as_deref(), &figure_diffs);
+    wrap_up(
+        prof_session,
+        main_lane,
+        metrics_out.as_deref(),
+        trace_out.as_deref(),
+        &figure_diffs,
+    );
+}
+
+/// One profiling session of the experiments process: the installed
+/// global profiler plus the background flight sampler over the global
+/// registry, and where the report goes.
+struct ProfSession {
+    profiler: &'static Profiler,
+    sampler: FlightSampler,
+    out: Option<String>,
+    summary: bool,
+}
+
+impl ProfSession {
+    /// Ends the measured span, publishes `prof.*` instruments into the
+    /// global registry (so `--metrics-out` carries them), writes/prints
+    /// the report, and returns the flight timeline for the Perfetto
+    /// counter tracks.
+    fn finish(self) -> FlightRecorder {
+        self.profiler.end();
+        let flight = self.sampler.finish();
+        self.profiler.publish(MetricsRegistry::global());
+        let report = self.profiler.report();
+        if let Some(path) = &self.out {
+            if let Err(err) = std::fs::write(path, report.to_json(Some(&flight))) {
+                eprintln!("cannot write profile to {path}: {err}");
+                std::process::exit(2);
+            }
+            eprintln!(
+                "wrote {path} (coverage {:.1}%, {} lanes, {} flight frames)",
+                report.coverage() * 100.0,
+                report.lanes.len(),
+                flight.frames().len()
+            );
+        }
+        if self.summary {
+            print!("{}", report.to_table());
+        }
+        flight
+    }
+}
+
+/// Flushes the driver-lane handle, closes the profiling session (if
+/// any), and writes the requested output files.
+fn wrap_up(
+    prof_session: Option<ProfSession>,
+    main_lane: Option<ProfHandle>,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+    figures: &[(String, f64, MetricsDiff)],
+) {
+    // The handle flushes its tallies on drop; it must go before
+    // `ProfSession::finish` reads the report.
+    drop(main_lane);
+    let flight = prof_session.map(ProfSession::finish);
+    finish(metrics_out, trace_out, figures, flight.as_ref());
+}
+
+/// Sibling artifact path for a per-workload profile: `profile.json` +
+/// `fixed` → `profile.fixed.json`.
+fn profile_sibling(stem: &str, workload: &str) -> String {
+    match stem.strip_suffix(".json") {
+        Some(base) => format!("{base}.{workload}.json"),
+        None => format!("{stem}.{workload}.json"),
+    }
 }
 
 /// Drains the trace timeline (publishing per-stage latency histograms
 /// into the global registry first, so the metrics report includes them)
-/// and writes the requested output files.
+/// and writes the requested output files. When a flight timeline was
+/// recorded, its counter trajectories ride along in the Chrome trace as
+/// Perfetto counter tracks.
 fn finish(
     metrics_out: Option<&str>,
     trace_out: Option<&str>,
     figures: &[(String, f64, MetricsDiff)],
+    flight: Option<&FlightRecorder>,
 ) {
     if let Some(path) = trace_out {
         let collector = TraceCollector::global().expect("installed at startup");
         let timeline = collector.drain_timeline();
         timeline.publish(MetricsRegistry::global());
-        if let Err(err) = std::fs::write(path, timeline.to_chrome_json()) {
+        let tracks = flight
+            .map(|f| f.counter_tracks(&["engine.", "net.", "prof.", "trace.", "cluster."]))
+            .unwrap_or_default();
+        if let Err(err) = std::fs::write(path, timeline.to_chrome_json_with(&tracks)) {
             eprintln!("cannot write trace to {path}: {err}");
             std::process::exit(2);
         }
@@ -306,13 +480,83 @@ fn finish(
     }
 }
 
+/// The CI overhead gate's A/B probe: the `end_to_end` benchmark
+/// workload (tumbling max + sliding quantile + session median, the
+/// Figure 4 shape over 100k events), min-of-5 wall time — first in a
+/// profiler-free process, then with an installed-but-disabled global
+/// profiler, the configuration every unprofiled run pays for. Prints
+/// the overhead and writes it as JSON when `--profile-out` is given;
+/// CI fails the gate at ≥3%.
+fn run_prof_overhead(out: Option<&str>) {
+    use desis_core::aggregate::AggFunction;
+    use desis_core::engine::AggregationEngine;
+    use desis_core::event::Event;
+    use desis_core::query::Query;
+    use desis_core::window::WindowSpec;
+    const N: u64 = 1_000_000;
+    const REPS: usize = 9;
+    let queries = vec![
+        Query::new(
+            1,
+            WindowSpec::tumbling_time(1_000).unwrap(),
+            AggFunction::Max,
+        ),
+        Query::new(
+            2,
+            WindowSpec::sliding_time(2_000, 500).unwrap(),
+            AggFunction::Quantile(0.9),
+        ),
+        Query::new(3, WindowSpec::session(400).unwrap(), AggFunction::Median),
+    ];
+    let events: Vec<Event> = (0..N)
+        .map(|i| Event::new(i / 10, (i % 10) as u32, (i % 97) as f64))
+        .collect();
+    let run_once = || -> f64 {
+        let start = Instant::now();
+        let mut engine = AggregationEngine::new(queries.clone()).expect("probe workload is valid");
+        for ev in &events {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(20_000);
+        assert!(!engine.drain_results().is_empty());
+        start.elapsed().as_secs_f64()
+    };
+    let min_of_reps = || (0..REPS).map(|_| run_once()).fold(f64::INFINITY, f64::min);
+    run_once(); // warm caches so the A side is not the cold one
+    let baseline = min_of_reps();
+    // Installed but disabled: handles exist on every engine, each scope
+    // is one relaxed load.
+    Profiler::disabled(ProfClock::wall()).install_global();
+    run_once();
+    let disabled = min_of_reps();
+    let overhead = disabled / baseline.max(1e-12) - 1.0;
+    println!(
+        "prof-overhead end_to_end min-of-{REPS}: baseline {baseline:.4}s, \
+         disabled-profiler {disabled:.4}s, overhead {:+.2}%",
+        overhead * 100.0
+    );
+    let json = format!(
+        "{{\"bench\": \"prof_overhead\", \"workload\": \"end_to_end\", \"reps\": {REPS}, \
+         \"events\": {N}, \"baseline_s\": {baseline:.6}, \"disabled_s\": {disabled:.6}, \
+         \"overhead\": {overhead:.6}}}\n"
+    );
+    if let Some(path) = out {
+        std::fs::write(path, json).unwrap_or_else(|err| {
+            eprintln!("cannot write {path}: {err}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+}
+
 fn print_usage() {
     println!(
         "usage: experiments [--scale quick|full] [--csv <dir>] [--metrics-out <path>]\n\
          \x20                  [--trace-out <path>] [--trace-sample <N>]\n\
          \x20                  [--faults <plan.json>] [--fault-seed <N>]\n\
          \x20                  [--shards <N>] [--bench-out <path>] [--smoke]\n\
-         \x20                  <figure-id>... | all | list | bench5\n\
+         \x20                  [--profile-out <path>]\n\
+         \x20                  <figure-id>... | all | list | bench5 | profile | prof-overhead\n\
          reproduces the Desis (EDBT 2023) evaluation figures; see EXPERIMENTS.md\n\
          --metrics-out writes per-figure metric deltas plus the process\n\
          snapshot (bytes, message counts, latency histograms) as JSON\n\
@@ -321,6 +565,11 @@ fn print_usage() {
          --faults injects a deterministic fault plan (EXPERIMENTS.md \"Chaos\n\
          runs\") into every cluster; --fault-seed overrides the plan's seed\n\
          --shards N runs every cluster's local nodes with N engine shards\n\
+         --profile-out installs the pipeline profiler and writes the\n\
+         per-lane stage table + flight-recorder timeline as JSON (with\n\
+         bench5: also per-workload profiles as <path>.fixed/.mixed.json)\n\
+         `profile [figure-id...]` prints the stage table (default fig6a)\n\
+         `prof-overhead` runs the <3% disabled-profiler A/B gate probe\n\
          `bench5` sweeps ParallelEngine throughput at 1/2/4 shards over the\n\
          fixed-window and mixed (session/count/user-defined) workloads and\n\
          writes BENCH_5.json (override with --bench-out; --smoke shrinks it)"

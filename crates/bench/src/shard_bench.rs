@@ -13,8 +13,10 @@
 //! logical CPU count so the scaling gate (4 shards ≥ 2× 1 shard) only
 //! applies where the hardware can actually parallelize.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use desis_core::obs::prof::{FlightRecorder, ProfClock, Profiler};
 use desis_core::prelude::*;
 use desis_gen::{DataGenConfig, DataGenerator, KeyDistribution};
 
@@ -301,6 +303,92 @@ fn timed_run(
     results += engine.drain_results().len();
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     (events.len() as f64 / elapsed, results)
+}
+
+/// One profiled run of a bench5 workload: its own registry, profiler,
+/// and flight recorder (independent of any process-global profiler), so
+/// the stage table measures exactly this engine. Batches are built
+/// before `begin()`, leaving the measured span to engine work; the
+/// flight recorder ticks at the watermark cadence, so its frames line
+/// up with barrier progress. Returns the profile JSON
+/// ([`desis_core::obs::prof::ProfileReport::to_json`] with the flight
+/// timeline inlined).
+pub fn profiled_run(
+    queries: &[Query],
+    events: &[Event],
+    shards: usize,
+    wm_every: DurationMs,
+) -> String {
+    let batches: Vec<(EventBatch, Timestamp)> = events
+        .chunks(4_096)
+        .map(|chunk| {
+            let mut b = EventBatch::with_capacity(chunk.len());
+            for ev in chunk {
+                b.push(*ev);
+            }
+            (b, chunk.last().map_or(0, |e| e.ts))
+        })
+        .collect();
+    let profiler = Profiler::new(ProfClock::wall());
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut flight = FlightRecorder::new(profiler.clock().clone(), 1_024);
+    let mut cfg = ParallelConfig::new(shards);
+    cfg.profiler = Some(profiler.clone());
+    let mut engine = ParallelEngine::with_registry(queries.to_vec(), cfg, Arc::clone(&registry))
+        .expect("bench workload is valid");
+    // Start the wall span after the shard threads are up: spawn cost is
+    // not pipeline time, and including it dilutes stage coverage on
+    // short smoke runs.
+    profiler.begin();
+    let mut results = 0usize;
+    let mut next_wm = wm_every;
+    let last_ts = events.last().map_or(0, |e| e.ts);
+    for (batch, ts) in &batches {
+        engine.on_batch(batch);
+        if *ts >= next_wm {
+            engine.on_watermark(*ts);
+            results += engine.drain_results().len();
+            engine.metrics();
+            flight.tick(&registry);
+            next_wm = ts + wm_every;
+        }
+    }
+    engine.on_watermark(last_ts + 60_000);
+    engine.finish();
+    results += engine.drain_results().len();
+    engine.metrics();
+    flight.tick(&registry);
+    // Worker handles flush their tallies when the engine (and its shard
+    // threads) shut down; only then is the report complete.
+    drop(engine);
+    profiler.end();
+    assert!(results > 0, "profiled run produced no results");
+    profiler.report().to_json(Some(&flight))
+}
+
+/// Profiles one run of each bench5 workload at `shards` shards:
+/// `[("fixed", json), ("mixed", json)]`.
+pub fn profile_workloads(cfg: &ShardBenchConfig, shards: usize) -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "fixed",
+            profiled_run(
+                &bench_queries(),
+                &bench_events(cfg),
+                shards,
+                cfg.watermark_every,
+            ),
+        ),
+        (
+            "mixed",
+            profiled_run(
+                &mixed_queries(),
+                &mixed_events(cfg),
+                shards,
+                cfg.watermark_every,
+            ),
+        ),
+    ]
 }
 
 /// One shard-count sweep over a workload; each point reports the

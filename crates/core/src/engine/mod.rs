@@ -28,6 +28,7 @@ use std::sync::Arc;
 use crate::error::DesisError;
 use crate::event::Event;
 use crate::metrics::EngineMetrics;
+use crate::obs::prof::{self, ProfHandle, Profiler, Stage};
 use crate::obs::MetricsRegistry;
 use crate::query::{Query, QueryId, QueryResult};
 use crate::time::Timestamp;
@@ -65,6 +66,10 @@ pub struct AggregationEngine {
     results: Vec<QueryResult>,
     next_group_id: GroupId,
     registry: Arc<MetricsRegistry>,
+    /// Profiler handle on the `"seq"` lane, present when a global
+    /// profiler is installed at construction (clones mint a fresh
+    /// handle; tallies merge additively by lane).
+    prof: Option<ProfHandle>,
 }
 
 impl AggregationEngine {
@@ -86,7 +91,11 @@ impl AggregationEngine {
         analyzer: QueryAnalyzer,
         registry: Arc<MetricsRegistry>,
     ) -> Result<Self, DesisError> {
-        let groups = analyzer.analyze(queries)?;
+        let mut prof = Profiler::global().map(|p| p.handle("seq"));
+        let groups = {
+            let _analyze = prof::scope(&mut prof, Stage::Analyzer);
+            analyzer.analyze(queries)?
+        };
         let next_group_id = groups.len() as GroupId;
         let pipelines = groups
             .into_iter()
@@ -102,6 +111,7 @@ impl AggregationEngine {
             results: Vec::new(),
             next_group_id,
             registry,
+            prof,
         })
     }
 
@@ -119,9 +129,15 @@ impl AggregationEngine {
     #[inline]
     pub fn on_event(&mut self, ev: &Event) {
         for p in &mut self.pipelines {
-            p.slicer.on_event(ev, &mut self.scratch);
-            for slice in self.scratch.drain(..) {
-                p.assembler.on_slice(slice, &mut self.results);
+            {
+                let _slice = prof::scope(&mut self.prof, Stage::Slicer);
+                p.slicer.on_event(ev, &mut self.scratch);
+            }
+            if !self.scratch.is_empty() {
+                let _assemble = prof::scope(&mut self.prof, Stage::Assemble);
+                for slice in self.scratch.drain(..) {
+                    p.assembler.on_slice(slice, &mut self.results);
+                }
             }
         }
     }
@@ -129,9 +145,15 @@ impl AggregationEngine {
     /// Advances event time, firing pending punctuations.
     pub fn on_watermark(&mut self, ts: Timestamp) {
         for p in &mut self.pipelines {
-            p.slicer.on_watermark(ts, &mut self.scratch);
-            for slice in self.scratch.drain(..) {
-                p.assembler.on_slice(slice, &mut self.results);
+            {
+                let _slice = prof::scope(&mut self.prof, Stage::Slicer);
+                p.slicer.on_watermark(ts, &mut self.scratch);
+            }
+            if !self.scratch.is_empty() {
+                let _assemble = prof::scope(&mut self.prof, Stage::Assemble);
+                for slice in self.scratch.drain(..) {
+                    p.assembler.on_slice(slice, &mut self.results);
+                }
             }
         }
     }
@@ -143,7 +165,13 @@ impl AggregationEngine {
     /// byte-reproducible.
     pub fn drain_results(&mut self) -> Vec<QueryResult> {
         let mut out = std::mem::take(&mut self.results);
-        crate::query::sort_results(&mut out);
+        {
+            let _drain = prof::scope(&mut self.prof, Stage::Drain);
+            crate::query::sort_results(&mut out);
+        }
+        if let Some(h) = &mut self.prof {
+            h.flush();
+        }
         out
     }
 
@@ -166,7 +194,10 @@ impl AggregationEngine {
                 query.id
             )));
         }
-        let mut groups = self.analyzer.analyze(vec![query])?;
+        let mut groups = {
+            let _analyze = prof::scope(&mut self.prof, Stage::Analyzer);
+            self.analyzer.analyze(vec![query])?
+        };
         let mut group = groups.remove(0);
         group.id = self.next_group_id;
         self.next_group_id += 1;

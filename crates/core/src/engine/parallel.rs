@@ -56,8 +56,9 @@ use crate::engine::{Assembler, QueryAnalyzer, QueryGroup};
 use crate::error::DesisError;
 use crate::event::{Event, EventBatch, Key};
 use crate::metrics::EngineMetrics;
+use crate::obs::prof::{self, ProfHandle, Profiler, Stage};
 use crate::obs::trace::{SpanKind, TraceCollector, TraceRecorder};
-use crate::obs::{names, MetricsRegistry};
+use crate::obs::{names, Counter, MetricsRegistry};
 use crate::predicate::Predicate;
 use crate::query::{Query, QueryId, QueryResult};
 use crate::time::{DurationMs, Timestamp};
@@ -85,6 +86,15 @@ pub struct ParallelConfig {
     /// collector-side count replays); `None` assumes timestamp-ordered
     /// input, like [`super::AggregationEngine`].
     pub lateness: Option<DurationMs>,
+    /// Registry the sharded slicer resolves its per-shard hot-path
+    /// counter handles against at spawn (so the inlet increments live
+    /// counters instead of deferring to a publish); `None` keeps the
+    /// counters internal until [`ShardedSlicer::publish`].
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Pipeline profiler: shard workers and the collector open stage
+    /// scopes against it ([`crate::obs::prof`]). Defaults to the
+    /// process-global profiler, if one is installed.
+    pub profiler: Option<Profiler>,
 }
 
 impl ParallelConfig {
@@ -95,7 +105,22 @@ impl ParallelConfig {
             batch_size: 256,
             channel_capacity: 64,
             lateness: None,
+            registry: None,
+            profiler: Profiler::global().cloned(),
         }
+    }
+}
+
+/// Clock stamp for a manual (non-RAII) stage span; `None` when no
+/// profiler is attached or it is disabled.
+fn prof_stamp(prof: &Option<ProfHandle>) -> Option<prof::Stamp> {
+    prof.as_ref().and_then(ProfHandle::stamp)
+}
+
+/// Closes a manual stage span opened by [`prof_stamp`].
+fn prof_record(prof: &mut Option<ProfHandle>, stage: Stage, stamp: Option<prof::Stamp>) {
+    if let (Some(h), Some(t0)) = (prof.as_mut(), stamp) {
+        h.record_since(stage, t0);
     }
 }
 
@@ -127,6 +152,10 @@ enum ShardMsg {
     Install(TraceCollector, u32),
     /// End of stream: report metrics and exit cleanly.
     Flush,
+    /// Test-only: make the worker panic, exercising the degraded-shard
+    /// path without a contrived data-dependent panic.
+    #[cfg(test)]
+    Panic,
 }
 
 /// Items a shard worker hands to the collector.
@@ -233,14 +262,23 @@ fn run_shard(
     lateness: Option<DurationMs>,
     rx: crossbeam_channel::Receiver<ShardMsg>,
     inbox: Arc<Inbox<ShardItem>>,
+    profiler: Option<Profiler>,
 ) {
     let guard = InboxGuard::new(inbox, shard);
+    let mut prof = profiler.map(|p| p.handle(&format!("shard{shard}")));
     let mut reorder = lateness.map(ReorderBuffer::new);
     let mut ordered: Vec<Event> = Vec::new();
     let mut scratch: Vec<SealedSlice> = Vec::new();
     let mut outs: Vec<Vec<SealedSlice>> = Vec::new();
     let mut count_filters: Vec<(usize, Vec<Predicate>)> = Vec::new();
-    while let Ok(msg) = rx.recv() {
+    loop {
+        let msg = {
+            let _idle = prof::scope(&mut prof, Stage::Idle);
+            match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        };
         let batch: Option<Vec<Event>> = match msg {
             ShardMsg::Batch(events) => Some(events),
             ShardMsg::SeqBatch(items) => {
@@ -248,6 +286,7 @@ fn run_shard(
                 // forwarding just the matching events (in sequence
                 // order) is result-preserving. Broadcast markers are
                 // forwarded by their owning shard only.
+                let _filter = prof::scope(&mut prof, Stage::CountFilter);
                 for (replay, predicates) in &count_filters {
                     let matched: Vec<(u64, Event)> = items
                         .iter()
@@ -268,7 +307,11 @@ fn run_shard(
             }
             ShardMsg::Watermark(ts) => {
                 if let Some(rb) = &mut reorder {
-                    rb.advance(ts, &mut ordered);
+                    {
+                        let _reorder = prof::scope(&mut prof, Stage::Reorder);
+                        rb.advance(ts, &mut ordered);
+                    }
+                    let _slice = prof::scope(&mut prof, Stage::Slicer);
                     feed_events(
                         shard,
                         shards_total,
@@ -279,6 +322,7 @@ fn run_shard(
                     );
                     ordered.clear();
                 }
+                let _slice = prof::scope(&mut prof, Stage::Slicer);
                 for (group, slicer) in slicers.iter_mut().enumerate() {
                     slicer.on_watermark(ts, &mut scratch);
                     if !scratch.is_empty() {
@@ -313,12 +357,18 @@ fn run_shard(
                 None
             }
             ShardMsg::Flush => break,
+            #[cfg(test)]
+            ShardMsg::Panic => std::panic::panic_any("injected shard panic"),
         };
         if let Some(events) = batch {
             if let Some(rb) = &mut reorder {
-                for ev in events {
-                    rb.push(ev, &mut ordered);
+                {
+                    let _reorder = prof::scope(&mut prof, Stage::Reorder);
+                    for ev in events {
+                        rb.push(ev, &mut ordered);
+                    }
                 }
+                let _slice = prof::scope(&mut prof, Stage::Slicer);
                 feed_events(
                     shard,
                     shards_total,
@@ -329,6 +379,7 @@ fn run_shard(
                 );
                 ordered.clear();
             } else {
+                let _slice = prof::scope(&mut prof, Stage::Slicer);
                 feed_events(
                     shard,
                     shards_total,
@@ -344,7 +395,11 @@ fn run_shard(
     // (their slices seal only if a punctuation is crossed) — the same
     // contract as draining a sequential engine without a final watermark.
     if let Some(rb) = &mut reorder {
-        rb.flush(&mut ordered);
+        {
+            let _reorder = prof::scope(&mut prof, Stage::Reorder);
+            rb.flush(&mut ordered);
+        }
+        let _slice = prof::scope(&mut prof, Stage::Slicer);
         feed_events(
             shard,
             shards_total,
@@ -546,11 +601,10 @@ impl GroupMerger {
         }
     }
 
-    /// Causal tracing follows the fixed merge path only: unfixed
-    /// windows re-emit as synthesized slices with no trace id.
     fn set_recorder(&mut self, recorder: TraceRecorder) {
-        if let GroupMerger::Fixed(m) = self {
-            m.set_recorder(recorder);
+        match self {
+            GroupMerger::Fixed(m) => m.set_recorder(recorder),
+            GroupMerger::Unfixed(m) => m.set_recorder(recorder),
         }
     }
 
@@ -558,6 +612,14 @@ impl GroupMerger {
         match self {
             GroupMerger::Fixed(m) => m.drain_ready(group, out),
             GroupMerger::Unfixed(m) => m.drain_ready(group, out),
+        }
+    }
+
+    /// Profiler stage this merger's work is attributed to.
+    fn prof_stage(&self) -> Stage {
+        match self {
+            GroupMerger::Fixed(_) => Stage::ShardMerge,
+            GroupMerger::Unfixed(_) => Stage::UnfixedMerge,
         }
     }
 }
@@ -766,6 +828,12 @@ pub struct ShardedSlicer {
     panics: u64,
     shard_events: Vec<u64>,
     shard_batches: Vec<u64>,
+    /// Per-shard `(events, batches)` counter handles, resolved once at
+    /// spawn when a registry is configured, so the inlet hot path
+    /// increments live instruments without any name formatting.
+    live_counters: Option<Vec<(Arc<Counter>, Arc<Counter>)>>,
+    /// Collector-lane profiler handle (ingest/barrier/merge stages).
+    prof: Option<ProfHandle>,
     collected: EngineMetrics,
     late_dropped: u64,
     item_buf: Vec<ShardItem>,
@@ -799,13 +867,24 @@ impl ShardedSlicer {
                 groups.iter().map(|g| GroupSlicer::new(g.clone())).collect();
             let lateness = cfg.lateness;
             let inbox = Arc::clone(&inbox);
+            let profiler = cfg.profiler.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("desis-shard-{shard}"))
-                .spawn(move || run_shard(shard, shards, slicers, lateness, rx, inbox))
+                .spawn(move || run_shard(shard, shards, slicers, lateness, rx, inbox, profiler))
                 .map_err(|_| DesisError::Cluster("failed to spawn shard worker thread"))?;
             senders.push(tx);
             threads.push(handle);
         }
+        let live_counters = cfg.registry.as_ref().map(|registry| {
+            (0..shards)
+                .map(|shard| {
+                    (
+                        registry.counter(&names::engine_shard_events(shard)),
+                        registry.counter(&names::engine_shard_batches(shard)),
+                    )
+                })
+                .collect()
+        });
         let this = Self {
             senders,
             threads,
@@ -826,6 +905,8 @@ impl ShardedSlicer {
             panics: 0,
             shard_events: vec![0; shards],
             shard_batches: vec![0; shards],
+            live_counters,
+            prof: cfg.profiler.as_ref().map(|p| p.handle("driver")),
             collected: EngineMetrics::default(),
             late_dropped: 0,
             item_buf: Vec::new(),
@@ -956,10 +1037,29 @@ impl ShardedSlicer {
         }
     }
 
+    /// Counts a partition sent to `shard` (both the internal tallies
+    /// and, when a registry was configured, the pre-resolved live
+    /// counter handles — no name formatting on this path).
+    #[inline]
+    fn note_send(&mut self, shard: usize, events: u64) {
+        self.shard_events[shard] += events;
+        self.shard_batches[shard] += 1;
+        if let Some(handles) = &self.live_counters {
+            handles[shard].0.add(events);
+            handles[shard].1.inc();
+        }
+    }
+
     fn flush_inlet(&mut self) {
         if self.inlet.is_empty() {
             return;
         }
+        let ingest = prof_stamp(&self.prof);
+        self.flush_inlet_inner();
+        prof_record(&mut self.prof, Stage::Ingest, ingest);
+    }
+
+    fn flush_inlet_inner(&mut self) {
         if self.stamp {
             // Count filters installed: tag every event with its global
             // inlet sequence number so the collector can restore ingest
@@ -984,8 +1084,7 @@ impl ShardedSlicer {
                 if part.is_empty() {
                     continue;
                 }
-                self.shard_events[shard] += part.len() as u64;
-                self.shard_batches[shard] += 1;
+                self.note_send(shard, part.len() as u64);
                 let _ = self.senders[shard].send(ShardMsg::SeqBatch(part));
             }
             return;
@@ -1010,8 +1109,7 @@ impl ShardedSlicer {
                 if part.is_empty() {
                     continue;
                 }
-                self.shard_events[shard] += part.len() as u64;
-                self.shard_batches[shard] += 1;
+                self.note_send(shard, part.len() as u64);
                 let _ = self.senders[shard].send(ShardMsg::Batch(part));
             }
             return;
@@ -1022,8 +1120,7 @@ impl ShardedSlicer {
             if part.is_empty() {
                 continue;
             }
-            self.shard_events[shard] += part.len() as u64;
-            self.shard_batches[shard] += 1;
+            self.note_send(shard, part.len() as u64);
             // A failed send means the worker died; the panic surfaces
             // through the inbox guard on the next collect.
             let _ = self.senders[shard].send(ShardMsg::Batch(part));
@@ -1039,6 +1136,7 @@ impl ShardedSlicer {
         for tx in &self.senders {
             let _ = tx.send(ShardMsg::Watermark(ts));
         }
+        let barrier = prof_stamp(&self.prof);
         loop {
             self.collect();
             let reached = self
@@ -1051,6 +1149,7 @@ impl ShardedSlicer {
             }
             std::thread::yield_now();
         }
+        prof_record(&mut self.prof, Stage::Barrier, barrier);
     }
 
     /// Drains handoff items from every shard into the mergers and
@@ -1063,9 +1162,12 @@ impl ShardedSlicer {
                 match item {
                     ShardItem::Slices { group, slices } => {
                         if let Some(merger) = self.mergers.get_mut(group) {
+                            let stage = merger.prof_stage();
+                            let t0 = prof_stamp(&self.prof);
                             for slice in slices {
                                 merger.on_slice(shard, slice);
                             }
+                            prof_record(&mut self.prof, stage, t0);
                         }
                     }
                     ShardItem::Clears { group, clears } => {
@@ -1118,7 +1220,10 @@ impl ShardedSlicer {
             .min()
             .unwrap_or(Timestamp::MAX);
         for merger in &mut self.mergers {
+            let stage = merger.prof_stage();
+            let t0 = prof_stamp(&self.prof);
             merger.advance(wm);
+            prof_record(&mut self.prof, stage, t0);
         }
     }
 
@@ -1150,6 +1255,18 @@ impl ShardedSlicer {
             let _ = handle.join();
         }
         self.collect();
+        if let Some(h) = &mut self.prof {
+            h.flush();
+        }
+    }
+
+    /// Test-only: makes one shard worker panic, exercising the
+    /// degraded-shard path end to end.
+    #[cfg(test)]
+    pub(crate) fn inject_panic(&self, shard: usize) {
+        if let Some(tx) = self.senders.get(shard) {
+            let _ = tx.send(ShardMsg::Panic);
+        }
     }
 
     /// Summed slicer metrics of all shards, available in full after
@@ -1159,7 +1276,9 @@ impl ShardedSlicer {
         self.collected.clone()
     }
 
-    /// Publishes per-shard inlet counters and the panic count into
+    /// Publishes per-shard inlet counters, the panic count, and the
+    /// shard-balance telemetry gauges (routing imbalance, inbox
+    /// high-water depths, unfixed-merger retained state) into
     /// `registry`.
     pub fn publish(&self, registry: &MetricsRegistry) {
         for shard in 0..self.shards {
@@ -1169,10 +1288,37 @@ impl ShardedSlicer {
             registry
                 .counter(&names::engine_shard_batches(shard))
                 .raise_to(self.shard_batches[shard]);
+            registry
+                .gauge(&names::engine_shard_inbox_depth_max(shard))
+                .set_max(self.inbox.depth_max(shard) as i64);
         }
         registry
             .counter(names::ENGINE_SHARD_PANICS)
             .raise_to(self.panics);
+        let max = self.shard_events.iter().copied().max().unwrap_or(0);
+        let min = self.shard_events.iter().copied().min().unwrap_or(0);
+        let imbalance = ((max - min) * 1000).checked_div(max).unwrap_or(0);
+        registry
+            .gauge(names::ENGINE_SHARD_IMBALANCE_PERMILLE)
+            .set(imbalance as i64);
+        let mut pending_sessions = 0usize;
+        let mut queued_ud = 0usize;
+        for merger in &self.mergers {
+            if let GroupMerger::Unfixed(m) = merger {
+                pending_sessions += m.pending_sessions();
+                queued_ud += m.queued_ud_slices();
+            }
+        }
+        registry
+            .gauge(names::ENGINE_UNFIXED_PENDING_SESSIONS)
+            .set(pending_sessions as i64);
+        registry
+            .gauge(names::ENGINE_UNFIXED_QUEUED_UD_SLICES)
+            .set(queued_ud as i64);
+        let survivors: usize = self.count_buf.iter().map(Vec::len).sum();
+        registry
+            .gauge(names::ENGINE_UNFIXED_COUNT_SURVIVORS)
+            .set(survivors as i64);
     }
 }
 
@@ -1306,7 +1452,15 @@ impl ParallelEngine {
         registry: Arc<MetricsRegistry>,
     ) -> Result<Self, DesisError> {
         cfg.shards = cfg.shards.max(1);
+        // Resolve per-shard live counter handles at spawn (see
+        // [`ShardedSlicer::publish`] / `note_send`).
+        cfg.registry = Some(Arc::clone(&registry));
         let query_ids: Vec<QueryId> = queries.iter().map(|q| q.id).collect();
+        // Query analysis is driver-lane work that happens before the
+        // sharded slicer (and its profiler handle) exists; a transient
+        // handle attributes it and merges additively into the lane.
+        let mut boot = cfg.profiler.as_ref().map(|p| p.handle("driver"));
+        let analyzer_t0 = prof_stamp(&boot);
         // Partition *queries* before analysis: a single session query
         // sharing a predicate with ten fixed-window queries would
         // otherwise drag the whole group through the (costlier) unfixed
@@ -1341,6 +1495,8 @@ impl ParallelEngine {
             next_group_id += 1;
         }
         sharded_groups.append(&mut unfixed_groups);
+        prof_record(&mut boot, Stage::Analyzer, analyzer_t0);
+        drop(boot);
         let assemblers: Vec<MergedAssembler> = sharded_groups
             .iter()
             .map(|g| {
@@ -1429,6 +1585,7 @@ impl ParallelEngine {
         }
         for replay in &mut self.replays {
             replay.slicer.set_recorder(collector.recorder(node));
+            replay.assembler.set_recorder(collector.recorder(node));
         }
     }
 
@@ -1475,6 +1632,10 @@ impl ParallelEngine {
         let Some(sharded) = &mut self.sharded else {
             return;
         };
+        // Replay is driver-lane self-time; the merge spans recorded by
+        // `take_count_events → collect` on the same handle are nested
+        // and subtract out.
+        let replay_t0 = prof_stamp(&sharded.prof);
         for (idx, replay) in self.replays.iter_mut().enumerate() {
             let mut items = sharded.take_count_events(idx);
             items.sort_unstable_by_key(|(seq, _)| *seq);
@@ -1507,17 +1668,24 @@ impl ParallelEngine {
                 }
             }
         }
+        prof_record(&mut sharded.prof, Stage::Replay, replay_t0);
     }
 
     fn collect_ready(&mut self) {
-        if let Some(sharded) = &mut self.sharded {
-            sharded.drain_merged(&mut self.merged);
-            for (group, slice) in self.merged.drain(..) {
-                if let Some(assembler) = self.assemblers.get_mut(group) {
-                    assembler.on_slice(slice, &mut self.results);
-                }
+        let Some(sharded) = &mut self.sharded else {
+            return;
+        };
+        sharded.drain_merged(&mut self.merged);
+        if self.merged.is_empty() {
+            return;
+        }
+        let t0 = prof_stamp(&sharded.prof);
+        for (group, slice) in self.merged.drain(..) {
+            if let Some(assembler) = self.assemblers.get_mut(group) {
+                assembler.on_slice(slice, &mut self.results);
             }
         }
+        prof_record(&mut sharded.prof, Stage::Assemble, t0);
     }
 
     /// Takes all results produced since the last drain, in canonical
@@ -1525,7 +1693,16 @@ impl ParallelEngine {
     pub fn drain_results(&mut self) -> Vec<QueryResult> {
         self.collect_ready();
         let mut out = std::mem::take(&mut self.results);
+        let t0 = self.sharded.as_ref().and_then(|s| prof_stamp(&s.prof));
         crate::query::sort_results(&mut out);
+        if let Some(sharded) = &mut self.sharded {
+            prof_record(&mut sharded.prof, Stage::Drain, t0);
+            // A drain typically follows `finish` (which already flushed
+            // the driver handle), so push this span through eagerly.
+            if let Some(h) = &mut sharded.prof {
+                h.flush();
+            }
+        }
         out
     }
 
@@ -1573,7 +1750,11 @@ impl ParallelEngine {
             query.window.kind,
             WindowKind::Session { .. } | WindowKind::UserDefined { .. }
         );
+        let mut boot = self.cfg.profiler.as_ref().map(|p| p.handle("driver"));
+        let analyzer_t0 = prof_stamp(&boot);
         let mut groups = QueryAnalyzer::default().analyze(vec![query])?;
+        prof_record(&mut boot, Stage::Analyzer, analyzer_t0);
+        drop(boot);
         let mut group = groups.remove(0);
         group.id = self.next_group_id;
         self.next_group_id += 1;
@@ -1640,6 +1821,9 @@ impl ParallelEngine {
         }
         m.events = self.events;
         m.publish(&self.registry, "engine");
+        if let Some(profiler) = &self.cfg.profiler {
+            profiler.publish(&self.registry);
+        }
         m
     }
 }
@@ -2125,5 +2309,265 @@ mod tests {
         let results = engine.drain_results();
         assert!(results.iter().all(|r| r.query != 2));
         assert!(results.iter().any(|r| r.query == 1));
+    }
+
+    #[test]
+    fn snapshot_diff_across_shard_panic_keeps_counters_monotone() {
+        let evs = events(2_000, 8);
+        let mut engine = ParallelEngine::new(mixed_queries(), 2).unwrap();
+        for ev in &evs[..1_000] {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(1_000);
+        engine.metrics();
+        let before = engine.registry().snapshot();
+        engine.sharded.as_ref().unwrap().inject_panic(0);
+        for ev in &evs[1_000..] {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(10_000);
+        engine.finish();
+        engine.metrics();
+        let after = engine.registry().snapshot();
+        assert_eq!(engine.shard_panics(), 1);
+        // Counters stay monotone across the degradation: every
+        // instrument of the earlier snapshot persists at or above its
+        // level, so diffs against it never underflow.
+        for (name, v) in &before.counters {
+            let now = after.counters.get(name).copied().unwrap_or(0);
+            assert!(now >= *v, "{name} regressed across panic: {v} -> {now}");
+        }
+        let diff = after.diff(&before);
+        assert_eq!(diff.counters[names::ENGINE_SHARD_PANICS], 1);
+        // No phantom instruments: everything the diff reports exists in
+        // the later snapshot.
+        for name in diff.counters.keys() {
+            assert!(after.counters.contains_key(name), "phantom {name}");
+        }
+        for name in diff.gauges.keys() {
+            assert!(after.gauges.contains_key(name), "phantom {name}");
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_across_query_churn_tracks_gauge_levels() {
+        let evs = gapped_marked_events(3_000, 6);
+        let mut engine = ParallelEngine::new(full_mix_queries(), 3).unwrap();
+        for ev in &evs[..1_500] {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(evs[1_499].ts);
+        engine.metrics();
+        let before = engine.registry().snapshot();
+        engine
+            .add_query(Query::new(
+                9,
+                WindowSpec::tumbling_time(700).unwrap(),
+                AggFunction::Sum,
+            ))
+            .unwrap();
+        engine.remove_query(3, true);
+        for ev in &evs[1_500..] {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(60_000);
+        engine.finish();
+        engine.metrics();
+        let after = engine.registry().snapshot();
+        let diff = after.diff(&before);
+        for (name, v) in &before.counters {
+            let now = after.counters.get(name).copied().unwrap_or(0);
+            assert!(now >= *v, "{name} regressed across churn: {v} -> {now}");
+        }
+        // Gauges report the later level, not a delta: the session query
+        // was removed immediately and the stream fully drained, so the
+        // retained-state gauges are back at zero regardless of what the
+        // earlier snapshot held.
+        assert_eq!(
+            diff.gauges[names::ENGINE_UNFIXED_PENDING_SESSIONS],
+            after.gauges[names::ENGINE_UNFIXED_PENDING_SESSIONS]
+        );
+        assert_eq!(after.gauges[names::ENGINE_UNFIXED_PENDING_SESSIONS], 0);
+        assert_eq!(after.gauges[names::ENGINE_UNFIXED_QUEUED_UD_SLICES], 0);
+        // The mid-stream add landed: the new query produced results and
+        // the shard counters kept counting.
+        assert!(diff.counters[&names::engine_shard_events(2)] > 0);
+        for name in diff.counters.keys() {
+            assert!(after.counters.contains_key(name), "phantom {name}");
+        }
+        for name in diff.gauges.keys() {
+            assert!(after.gauges.contains_key(name), "phantom {name}");
+        }
+    }
+
+    #[test]
+    fn publish_reports_shard_balance_telemetry() {
+        let evs = gapped_marked_events(3_000, 7);
+        let mut engine = ParallelEngine::new(full_mix_queries(), 2).unwrap();
+        for ev in &evs {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(60_000);
+        engine.finish();
+        engine.metrics();
+        let snap = engine.registry().snapshot();
+        let imbalance = snap.gauges[names::ENGINE_SHARD_IMBALANCE_PERMILLE];
+        assert!(
+            (0..=1000).contains(&imbalance),
+            "imbalance permille out of range: {imbalance}"
+        );
+        // 7 keys over 2 shards: 4-vs-3 routing, so some imbalance shows.
+        assert!(imbalance > 0);
+        for shard in 0..2 {
+            assert!(snap.gauges[&names::engine_shard_inbox_depth_max(shard)] > 0);
+        }
+        assert!(snap
+            .gauges
+            .contains_key(names::ENGINE_UNFIXED_PENDING_SESSIONS));
+        assert!(snap
+            .gauges
+            .contains_key(names::ENGINE_UNFIXED_QUEUED_UD_SLICES));
+        assert!(snap
+            .gauges
+            .contains_key(names::ENGINE_UNFIXED_COUNT_SURVIVORS));
+    }
+
+    #[test]
+    fn profiler_attributes_driver_and_shard_stage_time() {
+        let profiler = Profiler::new(prof::ProfClock::wall());
+        profiler.begin();
+        let mut cfg = ParallelConfig::new(2);
+        cfg.profiler = Some(profiler.clone());
+        let evs = gapped_marked_events(4_000, 10);
+        let mut engine = ParallelEngine::with_config(full_mix_queries(), cfg).unwrap();
+        for ev in &evs {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(60_000);
+        engine.finish();
+        let _ = engine.drain_results();
+        engine.metrics();
+        profiler.end();
+        let report = profiler.report();
+        assert!(report.wall_ns > 0);
+        let lanes: Vec<&str> = report.lanes.iter().map(|l| l.lane.as_str()).collect();
+        for lane in ["driver", "shard0", "shard1"] {
+            assert!(lanes.contains(&lane), "missing lane {lane}: {lanes:?}");
+        }
+        // Nesting-aware self-time: no lane can account for more than
+        // the measured wall interval.
+        for lane in &report.lanes {
+            assert!(
+                lane.total_ns <= report.wall_ns,
+                "lane {} overflows wall: {} > {}",
+                lane.lane,
+                lane.total_ns,
+                report.wall_ns
+            );
+        }
+        let driver = report.lanes.iter().find(|l| l.lane == "driver").unwrap();
+        let stages: Vec<&str> = driver.stages.iter().map(|s| s.stage).collect();
+        for required in [
+            "analyzer",
+            "ingest",
+            "barrier",
+            "shard_merge",
+            "unfixed_merge",
+            "replay",
+            "assemble",
+            "drain",
+        ] {
+            assert!(
+                stages.contains(&required),
+                "driver missing {required}: {stages:?}"
+            );
+        }
+        let shard0 = report.lanes.iter().find(|l| l.lane == "shard0").unwrap();
+        let worker: Vec<&str> = shard0.stages.iter().map(|s| s.stage).collect();
+        for required in ["slicer", "count_filter", "idle"] {
+            assert!(
+                worker.contains(&required),
+                "shard0 missing {required}: {worker:?}"
+            );
+        }
+        // `metrics()` exported the tallies as prof.* counters.
+        let snap = engine.registry().snapshot();
+        assert!(snap.counters.keys().any(|k| k.starts_with("prof.driver.")));
+        assert!(snap.counters.keys().any(|k| k.starts_with("prof.shard1.")));
+    }
+
+    #[test]
+    fn profiling_enabled_results_match_unprofiled_run() {
+        let evs = gapped_marked_events(3_000, 9);
+        let plain = run_parallel(full_mix_queries(), &evs, 60_000, 3);
+        let profiler = Profiler::new(prof::ProfClock::wall());
+        profiler.begin();
+        let mut cfg = ParallelConfig::new(3);
+        cfg.profiler = Some(profiler.clone());
+        let mut engine = ParallelEngine::with_config(full_mix_queries(), cfg).unwrap();
+        for ev in &evs {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(60_000);
+        engine.finish();
+        let profiled = canon(engine.drain_results());
+        profiler.end();
+        assert_eq!(profiled, plain, "profiling must not perturb results");
+    }
+
+    #[test]
+    fn unfixed_and_count_trace_chains_complete_across_the_sharded_path() {
+        let collector = TraceCollector::new(1, 1 << 16);
+        let evs = gapped_marked_events(4_000, 10);
+        let mut engine = ParallelEngine::new(full_mix_queries(), 4).unwrap();
+        engine.install_tracing(&collector, 0);
+        for ev in &evs {
+            engine.on_event(ev);
+        }
+        engine.on_watermark(60_000);
+        engine.finish();
+        let results = engine.drain_results();
+        assert!(!results.is_empty());
+        // Recorders flush their ring buffers on drop.
+        drop(engine);
+        let timeline = collector.drain_timeline();
+        let mut chained: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut unfixed_merges = 0;
+        for chain in &timeline.chains {
+            let Some(query) = chain.result_query() else {
+                // Slices riding along inside a merge end mid-journey.
+                continue;
+            };
+            let kinds: Vec<&str> = chain.events.iter().map(|e| e.kind.name()).collect();
+            assert!(
+                chain.is_complete(),
+                "incomplete chain {} for query {query}: {kinds:?}",
+                chain.trace
+            );
+            for pair in chain.events.windows(2) {
+                assert!(
+                    pair[0].at <= pair[1].at,
+                    "non-monotone chain {}",
+                    chain.trace
+                );
+            }
+            if matches!(query, 3 | 4) {
+                assert!(
+                    kinds.contains(&"MergeStart") && kinds.contains(&"MergeDone"),
+                    "query {query} chain missing unfixed merge spans: {kinds:?}"
+                );
+                unfixed_merges += 1;
+            }
+            chained.insert(query);
+        }
+        // Session (3), user-defined (4), and count (5, 6) queries all
+        // resolve to complete provenance chains through the sharded path.
+        for query in [3u64, 4, 5, 6] {
+            assert!(
+                chained.contains(&query),
+                "no complete chain for query {query}; got {chained:?}"
+            );
+        }
+        assert!(unfixed_merges > 0);
     }
 }

@@ -35,6 +35,9 @@ pub enum ShardExit {
 struct ShardQueue<T> {
     items: VecDeque<T>,
     closed: Option<ShardExit>,
+    /// High-water queued-item count (shard-balance telemetry: a hot
+    /// shard's slot backs up while the collector is busy elsewhere).
+    depth_max: usize,
 }
 
 /// Per-shard mailboxes from N workers to one collector.
@@ -60,6 +63,7 @@ impl<T> Inbox<T> {
                     Mutex::new(ShardQueue {
                         items: VecDeque::new(),
                         closed: None,
+                        depth_max: 0,
                     })
                 })
                 .collect(),
@@ -83,7 +87,18 @@ impl<T> Inbox<T> {
             return false;
         }
         q.items.push_back(item);
+        if q.items.len() > q.depth_max {
+            q.depth_max = q.items.len();
+        }
         true
+    }
+
+    /// High-water queued-item count of `shard`'s slot (0 for
+    /// out-of-range shards).
+    pub fn depth_max(&self, shard: usize) -> usize {
+        self.shards
+            .get(shard)
+            .map_or(0, |slot| lock(slot).depth_max)
     }
 
     /// Closes `shard`'s slot with `exit`. The first close wins; later
@@ -172,6 +187,20 @@ mod tests {
         out.clear();
         assert_eq!(inbox.drain(1, &mut out), None);
         assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn depth_high_water_survives_drains() {
+        let inbox: Inbox<u32> = Inbox::new(1);
+        for i in 0..5 {
+            inbox.push(0, i);
+        }
+        let mut out = Vec::new();
+        inbox.drain(0, &mut out);
+        assert_eq!(inbox.depth_max(0), 5);
+        inbox.push(0, 9);
+        assert_eq!(inbox.depth_max(0), 5, "high water keeps the max");
+        assert_eq!(inbox.depth_max(7), 0);
     }
 
     #[test]

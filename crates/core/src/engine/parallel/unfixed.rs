@@ -37,6 +37,7 @@ use rustc_hash::FxHashMap;
 
 use crate::engine::group::QueryGroup;
 use crate::engine::slice::{SealedSlice, SessionGap, SliceData, SliceId, WindowEnd};
+use crate::obs::trace::{SpanKind, TraceId, TraceRecorder};
 use crate::query::QueryId;
 use crate::time::{DurationMs, Timestamp};
 
@@ -57,6 +58,10 @@ struct PendingSession {
     start: Timestamp,
     end: Timestamp,
     data: SliceData,
+    /// Causal trace carried through the merge: the first traced
+    /// fragment absorbed into the session wins (the merged window has
+    /// one representative provenance chain, like the fixed merge path).
+    trace: Option<TraceId>,
 }
 
 /// Per-session-query merge state.
@@ -72,13 +77,16 @@ struct SessionSlot {
     clears: Vec<Timestamp>,
 }
 
+/// One queued user-defined window partial: `(start, end, data, trace)`.
+type UdPartial = (Timestamp, Timestamp, SliceData, Option<TraceId>);
+
 /// Per-user-defined-query merge state.
 #[derive(Debug)]
 struct UdSlot {
     query: QueryId,
-    /// Per-shard FIFO of window partials `(start, end, data)` — the k-th
-    /// entry of every queue is the k-th window of the query.
-    queues: Vec<VecDeque<(Timestamp, Timestamp, SliceData)>>,
+    /// Per-shard FIFO of window partials — the k-th entry of every
+    /// queue is the k-th window of the query.
+    queues: Vec<VecDeque<UdPartial>>,
 }
 
 /// A fixed window accumulating shard contributions.
@@ -86,6 +94,9 @@ struct UdSlot {
 struct FixedPending {
     data: SliceData,
     seen: Vec<bool>,
+    /// First traced shard contribution — the merged window's
+    /// representative provenance chain.
+    trace: Option<TraceId>,
 }
 
 /// Merges the per-shard slice streams of one unfixed query-group back
@@ -107,6 +118,7 @@ pub struct UnfixedShardMerger {
     forced_up_to: Timestamp,
     next_id: SliceId,
     ready: VecDeque<SealedSlice>,
+    recorder: Option<TraceRecorder>,
 }
 
 impl UnfixedShardMerger {
@@ -158,7 +170,16 @@ impl UnfixedShardMerger {
             forced_up_to: 0,
             next_id: 0,
             ready: VecDeque::new(),
+            recorder: None,
         }
+    }
+
+    /// Enables causal tracing: the merger records `MergeStart` when a
+    /// traced shard partial is adopted as a window's representative
+    /// chain and `MergeDone` when the merged window is emitted, and the
+    /// emitted slice carries the trace on to the assembler.
+    pub fn set_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Live (non-degraded) shard count.
@@ -185,6 +206,7 @@ impl UnfixedShardMerger {
         }
         let ends = slice.ends;
         let low = slice.low_watermark;
+        let trace = slice.trace;
         self.stores[shard].push_back((slice.id, slice.data));
         for end in &ends {
             let Some(kind) = self.kinds.get(&end.query).copied() else {
@@ -192,9 +214,11 @@ impl UnfixedShardMerger {
             };
             let data = self.extract(shard, end.first_slice, end.last_slice);
             match kind {
-                EndKind::Session(pos) => self.absorb_session(pos, end.start_ts, end.end_ts, data),
+                EndKind::Session(pos) => {
+                    self.absorb_session(pos, end.start_ts, end.end_ts, data, trace);
+                }
                 EndKind::Ud(pos) => {
-                    self.uds[pos].queues[shard].push_back((end.start_ts, end.end_ts, data));
+                    self.uds[pos].queues[shard].push_back((end.start_ts, end.end_ts, data, trace));
                 }
                 EndKind::Fixed => {
                     let entry = self
@@ -203,10 +227,19 @@ impl UnfixedShardMerger {
                         .or_insert_with(|| FixedPending {
                             data: SliceData::new(self.selections),
                             seen: vec![false; self.shards],
+                            trace: None,
                         });
                     if !entry.seen[shard] {
                         entry.seen[shard] = true;
                         entry.data.merge(&data);
+                        if entry.trace.is_none() {
+                            if let Some(id) = trace {
+                                entry.trace = Some(id);
+                                if let Some(rec) = &mut self.recorder {
+                                    rec.record(id, SpanKind::MergeStart);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -226,17 +259,42 @@ impl UnfixedShardMerger {
 
     /// Span-overlap-merges a closed fragment into the query's pending
     /// sessions (strict overlap: touching sessions are distinct).
-    fn absorb_session(&mut self, pos: usize, start: Timestamp, end: Timestamp, data: SliceData) {
+    fn absorb_session(
+        &mut self,
+        pos: usize,
+        start: Timestamp,
+        end: Timestamp,
+        data: SliceData,
+        trace: Option<TraceId>,
+    ) {
         let slot = &mut self.sessions[pos];
-        let mut merged = PendingSession { start, end, data };
+        let mut merged = PendingSession {
+            start,
+            end,
+            data,
+            trace: None,
+        };
         let mut keep = Vec::with_capacity(slot.pending.len());
         for p in slot.pending.drain(..) {
             if p.start < merged.end && merged.start < p.end {
                 merged.start = merged.start.min(p.start);
                 merged.end = merged.end.max(p.end);
                 merged.data.merge(&p.data);
+                if merged.trace.is_none() {
+                    merged.trace = p.trace;
+                }
             } else {
                 keep.push(p);
+            }
+        }
+        // Absorbed pendings keep their (earlier-adopted) representative
+        // chain; only a fragment founding an untraced session starts one.
+        if merged.trace.is_none() {
+            if let Some(id) = trace {
+                merged.trace = Some(id);
+                if let Some(rec) = &mut self.recorder {
+                    rec.record(id, SpanKind::MergeStart);
+                }
             }
         }
         keep.push(merged);
@@ -330,7 +388,12 @@ impl UnfixedShardMerger {
                 (slot.query, slot.gap)
             };
             for p in due {
-                let PendingSession { start, end, data } = p;
+                let PendingSession {
+                    start,
+                    end,
+                    data,
+                    trace,
+                } = p;
                 let gap_start = end.saturating_sub(gap);
                 self.emit(
                     start,
@@ -348,6 +411,7 @@ impl UnfixedShardMerger {
                         gap_start,
                         gap_end: end,
                     }),
+                    trace,
                 );
             }
         }
@@ -369,13 +433,17 @@ impl UnfixedShardMerger {
                 }
                 let mut span: Option<(Timestamp, Timestamp)> = None;
                 let mut data = SliceData::new(self.selections);
+                let mut trace = None;
                 let query = self.uds[pos].query;
                 for shard in 0..self.shards {
                     if self.dead[shard] {
                         continue;
                     }
-                    if let Some((s, e, d)) = self.uds[pos].queues[shard].pop_front() {
+                    if let Some((s, e, d, t)) = self.uds[pos].queues[shard].pop_front() {
                         data.merge(&d);
+                        if trace.is_none() {
+                            trace = t;
+                        }
                         span = Some(match span {
                             Some((ms, me)) => (ms.min(s), me.max(e)),
                             None => (s, e),
@@ -383,6 +451,13 @@ impl UnfixedShardMerger {
                     }
                 }
                 let Some((start, end)) = span else { break };
+                // Adoption happens at release for user-defined windows
+                // (the k-th window completes only once every live shard
+                // queued its k-th partial), so the merge span collapses
+                // to the release instant.
+                if let (Some(rec), Some(id)) = (&mut self.recorder, trace) {
+                    rec.record(id, SpanKind::MergeStart);
+                }
                 self.emit(
                     start,
                     end,
@@ -395,6 +470,7 @@ impl UnfixedShardMerger {
                         end_ts: end,
                     },
                     None,
+                    trace,
                 );
             }
         }
@@ -433,6 +509,7 @@ impl UnfixedShardMerger {
                     end_ts: end,
                 },
                 None,
+                entry.trace,
             );
         }
     }
@@ -447,7 +524,11 @@ impl UnfixedShardMerger {
         data: SliceData,
         end: impl FnOnce(SliceId) -> WindowEnd,
         gap: Option<SessionGap>,
+        trace: Option<TraceId>,
     ) {
+        if let (Some(rec), Some(id)) = (&mut self.recorder, trace) {
+            rec.record(id, SpanKind::MergeDone);
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.ready.push_back(SealedSlice {
@@ -459,7 +540,7 @@ impl UnfixedShardMerger {
             session_gaps: gap.into_iter().collect(),
             low_watermark: id + 1,
             low_watermark_ts: start_ts,
-            trace: None,
+            trace,
         });
     }
 
@@ -471,13 +552,22 @@ impl UnfixedShardMerger {
     /// Pending state retained (sessions + fixed windows + queued
     /// user-defined partials) — observability / test hook.
     pub fn pending_len(&self) -> usize {
-        self.sessions.iter().map(|s| s.pending.len()).sum::<usize>()
-            + self.fixed.len()
-            + self
-                .uds
-                .iter()
-                .flat_map(|u| u.queues.iter())
-                .map(VecDeque::len)
-                .sum::<usize>()
+        self.pending_sessions() + self.fixed.len() + self.queued_ud_slices()
+    }
+
+    /// Merged-but-unreleased global sessions held for clear frontiers
+    /// (shard-balance telemetry: `engine.unfixed.pending_sessions`).
+    pub fn pending_sessions(&self) -> usize {
+        self.sessions.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Queued user-defined window partials awaiting full shard coverage
+    /// (shard-balance telemetry: `engine.unfixed.queued_ud_slices`).
+    pub fn queued_ud_slices(&self) -> usize {
+        self.uds
+            .iter()
+            .flat_map(|u| u.queues.iter())
+            .map(VecDeque::len)
+            .sum()
     }
 }

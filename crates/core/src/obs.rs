@@ -21,6 +21,7 @@
 //! dependencies.
 
 pub mod names;
+pub mod prof;
 pub mod trace;
 
 use std::collections::BTreeMap;

@@ -17,6 +17,8 @@
 //! * `net.node<id>.*` — per-node egress link counters.
 //! * `engine.*` — engine-side counters and latency histograms.
 //! * `trace.*` — causal-tracing stage histograms and drop counters.
+//! * `prof.*` — profiler per-lane per-stage self-time counters
+//!   ([`crate::obs::prof`]).
 //! * `cluster.*` — whole-run aggregates published by the cluster driver.
 
 // --- net.recovery.* ---------------------------------------------------
@@ -95,6 +97,12 @@ pub fn queue_depth_max(role: &str) -> String {
     format!("net.{role}.queue_depth_max")
 }
 
+/// Live inbound queue depth of `role`'s pump (sampled by the flight
+/// recorder; `queue_depth_max` keeps the high water).
+pub fn queue_depth(role: &str) -> String {
+    format!("net.{role}.queue_depth")
+}
+
 /// Undecodable frames seen by `role`'s pump.
 pub fn decode_errors(role: &str) -> String {
     format!("net.{role}.decode_errors")
@@ -143,6 +151,22 @@ pub fn engine_shard_batches(shard: usize) -> String {
     format!("engine.shard{shard}.batches")
 }
 
+/// High-water inbox depth (queued collector items) of one shard worker.
+pub fn engine_shard_inbox_depth_max(shard: usize) -> String {
+    format!("engine.shard{shard}.inbox_depth_max")
+}
+
+/// Shard-balance ratio in permille: `(max - min) * 1000 / max` over
+/// per-shard routed event counts (0 = perfectly balanced).
+pub const ENGINE_SHARD_IMBALANCE_PERMILLE: &str = "engine.shard_imbalance_permille";
+
+/// Open sessions retained by the cross-shard unfixed merger.
+pub const ENGINE_UNFIXED_PENDING_SESSIONS: &str = "engine.unfixed.pending_sessions";
+/// User-defined window slices queued in the cross-shard unfixed merger.
+pub const ENGINE_UNFIXED_QUEUED_UD_SLICES: &str = "engine.unfixed.queued_ud_slices";
+/// Count-query predicate survivors buffered for sequenced replay.
+pub const ENGINE_UNFIXED_COUNT_SURVIVORS: &str = "engine.unfixed.count_survivors";
+
 // --- trace.* ----------------------------------------------------------
 
 /// Trace events overwritten by ring-buffer drop-oldest.
@@ -151,6 +175,18 @@ pub const TRACE_DROPPED_EVENTS: &str = "trace.dropped_events";
 /// Per-query per-stage latency histogram fed from stitched trace chains.
 pub fn trace_stage_us(query: u64, stage: &str) -> String {
     format!("trace.q{query}.{stage}_us")
+}
+
+// --- prof.* (pipeline profiler) ---------------------------------------
+
+/// Cumulative self-time of one profiler (lane, stage) cell, nanoseconds.
+pub fn prof_stage_ns(lane: &str, stage: &str) -> String {
+    format!("prof.{lane}.{stage}_ns")
+}
+
+/// Scopes entered on one profiler (lane, stage) cell.
+pub fn prof_stage_calls(lane: &str, stage: &str) -> String {
+    format!("prof.{lane}.{stage}_calls")
 }
 
 // --- cluster.* (whole-run aggregates) ---------------------------------
@@ -181,6 +217,16 @@ mod tests {
         assert_eq!(engine_result_latency_us(1), "engine.result_latency_us.q1");
         assert_eq!(engine_shard_events(2), "engine.shard2.events");
         assert_eq!(engine_shard_batches(0), "engine.shard0.batches");
+        assert_eq!(
+            engine_shard_inbox_depth_max(3),
+            "engine.shard3.inbox_depth_max"
+        );
+        assert_eq!(queue_depth("root"), "net.root.queue_depth");
+        assert_eq!(prof_stage_ns("shard0", "slicer"), "prof.shard0.slicer_ns");
+        assert_eq!(
+            prof_stage_calls("driver", "barrier"),
+            "prof.driver.barrier_calls"
+        );
         assert_eq!(cluster_system_prefix("desis"), "cluster.desis.");
     }
 

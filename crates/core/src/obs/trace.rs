@@ -472,13 +472,18 @@ impl TraceTimeline {
     /// plus one duration (`"ph":"X"`) event per stage, with `pid` =
     /// recording node and `tid` = trace id.
     pub fn to_chrome_json(&self) -> String {
-        let epoch = match self.epoch {
-            Some(e) => e,
-            None => {
-                return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}".to_string();
-            }
-        };
-        let ts_us = |at: Instant| at.saturating_duration_since(epoch).as_micros() as u64;
+        self.to_chrome_json_with(&[])
+    }
+
+    /// Like [`TraceTimeline::to_chrome_json`], additionally appending
+    /// one Perfetto counter track (`"ph":"C"`) per entry of `tracks`
+    /// under a synthetic `pid` 999999 ("metrics"). Track samples are
+    /// `(ts_us, value)` pairs — e.g. flight-recorder counter rates via
+    /// [`crate::obs::prof::FlightRecorder::counter_tracks`] — on the
+    /// profiler's own time base (its `begin`), which for a run traced
+    /// end to end coincides with the span epoch to within startup
+    /// latency.
+    pub fn to_chrome_json_with(&self, tracks: &[(String, Vec<(u64, f64)>)]) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
@@ -489,6 +494,34 @@ impl TraceTimeline {
             first = false;
             out.push_str(&json);
         };
+        const METRICS_PID: u32 = 999_999;
+        for (track, samples) in tracks {
+            let name = crate::obs::json_escape(track);
+            for (ts, value) in samples {
+                push_event(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"metric\",\"ph\":\"C\",\
+                         \"ts\":{ts},\"pid\":{METRICS_PID},\
+                         \"args\":{{\"value\":{value}}}}}"
+                    ),
+                );
+            }
+        }
+        if !tracks.is_empty() {
+            push_event(
+                &mut out,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{METRICS_PID},\
+                     \"args\":{{\"name\":\"metrics\"}}}}"
+                ),
+            );
+        }
+        let Some(epoch) = self.epoch else {
+            out.push_str("]}");
+            return out;
+        };
+        let ts_us = |at: Instant| at.saturating_duration_since(epoch).as_micros() as u64;
         let mut nodes_seen = std::collections::BTreeSet::new();
         for chain in &self.chains {
             for ev in &chain.events {
@@ -652,6 +685,37 @@ mod tests {
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_json_appends_counter_tracks() {
+        let tc = TraceCollector::new(1, 64);
+        let mut rec = tc.recorder(0);
+        let id = rec.maybe_mint().unwrap();
+        rec.record(id, SpanKind::SliceCreated);
+        drop(rec);
+        let tracks = vec![
+            (
+                "engine.shard0.events".to_string(),
+                vec![(5u64, 10.0), (15, 25.0)],
+            ),
+            ("prof.driver.barrier_ns".to_string(), vec![(5, 1_000.0)]),
+        ];
+        let json = tc.drain_timeline().to_chrome_json_with(&tracks);
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"engine.shard0.events\""), "{json}");
+        assert!(json.contains("\"value\":25"), "{json}");
+        assert!(json.contains("\"name\":\"metrics\""), "{json}");
+        // Span events still present alongside the tracks.
+        assert!(json.contains("\"SliceCreated\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // Tracks alone (no chains) still export well-formed JSON.
+        let empty = TraceCollector::new(1, 8).drain_timeline();
+        let json = empty.to_chrome_json_with(&tracks);
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

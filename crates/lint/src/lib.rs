@@ -11,9 +11,11 @@
 //! * **no-wallclock** — deterministic simulation paths (the engine, the
 //!   node state machines, fault injection, codecs) must not read
 //!   `Instant::now()` or `SystemTime`; wall-clock reads there make runs
-//!   irreproducible.
+//!   irreproducible. The profiler (`core::obs::prof`) is also in scope:
+//!   its injectable `ProfClock` facade funnels the whole subsystem
+//!   through a single allowlisted `Instant::now()` call.
 //! * **metric-names** — metric and trace names (string literals matching
-//!   `^(net|engine|trace|cluster)\.`) may appear only in
+//!   `^(net|engine|trace|prof|cluster)\.`) may appear only in
 //!   `core::obs::names` and in tests, so dashboards and goldens cannot
 //!   drift against the code.
 //! * **wire-usize** — structs and enums in `net::message` / `net::codec`
@@ -202,9 +204,12 @@ pub fn in_scope(rule: &str, path: &str) -> bool {
         }
         // Deterministic paths: the engine plus every net module that the
         // simulated cluster drives without real IO. `link`, `recovery`,
-        // and `cluster` legitimately pace on wall-clock.
+        // and `cluster` legitimately pace on wall-clock. The profiler is
+        // pinned in scope so its clock stays funneled through the single
+        // allowlisted `ProfClock::wall()` read.
         "no-wallclock" => {
             path.starts_with("crates/core/src/engine")
+                || path == "crates/core/src/obs/prof.rs"
                 || matches!(
                     path,
                     "crates/net/src/node.rs"
@@ -409,7 +414,7 @@ fn rule_metric_names(
         if t.kind != TokKind::Str || is_test_line(test_lines, t.line) {
             continue;
         }
-        let named = ["net.", "engine.", "trace.", "cluster."]
+        let named = ["net.", "engine.", "trace.", "prof.", "cluster."]
             .iter()
             .any(|p| t.text.starts_with(p));
         if named {
@@ -723,6 +728,28 @@ mod tests {
         let v = findings("crates/core/src/engine/parallel.rs", src);
         assert_eq!(by_rule(&v).get("no-panic"), Some(&1));
         assert_eq!(by_rule(&v).get("no-wallclock"), Some(&1));
+    }
+
+    /// The profiler is the only module allowed to read the wall clock,
+    /// and only through the single allowlisted `ProfClock::wall()` line:
+    /// the file must stay pinned in no-wallclock scope so any new clock
+    /// read is a fresh finding, and `prof.*` instrument names must be
+    /// centralized like every other namespace.
+    #[test]
+    fn profiler_is_in_no_wallclock_scope_and_prof_names_are_centralized() {
+        let path = "crates/core/src/obs/prof.rs";
+        assert!(
+            in_scope("no-wallclock", path),
+            "{path} left no-wallclock scope"
+        );
+        assert!(in_scope("metric-names", path));
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let v = findings(path, src);
+        assert_eq!(by_rule(&v).get("no-wallclock"), Some(&1));
+        let src = "fn f() { m.counter(\"prof.shard0.slicer_ns\"); }\n";
+        let v = findings("crates/core/src/engine/parallel.rs", src);
+        assert_eq!(by_rule(&v).get("metric-names"), Some(&1));
+        assert!(findings("crates/core/src/obs/names.rs", src).is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rustc_hash::FxHashMap;
 use desis_core::error::DesisError;
 use desis_core::event::Event;
 use desis_core::metrics::EngineMetrics;
+use desis_core::obs::prof::{self, Profiler, Stage};
 use desis_core::obs::trace::TraceCollector;
 use desis_core::obs::{names, MetricsRegistry, MetricsSnapshot};
 use desis_core::query::{Query, QueryResult};
@@ -486,6 +487,10 @@ pub fn run_cluster(
                 let mut stalled = false;
                 let pace_start = Instant::now();
                 let mut first_ts: Option<Timestamp> = None;
+                // Leaf-lane stage attribution: pace sleeps vs. actual
+                // ingest work, so a profile distinguishes "replaying in
+                // real time" from "saturated".
+                let mut lane = Profiler::global().map(|p| p.handle(&format!("node{node}")));
                 for ev in feed {
                     if crash_at.is_some_and(|at| ev.ts >= at) {
                         // Crash: exit without finish or Flush. Dropping
@@ -525,6 +530,7 @@ pub fn run_cluster(
                         let due = (ev.ts - base) as f64 / 1e3 / speedup;
                         let elapsed = pace_start.elapsed().as_secs_f64();
                         if due > elapsed {
+                            let _pace = prof::scope(&mut lane, Stage::Pace);
                             std::thread::sleep(Duration::from_secs_f64(due - elapsed));
                         }
                     }
@@ -532,11 +538,16 @@ pub fn run_cluster(
                         table.record(ev.ts);
                     }
                     since_sample = (since_sample + 1) % sample_every;
+                    let _ingest = prof::scope(&mut lane, Stage::Ingest);
                     if !worker.on_event(&ev, &mut uplink) {
                         break;
                     }
                 }
-                let _ = worker.finish(horizon, &mut uplink);
+                {
+                    let _drain = prof::scope(&mut lane, Stage::Drain);
+                    let _ = worker.finish(horizon, &mut uplink);
+                }
+                drop(lane);
                 metrics_sink.lock().absorb(&worker.metrics());
                 // Stay around to answer retransmit requests until the
                 // parent acknowledges our Flush; then dropping the uplink

@@ -56,6 +56,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::Select;
+use desis_core::obs::prof::{self, ProfHandle, Profiler, Stage};
 use desis_core::obs::trace::{SpanKind, TraceId, TraceRecorder};
 use desis_core::obs::{names, Counter, Gauge, MetricsRegistry};
 use desis_core::time::{DurationMs, Timestamp};
@@ -204,9 +205,13 @@ impl RecoveryCtx {
 /// into the run's [`MetricsRegistry`]: received bytes, message counts by
 /// kind, the high-water inbound queue depth, and undecodable frames.
 pub(crate) struct PumpObs {
+    /// The node role this pump runs under ("intermediate", "root", …);
+    /// doubles as the profiler lane name for the pump loop.
+    role: String,
     ingress_bytes: Arc<Counter>,
     msgs: [(&'static str, Arc<Counter>); 5],
     other_msgs: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
     queue_depth_max: Arc<Gauge>,
     pub(crate) decode_errors: Arc<Counter>,
 }
@@ -215,9 +220,11 @@ impl PumpObs {
     pub(crate) fn new(registry: &MetricsRegistry, role: &str) -> Self {
         let tag_counter = |tag: &str| registry.counter(&names::ingress_msgs(role, tag));
         Self {
+            role: role.to_string(),
             ingress_bytes: registry.counter(&names::ingress_bytes(role)),
             msgs: names::MSG_TAGS.map(|tag| (tag, tag_counter(tag))),
             other_msgs: tag_counter(names::TAG_OTHER),
+            queue_depth: registry.gauge(&names::queue_depth(role)),
             queue_depth_max: registry.gauge(&names::queue_depth_max(role)),
             decode_errors: registry.counter(&names::decode_errors(role)),
         }
@@ -229,6 +236,9 @@ impl PumpObs {
             Some((_, c)) => c.inc(),
             None => self.other_msgs.inc(),
         }
+        // Instantaneous level for the flight recorder, high-water for the
+        // end-of-run snapshot.
+        self.queue_depth.set(queued as i64);
         self.queue_depth_max.set_max(queued as i64);
     }
 }
@@ -266,6 +276,9 @@ struct Pump<'a, F: FnMut(NodeId, Message)> {
     lost: Vec<NodeId>,
     open: usize,
     max_watermark: Timestamp,
+    /// Stage attribution for this pump loop, on the lane named after the
+    /// node role; `None` unless a global [`Profiler`] is installed.
+    prof: Option<ProfHandle>,
 }
 
 /// Pumps messages from children until every channel disconnects, running
@@ -306,6 +319,7 @@ pub(crate) fn pump_children(
         lost: Vec::new(),
         open,
         max_watermark: 0,
+        prof: Profiler::global().map(|p| p.handle(&obs.role)),
     }
     .run()
 }
@@ -314,7 +328,13 @@ impl<F: FnMut(NodeId, Message)> Pump<'_, F> {
     fn run(mut self) -> Vec<NodeId> {
         let tick = self.ctx.config.nack_grace;
         while self.open > 0 {
-            match self.sel.select_timeout(tick) {
+            // Manual stamps instead of RAII scopes: the handler arms below
+            // take `&mut self`, which a live `Scope` borrow would block.
+            let recv_t0 = self.prof.as_ref().and_then(ProfHandle::stamp);
+            let selected = self.sel.select_timeout(tick);
+            Self::prof_record(&mut self.prof, Stage::Recv, recv_t0);
+            let handle_t0 = self.prof.as_ref().and_then(ProfHandle::stamp);
+            match selected {
                 Ok(op) => {
                     let idx = op.index();
                     match op.recv(self.receivers[idx].1.raw()) {
@@ -324,8 +344,16 @@ impl<F: FnMut(NodeId, Message)> Pump<'_, F> {
                 }
                 Err(_) => self.tick(),
             }
+            Self::prof_record(&mut self.prof, Stage::Handler, handle_t0);
         }
         self.lost
+    }
+
+    /// Closes a manual stage span opened by [`ProfHandle::stamp`].
+    fn prof_record(prof: &mut Option<ProfHandle>, stage: Stage, stamp: Option<prof::Stamp>) {
+        if let (Some(h), Some(t0)) = (prof.as_mut(), stamp) {
+            h.record_since(stage, t0);
+        }
     }
 
     /// Feeds one event into the child's protocol machine and executes the
