@@ -197,12 +197,17 @@ impl Assembler {
                 e.insert(merged)
             }
         };
-        for (key, bundle) in &*merged {
+        // Emit in key order so assembly output is hash-order-free even
+        // before the engine's canonical drain sort.
+        let mut keys: Vec<Key> = merged.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let bundle = &merged[&key];
             let values: Vec<Option<f64>> =
                 info.functions.iter().map(|f| bundle.finalize(f)).collect();
             out.push(QueryResult {
                 query: end.query,
-                key: *key,
+                key,
                 window_start: end.start_ts,
                 window_end: end.end_ts,
                 values,

@@ -748,11 +748,16 @@ impl FixedAssembler {
                 continue;
             }
             let q = &self.queries[qi];
-            for (key, bundle) in merged {
+            // Emit in key order so assembly output is hash-order-free
+            // even before the engine's canonical drain sort.
+            let mut keys: Vec<Key> = merged.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let bundle = &merged[&key];
                 let values = q.functions.iter().map(|f| bundle.finalize(f)).collect();
                 out.push(QueryResult {
                     query: q.id,
-                    key: *key,
+                    key,
                     window_start: start,
                     window_end: slice_end,
                     values,

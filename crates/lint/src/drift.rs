@@ -1,0 +1,303 @@
+//! The **metric-names-drift** rule: the registry in `core::obs::names`
+//! and the code that emits instruments must agree, in both directions.
+//!
+//! * **Declared → emitted**: every namespaced constant and every
+//!   name-building function declared in `names.rs` must be referenced
+//!   at least once in non-test code outside the registry. A name only
+//!   tests mention is a dashboard entry nothing produces.
+//! * **Emitted → declared**: in the crates where inline name literals
+//!   are *legal* (the bench/baselines/gen/umbrella trees — inside
+//!   `core`/`net` the `metric-names` rule already forces constants),
+//!   every namespaced string literal must match a declared constant
+//!   value or a declared builder's prefix. Bare namespace prefixes
+//!   (`"engine."`) used as filters are exempt.
+//!
+//! Together with `metric-names` this closes the loop PR 4 left open:
+//! names cannot drift out of the registry, and the registry cannot
+//! drift ahead of the code.
+
+use crate::lexer::{lex, TokKind};
+
+/// The instrument namespaces the repo uses (same set as the
+/// `metric-names` rule).
+pub const NAMESPACES: [&str; 5] = ["net.", "engine.", "trace.", "prof.", "cluster."];
+
+fn namespaced(s: &str) -> bool {
+    NAMESPACES.iter().any(|p| s.starts_with(p))
+}
+
+/// One declaration parsed out of `names.rs`.
+#[derive(Debug, Clone)]
+pub struct NameDecl {
+    /// The constant or function identifier.
+    pub ident: String,
+    /// The literal value (for constants) or the first namespaced
+    /// literal in the body (for builder functions).
+    pub value: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// True for `fn` builders, false for `const`s.
+    pub builder: bool,
+}
+
+/// The parsed registry: declarations plus the set of legal emitted
+/// shapes (exact constant values and builder format prefixes).
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Every namespaced declaration, in source order.
+    pub decls: Vec<NameDecl>,
+    /// Exact values of namespaced constants.
+    pub exact: Vec<String>,
+    /// Prefixes of builder format strings (the text before the first
+    /// `{` interpolation).
+    pub prefixes: Vec<String>,
+}
+
+/// Parses `names.rs`: `pub const N: &str = "ns.*"` constants, `pub fn`
+/// builders whose bodies format namespaced strings, and the prefix set.
+/// Declarations inside `#[cfg(test)]` are ignored.
+pub fn parse_registry(source: &str) -> Registry {
+    let toks = lex(source);
+    let test_lines = crate::test_regions(&toks, source);
+    let is_test = |line: usize| test_lines.get(line).copied().unwrap_or(false);
+    let mut reg = Registry::default();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if is_test(t.line) {
+            i += 1;
+            continue;
+        }
+        // `const NAME : & str = "value" ;`
+        if t.is_ident("const")
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('&'))
+            && toks.get(i + 4).is_some_and(|n| n.is_ident("str"))
+            && toks.get(i + 5).is_some_and(|n| n.is_punct('='))
+            && toks.get(i + 6).is_some_and(|n| n.kind == TokKind::Str)
+        {
+            let value = toks[i + 6].text.clone();
+            if namespaced(&value) {
+                reg.decls.push(NameDecl {
+                    ident: toks[i + 1].text.clone(),
+                    value: value.clone(),
+                    line: toks[i + 1].line,
+                    builder: false,
+                });
+                reg.exact.push(value);
+            }
+            i += 7;
+            continue;
+        }
+        // `fn name(...) -> ... { ... "ns.{x}" ... }`
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let ident = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            // Scan the body: to the matching `}` of the first brace.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut first_name: Option<String> = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Str if namespaced(&toks[j].text) => {
+                        let text = toks[j].text.clone();
+                        if let Some(cut) = text.find('{') {
+                            reg.prefixes.push(text[..cut].to_string());
+                        } else {
+                            reg.exact.push(text.clone());
+                        }
+                        first_name.get_or_insert(text);
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(value) = first_name {
+                reg.decls.push(NameDecl {
+                    ident,
+                    value,
+                    line,
+                    builder: true,
+                });
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    reg
+}
+
+/// A reference file the drift check scans: relative path, source text,
+/// and whether inline literals are legal there (outside the
+/// `metric-names` rule's scope).
+pub struct RefFile {
+    /// Path relative to the workspace root.
+    pub rel: String,
+    /// File contents.
+    pub source: String,
+    /// True when the `metric-names` rule does not already police
+    /// literals here, so the emitted→declared direction applies.
+    pub check_literals: bool,
+}
+
+/// Runs both drift directions. Findings for unused declarations attach
+/// to `names_rel`; undeclared-literal findings attach to the emitting
+/// file.
+pub fn check_drift(
+    names_rel: &str,
+    names_src: &str,
+    refs: &[RefFile],
+    push: &mut impl FnMut(&'static str, &str, usize, String),
+) {
+    let reg = parse_registry(names_src);
+    let mut used: Vec<bool> = vec![false; reg.decls.len()];
+
+    for file in refs {
+        let toks = lex(&file.source);
+        let test_lines = crate::test_regions(&toks, &file.source);
+        let is_test = |line: usize| test_lines.get(line).copied().unwrap_or(false);
+        for t in &toks {
+            if is_test(t.line) {
+                continue;
+            }
+            match t.kind {
+                TokKind::Ident => {
+                    for (d, decl) in reg.decls.iter().enumerate() {
+                        if !used[d] && decl.ident == t.text {
+                            used[d] = true;
+                        }
+                    }
+                }
+                TokKind::Str if file.check_literals && namespaced(&t.text) => {
+                    let lit = &t.text;
+                    // Bare namespace prefixes are filters, not names.
+                    if NAMESPACES.contains(&lit.as_str()) {
+                        continue;
+                    }
+                    let declared = reg.exact.iter().any(|v| v == lit)
+                        || reg.prefixes.iter().any(|p| lit.starts_with(p.as_str()));
+                    if !declared {
+                        push(
+                            "metric-names-drift",
+                            &file.rel,
+                            t.line,
+                            format!(
+                                "emitted name \"{lit}\" is not declared in \
+                                 core::obs::names; add it to the registry"
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (d, decl) in reg.decls.iter().enumerate() {
+        if !used[d] {
+            let kind = if decl.builder { "builder" } else { "constant" };
+            push(
+                "metric-names-drift",
+                names_rel,
+                decl.line,
+                format!(
+                    "{kind} `{}` (\"{}\") is never emitted outside tests; \
+                     wire it up or remove it from the registry",
+                    decl.ident, decl.value
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: &str = "pub const ENGINE_EVENTS: &str = \"engine.events\";\n\
+                         pub const NET_FRAMES: &str = \"net.frames\";\n\
+                         pub const TAG_SLICE: &str = \"slice\";\n\
+                         pub fn shard_events(shard: usize) -> String {\n\
+                             format!(\"engine.shard{shard}.events\")\n\
+                         }\n\
+                         #[cfg(test)]\n\
+                         mod tests { fn t() { let _ = \"engine.testonly\"; } }\n";
+
+    fn run_drift(refs: &[RefFile]) -> Vec<(String, usize, String)> {
+        let mut out = Vec::new();
+        check_drift("names.rs", NAMES, refs, &mut |_, path, line, msg| {
+            out.push((path.to_string(), line, msg));
+        });
+        out
+    }
+
+    #[test]
+    fn registry_parses_consts_builders_and_prefixes() {
+        let reg = parse_registry(NAMES);
+        let idents: Vec<&str> = reg.decls.iter().map(|d| d.ident.as_str()).collect();
+        // TAG_SLICE has no namespace prefix and the test mod is skipped.
+        assert_eq!(idents, ["ENGINE_EVENTS", "NET_FRAMES", "shard_events"]);
+        assert_eq!(reg.prefixes, ["engine.shard"]);
+    }
+
+    #[test]
+    fn unused_declarations_are_flagged() {
+        let refs = [RefFile {
+            rel: "engine.rs".into(),
+            source: "fn f(m: &M) { m.counter(ENGINE_EVENTS); }".into(),
+            check_literals: false,
+        }];
+        let out = run_drift(&refs);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].2.contains("NET_FRAMES"), "{out:?}");
+        assert!(out[1].2.contains("shard_events"), "{out:?}");
+    }
+
+    #[test]
+    fn undeclared_literals_are_flagged_where_literals_are_legal() {
+        let refs = [RefFile {
+            rel: "bench.rs".into(),
+            source: "fn f() {\n\
+                       let a = \"engine.events\";\n\
+                       let b = \"engine.shard3.events\";\n\
+                       let c = \"engine.bogus\";\n\
+                       let d = \"engine.\";\n\
+                       let _ = (a, b, c, d, ENGINE_EVENTS, NET_FRAMES, shard_events);\n\
+                     }"
+            .into(),
+            check_literals: true,
+        }];
+        let out = run_drift(&refs);
+        // Only the bogus literal: exact and prefix matches pass, the
+        // bare namespace filter is exempt, and every decl is referenced.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].1, 4);
+        assert!(out[0].2.contains("engine.bogus"), "{out:?}");
+    }
+
+    #[test]
+    fn test_only_references_do_not_count() {
+        let refs = [RefFile {
+            rel: "engine.rs".into(),
+            source: "#[cfg(test)]\n\
+                     mod tests { fn t(m: &M) { m.counter(ENGINE_EVENTS); } }"
+                .into(),
+            check_literals: false,
+        }];
+        let out = run_drift(&refs);
+        assert_eq!(out.len(), 3, "all decls unused: {out:?}");
+    }
+}

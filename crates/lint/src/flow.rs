@@ -1,0 +1,243 @@
+//! Resource-flow rules for the `net`/`engine` hot paths:
+//!
+//! * **bounded-channels** — `crossbeam_channel::unbounded()` is
+//!   forbidden: an unbounded queue turns backpressure into unbounded
+//!   memory growth under soak (ROADMAP item 5). Channels must be
+//!   `bounded(capacity)`; a queue that genuinely cannot block (e.g. a
+//!   control backchannel whose senders never outpace the pump) needs an
+//!   allowlist entry whose justification says why.
+//! * **no-lock-across-send** — a `Mutex`/`RwLock` guard held across a
+//!   channel `send`/`recv` is a deadlock waiting for bounded
+//!   backpressure: the send blocks on a full channel while the receiver
+//!   blocks on the lock. Guards must be dropped (scope or explicit
+//!   `drop`) before touching a channel.
+
+use crate::lexer::Tok;
+use crate::parse::{forest, split_stmts, Group, Tree};
+
+/// Methods that acquire a lock guard.
+const LOCKS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Channel operations that may block (or spin against) the peer.
+const CHANNEL_OPS: [&str; 6] = [
+    "send",
+    "try_send",
+    "send_timeout",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+];
+
+fn is_test(test_lines: &[bool], line: usize) -> bool {
+    test_lines.get(line).copied().unwrap_or(false)
+}
+
+/// bounded-channels: any `unbounded(...)` call outside tests.
+pub fn rule_bounded_channels(
+    toks: &[Tok],
+    test_lines: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("unbounded")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !is_test(test_lines, t.line)
+        {
+            push(
+                "bounded-channels",
+                t.line,
+                "unbounded() channel has no backpressure and grows without \
+                 bound under soak; use bounded(capacity) or allowlist with \
+                 justification"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// no-lock-across-send: a guard bound by `let g = x.lock();` (or
+/// `read`/`write`) stays live to the end of its block; any channel
+/// send/recv before that (or an explicit `drop(g)`) is flagged.
+pub fn rule_no_lock_across_send(
+    toks: &[Tok],
+    test_lines: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    let trees = forest(toks);
+    walk_groups(&trees, test_lines, push);
+}
+
+fn walk_groups(
+    trees: &[Tree],
+    test_lines: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for t in trees {
+        if let Tree::Group(g) = t {
+            if g.open == '{' {
+                check_block(g, test_lines, push);
+            }
+            walk_groups(&g.trees, test_lines, push);
+        }
+    }
+}
+
+fn check_block(
+    group: &Group,
+    test_lines: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    let stmts = split_stmts(&group.trees);
+    for (si, stmt) in stmts.iter().enumerate() {
+        let Some((name, lock_line)) = guard_binding(stmt) else {
+            continue;
+        };
+        if is_test(test_lines, lock_line) {
+            continue;
+        }
+        for later in &stmts[si + 1..] {
+            if is_drop_of(later, &name) {
+                break;
+            }
+            if let Some(line) = find_channel_op(later) {
+                if !is_test(test_lines, line) {
+                    push(
+                        "no-lock-across-send",
+                        line,
+                        format!(
+                            "channel send/recv while guard `{name}` (locked on \
+                             line {lock_line}) is live risks deadlock under \
+                             backpressure; drop the guard first"
+                        ),
+                    );
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// `let [mut] NAME = ...lock()...;` returns the guard name and line.
+fn guard_binding(stmt: &[Tree]) -> Option<(String, usize)> {
+    if !stmt.first()?.is_ident("let") {
+        return None;
+    }
+    let mut i = 1;
+    if stmt.get(i).is_some_and(|t| t.is_ident("mut")) {
+        i += 1;
+    }
+    let name = stmt.get(i)?.ident()?.to_string();
+    let eq = stmt.iter().position(|t| t.is_punct('='))?;
+    // Do not look inside `{...}`: a guard born in a nested block dies
+    // there (`let v = { let g = m.lock(); *g };` holds no guard).
+    find_method_line(&stmt[eq + 1..], &LOCKS, false).map(|line| (name, line))
+}
+
+/// Finds the first `.method(...)` call whose name is in `set`,
+/// recursing through groups (brace groups only when `into_braces`).
+/// Returns its line.
+fn find_method_line(trees: &[Tree], set: &[&str], into_braces: bool) -> Option<usize> {
+    for (i, t) in trees.iter().enumerate() {
+        if let Some(name) = t.ident() {
+            if set.contains(&name)
+                && i > 0
+                && trees[i - 1].is_punct('.')
+                && matches!(trees.get(i + 1), Some(Tree::Group(g)) if g.open == '(')
+            {
+                return Some(t.line());
+            }
+        }
+        if let Tree::Group(g) = t {
+            if g.open != '{' || into_braces {
+                if let Some(line) = find_method_line(&g.trees, set, into_braces) {
+                    return Some(line);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn find_channel_op(stmt: &[Tree]) -> Option<usize> {
+    find_method_line(stmt, &CHANNEL_OPS, true)
+}
+
+/// `drop(name)` or `std::mem::drop(name)`.
+fn is_drop_of(stmt: &[Tree], name: &str) -> bool {
+    stmt.iter().enumerate().any(|(i, t)| {
+        t.is_ident("drop")
+            && matches!(
+                stmt.get(i + 1),
+                Some(Tree::Group(g))
+                    if g.open == '(' && g.trees.len() == 1 && g.trees[0].is_ident(name)
+            )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_rules(src: &str) -> Vec<(&'static str, usize)> {
+        let toks = lex(src);
+        let test_lines = crate::test_regions(&toks, src);
+        let mut out = Vec::new();
+        rule_bounded_channels(&toks, &test_lines, &mut |r, l, _| out.push((r, l)));
+        rule_no_lock_across_send(&toks, &test_lines, &mut |r, l, _| out.push((r, l)));
+        out
+    }
+
+    #[test]
+    fn unbounded_is_flagged_outside_tests() {
+        let src = "fn f() { let (tx, rx) = crossbeam_channel::unbounded(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn g() { let (a, b) = crossbeam_channel::unbounded(); } }\n";
+        assert_eq!(run_rules(src), [("bounded-channels", 1)]);
+    }
+
+    #[test]
+    fn lock_across_send_is_flagged() {
+        let src = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n\
+                     let guard = m.lock();\n\
+                     tx.send(*guard).ok();\n\
+                   }\n";
+        assert_eq!(run_rules(src), [("no-lock-across-send", 3)]);
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_fine() {
+        let src = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n\
+                     let guard = m.lock();\n\
+                     let v = *guard;\n\
+                     drop(guard);\n\
+                     tx.send(v).ok();\n\
+                   }\n\
+                   fn g(m: &Mutex<u32>, tx: &Sender<u32>) {\n\
+                     let v = { let guard = m.lock(); *guard };\n\
+                     tx.send(v).ok();\n\
+                   }\n";
+        assert!(run_rules(src).is_empty(), "{:?}", run_rules(src));
+    }
+
+    #[test]
+    fn in_statement_lock_temporaries_are_fine() {
+        // The guard is a temporary dropped at the end of the statement.
+        let src = "fn f(m: &Mutex<Vec<u32>>, tx: &Sender<u32>) {\n\
+                     m.lock().push(1);\n\
+                     tx.send(2).ok();\n\
+                   }\n";
+        assert!(run_rules(src).is_empty(), "{:?}", run_rules(src));
+    }
+
+    #[test]
+    fn send_inside_nested_block_is_still_flagged() {
+        let src = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n\
+                     let guard = m.lock();\n\
+                     if *guard > 0 {\n\
+                       tx.send(*guard).ok();\n\
+                     }\n\
+                   }\n";
+        assert_eq!(run_rules(src), [("no-lock-across-send", 4)]);
+    }
+}

@@ -1,7 +1,9 @@
 //! desis-lint: repo-specific static analysis for the Desis workspace.
 //!
-//! Four rules, each scoped to the files where its invariant matters (see
-//! `DESIGN.md` §2.10 for the rationale):
+//! Eight rules, each scoped to the files where its invariant matters
+//! (see `DESIGN.md` §2.10 and §2.13 for the rationale). The first four
+//! are token-level (PR 4); the last four are syntax-aware, built on the
+//! token-tree/statement/chain layer in [`parse`]:
 //!
 //! * **no-panic** — the recovery/cluster hot paths and the engine must
 //!   not `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`, or
@@ -21,6 +23,22 @@
 //! * **wire-usize** — structs and enums in `net::message` / `net::codec`
 //!   are wire formats; `usize`/`isize` fields would change layout across
 //!   targets.
+//! * **no-unordered-iter** — iterating a `HashMap`/`HashSet` in a
+//!   determinism-scoped module (the engine tree, the mergers, the
+//!   report/wire path) leaks nondeterministic hash order into results
+//!   or onto the wire, breaking the byte-identity guarantee of
+//!   `DESIGN.md` §2.11. Chains that end in a commutative terminal or
+//!   the collect-then-sort idiom are recognized as ordered; everything
+//!   else needs `BTreeMap`, a sort, or a justified allowlist entry.
+//! * **bounded-channels** — `crossbeam_channel::unbounded()` is
+//!   forbidden in `net`/`engine` hot paths; unbounded queues defeat
+//!   backpressure and grow without bound under soak.
+//! * **no-lock-across-send** — a `Mutex`/`RwLock` guard may not stay
+//!   live across a channel `send`/`recv`: under bounded backpressure
+//!   that is a deadlock between the channel and the lock.
+//! * **metric-names-drift** — bidirectional registry check: every name
+//!   declared in `core::obs::names` must be emitted outside tests, and
+//!   every name emitted where literals are legal must be declared.
 //!
 //! Findings can be suppressed through per-rule allowlist files in
 //! `lint/allow/<rule>.allow`; every entry must carry a justification and
@@ -28,7 +46,11 @@
 //!
 //! [`DesisError`]: ../desis_core/error/enum.DesisError.html
 
+pub mod drift;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
+pub mod unordered;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -39,7 +61,16 @@ use std::path::{Path, PathBuf};
 use lexer::{lex, Tok, TokKind};
 
 /// Stable rule identifiers (also the allowlist file stems).
-pub const RULES: [&str; 4] = ["no-panic", "no-wallclock", "metric-names", "wire-usize"];
+pub const RULES: [&str; 8] = [
+    "no-panic",
+    "no-wallclock",
+    "metric-names",
+    "wire-usize",
+    "no-unordered-iter",
+    "bounded-channels",
+    "no-lock-across-send",
+    "metric-names-drift",
+];
 
 /// How to run the lint: where the workspace is, where suppressions live.
 #[derive(Debug, Clone)]
@@ -106,6 +137,19 @@ impl Outcome {
     }
 }
 
+/// The relative path of the metric-name registry inside a workspace.
+const NAMES_REL: &str = "crates/core/src/obs/names.rs";
+
+/// Source trees outside the `metric-names` scope where inline name
+/// literals are legal; the drift rule checks them emitted→declared.
+const DRIFT_REF_TREES: [&str; 5] = [
+    "crates/bench/src",
+    "crates/baselines/src",
+    "crates/gen/src",
+    "src",
+    "examples",
+];
+
 /// Runs every rule over the workspace under `cfg.root`.
 pub fn run(cfg: &Config) -> io::Result<Outcome> {
     let mut files = Vec::new();
@@ -114,17 +158,86 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
     }
     files.sort();
 
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for file in &files {
+        sources.push((rel_path(&cfg.root, file), fs::read_to_string(file)?));
+    }
+
+    // Workspace syntax prepass: two rounds so type aliases declared in
+    // one file resolve field types declared in another regardless of
+    // scan order.
+    let mut idx = parse::SyntaxIndex::default();
+    for _ in 0..2 {
+        for (_, source) in &sources {
+            parse::index_file(source, &mut idx);
+        }
+    }
+
     let mut violations = Vec::new();
     let mut checked = 0usize;
-    for file in &files {
-        let rel = rel_path(&cfg.root, file);
-        if !RULES.iter().any(|r| in_scope(r, &rel)) {
+    for (rel, source) in &sources {
+        if !RULES.iter().any(|r| in_scope(r, rel)) {
             continue;
         }
         checked += 1;
-        let source = fs::read_to_string(file)?;
-        check_file(&rel, &source, &mut violations);
+        check_file_with(rel, source, &idx, &mut violations);
     }
+
+    // metric-names-drift: a workspace-level pass. References come from
+    // every core/net file (idents only: `metric-names` already polices
+    // literals there) plus the trees where inline literals are legal.
+    if let Some(pos) = sources.iter().position(|(rel, _)| rel == NAMES_REL) {
+        let names_src = sources[pos].1.clone();
+        let mut refs: Vec<drift::RefFile> = sources
+            .iter()
+            .filter(|(rel, _)| rel != NAMES_REL)
+            .map(|(rel, source)| drift::RefFile {
+                rel: rel.clone(),
+                source: source.clone(),
+                check_literals: !in_scope("metric-names", rel),
+            })
+            .collect();
+        let mut extra = Vec::new();
+        for tree in DRIFT_REF_TREES {
+            collect_rs_files(&cfg.root.join(tree), &mut extra)?;
+        }
+        extra.sort();
+        for file in &extra {
+            refs.push(drift::RefFile {
+                rel: rel_path(&cfg.root, file),
+                source: fs::read_to_string(file)?,
+                check_literals: true,
+            });
+        }
+        let mut texts: BTreeMap<String, &str> = refs
+            .iter()
+            .map(|f| (f.rel.clone(), f.source.as_str()))
+            .collect();
+        texts.insert(NAMES_REL.to_string(), &names_src);
+        let mut raw: Vec<(&'static str, String, usize, String)> = Vec::new();
+        drift::check_drift(
+            NAMES_REL,
+            &names_src,
+            &refs,
+            &mut |rule, path, line, message| {
+                raw.push((rule, path.to_string(), line, message));
+            },
+        );
+        for (rule, path, line, message) in raw {
+            let source = texts
+                .get(&path)
+                .and_then(|s| s.lines().nth(line.saturating_sub(1)))
+                .map_or(String::new(), |l| l.trim().to_string());
+            violations.push(Violation {
+                rule,
+                path,
+                line,
+                message,
+                source,
+            });
+        }
+    }
+
     violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
     let mut entries = load_allowlists(&cfg.allow_dir, &mut Vec::new())?;
@@ -155,8 +268,27 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
     Ok(outcome)
 }
 
-/// Runs all rules over one file's source, appending findings.
+/// Runs all per-file rules over one file's source, appending findings.
+/// Builds a single-file [`parse::SyntaxIndex`] on the fly; workspace
+/// runs should use [`check_file_with`] so field types declared in one
+/// file classify iterations in another.
 pub fn check_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
+    let mut idx = parse::SyntaxIndex::default();
+    for _ in 0..2 {
+        parse::index_file(source, &mut idx);
+    }
+    check_file_with(rel, source, &idx, out);
+}
+
+/// Runs all per-file rules over one file against a pre-built workspace
+/// syntax index. The `metric-names-drift` rule is workspace-level and
+/// runs separately in [`run`].
+pub fn check_file_with(
+    rel: &str,
+    source: &str,
+    idx: &parse::SyntaxIndex,
+    out: &mut Vec<Violation>,
+) {
     let toks = lex(source);
     let test_lines = test_regions(&toks, source);
     let lines: Vec<&str> = source.lines().collect();
@@ -186,6 +318,15 @@ pub fn check_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
     }
     if in_scope("wire-usize", rel) {
         rule_wire_usize(&toks, &test_lines, &mut push);
+    }
+    if in_scope("no-unordered-iter", rel) {
+        unordered::rule_no_unordered_iter(&toks, &test_lines, idx, &mut push);
+    }
+    if in_scope("bounded-channels", rel) {
+        flow::rule_bounded_channels(&toks, &test_lines, &mut push);
+    }
+    if in_scope("no-lock-across-send", rel) {
+        flow::rule_no_lock_across_send(&toks, &test_lines, &mut push);
     }
 }
 
@@ -233,13 +374,34 @@ pub fn in_scope(rule: &str, path: &str) -> bool {
                 "crates/net/src/message.rs" | "crates/net/src/codec.rs"
             )
         }
+        // Determinism-scoped modules: the engine tree plus every net
+        // module on the merge/report/wire path. Hash order anywhere
+        // here can leak into results or onto the wire.
+        "no-unordered-iter" => {
+            path.starts_with("crates/core/src/engine")
+                || matches!(
+                    path,
+                    "crates/net/src/merge.rs"
+                        | "crates/net/src/codec.rs"
+                        | "crates/net/src/message.rs"
+                        | "crates/net/src/cluster.rs"
+                        | "crates/net/src/node.rs"
+                )
+        }
+        // Hot paths where queues and locks meet backpressure.
+        "bounded-channels" | "no-lock-across-send" => {
+            path.starts_with("crates/net/src") || path.starts_with("crates/core/src/engine")
+        }
+        // The registry itself; both drift directions attach their
+        // unused-declaration findings here (see `drift`).
+        "metric-names-drift" => path == "crates/core/src/obs/names.rs",
         _ => false,
     }
 }
 
 /// Returns, for each source line, whether it falls inside a
 /// `#[cfg(test)]` item (or the whole file under `#![cfg(test)]`).
-fn test_regions(toks: &[Tok], source: &str) -> Vec<bool> {
+pub(crate) fn test_regions(toks: &[Tok], source: &str) -> Vec<bool> {
     let n_lines = source.lines().count() + 1;
     let mut test = vec![false; n_lines + 1];
     let mut i = 0;
@@ -596,6 +758,67 @@ pub fn render(outcome: &Outcome) -> String {
         outcome.stale.len(),
         if outcome.stale.len() == 1 { "y" } else { "ies" }
     );
+    s
+}
+
+/// Renders an [`Outcome`] as machine-readable JSON: stable key order,
+/// violations already sorted by (path, line, rule), hand-rolled so the
+/// lint crate stays dependency-free.
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"tool\": \"desis-lint\",");
+    let _ = writeln!(s, "  \"checked_files\": {},", outcome.checked_files);
+    s.push_str("  \"violations\": [");
+    for (i, v) in outcome.violations.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            s,
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"source\": {}}}",
+            json_str(v.rule),
+            json_str(&v.path),
+            v.line,
+            json_str(&v.message),
+            json_str(&v.source)
+        );
+    }
+    if !outcome.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    let _ = writeln!(s, "  \"allowlisted\": {},", outcome.allowlisted);
+    s.push_str("  \"stale\": [");
+    for (i, stale) in outcome.stale.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(s, "    {}", json_str(stale));
+    }
+    if !outcome.stale.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    let _ = writeln!(s, "  \"failed\": {}", outcome.failed());
+    s.push_str("}\n");
+    s
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_str(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
     s
 }
 

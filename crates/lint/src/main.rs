@@ -1,8 +1,13 @@
-//! CLI entry point: `cargo run -p desis-lint [-- --root PATH --allow-dir PATH]`.
+//! CLI entry point:
+//! `cargo run -p desis-lint [-- --root PATH --allow-dir PATH --json]`.
 //!
 //! Exits non-zero when any rule fires without an allowlist entry, or
 //! when an allowlist entry is stale. Intended as a CI gate (see
-//! `.github/workflows/ci.yml`) and a local pre-commit check.
+//! `.github/workflows/ci.yml`) and a local pre-commit check. `--json`
+//! switches stdout to the machine-readable report; `--json-out PATH`
+//! writes the JSON report to a file while keeping the text report on
+//! stdout (what CI uses to upload an artifact alongside the
+//! problem-matcher-parsed text).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -10,18 +15,26 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allow_dir: Option<PathBuf> = None;
+    let mut json = false;
+    let mut json_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--allow-dir" => allow_dir = args.next().map(PathBuf::from),
+            "--json" => json = true,
+            "--json-out" => json_out = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
                     "desis-lint — repo-specific static analysis\n\n\
-                     USAGE: desis-lint [--root PATH] [--allow-dir PATH]\n\n\
-                     Rules: no-panic, no-wallclock, metric-names, wire-usize.\n\
+                     USAGE: desis-lint [--root PATH] [--allow-dir PATH] [--json] [--json-out PATH]\n\n\
+                     Rules: no-panic, no-wallclock, metric-names, wire-usize,\n\
+                     no-unordered-iter, bounded-channels, no-lock-across-send,\n\
+                     metric-names-drift.\n\
                      Suppressions live in <root>/lint/allow/<rule>.allow as\n\
-                     `[rule] path :: exact-trimmed-line :: justification`."
+                     `[rule] path :: exact-trimmed-line :: justification`.\n\
+                     --json prints the machine-readable report to stdout;\n\
+                     --json-out PATH writes it to a file alongside the text report."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -40,7 +53,17 @@ fn main() -> ExitCode {
 
     match desis_lint::run(&cfg) {
         Ok(outcome) => {
-            print!("{}", desis_lint::render(&outcome));
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, desis_lint::render_json(&outcome)) {
+                    eprintln!("desis-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if json {
+                print!("{}", desis_lint::render_json(&outcome));
+            } else {
+                print!("{}", desis_lint::render(&outcome));
+            }
             if outcome.failed() {
                 ExitCode::FAILURE
             } else {

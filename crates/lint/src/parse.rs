@@ -1,0 +1,627 @@
+//! A lightweight syntax layer on top of the lexer: token trees,
+//! statement splitting, method-call-chain extraction, and a small
+//! hash-collection type classifier.
+//!
+//! This is deliberately *not* a Rust parser. It recovers exactly the
+//! structure the syntax-aware rules need:
+//!
+//! * **Token trees** — `(...)`, `[...]`, `{...}` groups with their
+//!   contents, so rules can reason about blocks, call arguments, and
+//!   struct bodies without re-counting delimiters.
+//! * **Statements** — a brace group's trees split at `;`/`,` and after
+//!   control-flow headers, enough to answer "what is the next
+//!   statement" (the collect-then-sort idiom) and "which statements
+//!   follow this one in the same block" (lock-guard liveness).
+//! * **Chains** — `base.field.method::<T>(args).method(args)` postfix
+//!   chains, the unit the no-unordered-iter rule analyzes.
+//! * **Type classes** — whether a type (or an expression's receiver)
+//!   *is* a hash collection (`Outer`) or merely *contains* one
+//!   (`Bearing`, e.g. `Vec<FxHashMap<K, V>>`), resolved through a
+//!   workspace-wide index of struct fields and type aliases so a field
+//!   declared in one file is recognized when iterated in another.
+//!
+//! Everything here is heuristic and errs toward silence: an expression
+//! the classifier cannot type never produces a finding.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+
+/// One node of a token tree: a leaf token or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Tok),
+    /// A `(...)`, `[...]`, or `{...}` group.
+    Group(Group),
+}
+
+/// A delimited group and its contents.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The opening delimiter: `(`, `[`, or `{`.
+    pub open: char,
+    /// 1-based line of the opening delimiter.
+    pub line: usize,
+    /// The trees between the delimiters.
+    pub trees: Vec<Tree>,
+}
+
+impl Tree {
+    /// 1-based line the tree starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.line,
+        }
+    }
+
+    /// The identifier text, if this is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    /// True when this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_punct(c))
+    }
+
+    /// The group, if this is a delimited group.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a token-tree forest from a flat token stream. Unbalanced
+/// closers degrade to leaves instead of failing.
+pub fn forest(toks: &[Tok]) -> Vec<Tree> {
+    let mut i = 0;
+    build(toks, &mut i, None)
+}
+
+fn matching(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+fn build(toks: &[Tok], i: &mut usize, close: Option<char>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *i < toks.len() {
+        let t = &toks[*i];
+        match t.kind {
+            TokKind::Punct(c) if Some(c) == close => return out,
+            TokKind::Punct(c @ ('(' | '[' | '{')) => {
+                let line = t.line;
+                *i += 1;
+                let trees = build(toks, i, Some(matching(c)));
+                if *i < toks.len() {
+                    *i += 1; // consume the closer
+                }
+                out.push(Tree::Group(Group {
+                    open: c,
+                    line,
+                    trees,
+                }));
+            }
+            _ => {
+                out.push(Tree::Leaf(t.clone()));
+                *i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Splits a brace group's trees into statements: at top-level `;` and
+/// `,`, and after the block of a control-flow or item header (`for`,
+/// `if`, `fn`, ... followed by `{...}`). Struct-literal braces inside
+/// expressions do not terminate a statement, and neither do the commas
+/// inside a turbofish (`collect::<BTreeMap<_, _>>` — angle brackets are
+/// leaves, so its commas would otherwise look top-level).
+pub fn split_stmts(trees: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < trees.len() {
+        // `::<` opens a turbofish: skip to its matching `>`.
+        if trees[i].is_punct('<')
+            && i >= 2
+            && trees[i - 1].is_punct(':')
+            && trees[i - 2].is_punct(':')
+        {
+            let mut depth = 0i32;
+            while i < trees.len() {
+                if trees[i].is_punct('<') {
+                    depth += 1;
+                } else if trees[i].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        let ends = match &trees[i] {
+            Tree::Leaf(t) if t.is_punct(';') || t.is_punct(',') => true,
+            Tree::Group(g) if g.open == '{' => brace_ends_stmt(&trees[start..i]),
+            _ => false,
+        };
+        if ends {
+            out.push(&trees[start..=i]);
+            start = i + 1;
+        }
+        i += 1;
+    }
+    if start < trees.len() {
+        out.push(&trees[start..]);
+    }
+    out
+}
+
+/// A `{...}` ends the statement when the trees before it (minus
+/// attributes and visibility) lead with a control-flow or item keyword,
+/// or when the block stands alone.
+fn brace_ends_stmt(before: &[Tree]) -> bool {
+    let mut i = 0;
+    while i < before.len() {
+        if before[i].is_punct('#') {
+            i += 1;
+            if before.get(i).is_some_and(|t| t.is_punct('!')) {
+                i += 1;
+            }
+            if matches!(before.get(i), Some(Tree::Group(g)) if g.open == '[') {
+                i += 1;
+            }
+            continue;
+        }
+        if before[i].is_ident("pub") {
+            i += 1;
+            if matches!(before.get(i), Some(Tree::Group(g)) if g.open == '(') {
+                i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    match before.get(i) {
+        None => true, // bare block
+        Some(t) => matches!(
+            t.ident(),
+            Some(
+                "fn" | "impl"
+                    | "mod"
+                    | "trait"
+                    | "for"
+                    | "while"
+                    | "loop"
+                    | "if"
+                    | "match"
+                    | "unsafe"
+                    | "else"
+            )
+        ),
+    }
+}
+
+/// One `.method::<T>(args)` segment of a chain.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Method name.
+    pub name: String,
+    /// 1-based line of the method name.
+    pub line: usize,
+    /// Identifiers inside a `::<...>` turbofish, if present.
+    pub turbofish: Vec<String>,
+}
+
+/// A parsed postfix chain: `base.field[idx].method(...).method(...)`.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Leading path segments before the first call: `self.frontiers`
+    /// becomes `["self", "frontiers"]`.
+    pub base: Vec<String>,
+    /// 1-based line of the first base segment.
+    pub line: usize,
+    /// True when a `[...]` index was applied to the base.
+    pub indexed: bool,
+    /// True when the base itself was called (`make()` — a free/assoc
+    /// function whose return type the classifier cannot know).
+    pub base_called: bool,
+    /// The method calls, in order.
+    pub calls: Vec<Call>,
+    /// Exclusive tree index just past the chain.
+    pub end: usize,
+}
+
+/// Parses a postfix chain starting at `trees[start]`, which must be an
+/// identifier (including `self`). Returns `None` otherwise.
+pub fn parse_chain(trees: &[Tree], start: usize) -> Option<Chain> {
+    let first = trees.get(start)?.ident()?;
+    let mut chain = Chain {
+        base: vec![first.to_string()],
+        line: trees[start].line(),
+        indexed: false,
+        base_called: false,
+        calls: Vec::new(),
+        end: start + 1,
+    };
+    let mut i = start + 1;
+    loop {
+        match trees.get(i) {
+            // `base(...)`: a call of the base path itself.
+            Some(Tree::Group(g)) if g.open == '(' && chain.calls.is_empty() => {
+                chain.base_called = true;
+                i += 1;
+            }
+            // `base[...]`: indexing; only tracked before any call.
+            Some(Tree::Group(g)) if g.open == '[' && chain.calls.is_empty() => {
+                chain.indexed = true;
+                i += 1;
+            }
+            // `?` between postfix segments.
+            Some(t) if t.is_punct('?') && !chain.calls.is_empty() => i += 1,
+            Some(t) if t.is_punct('.') => {
+                let Some(name) = trees.get(i + 1).and_then(|t| t.ident()) else {
+                    break; // `.0` tuple index (numbers are not lexed)
+                };
+                let name_line = trees[i + 1].line();
+                let mut j = i + 2;
+                let mut fish = Vec::new();
+                // Optional turbofish: `::< ... >` with nesting.
+                if trees.get(j).is_some_and(|t| t.is_punct(':'))
+                    && trees.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    && trees.get(j + 2).is_some_and(|t| t.is_punct('<'))
+                {
+                    let mut depth = 0i32;
+                    let mut k = j + 2;
+                    while k < trees.len() {
+                        if trees[k].is_punct('<') {
+                            depth += 1;
+                        } else if trees[k].is_punct('>') {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        } else if let Some(id) = trees[k].ident() {
+                            if id != "_" {
+                                fish.push(id.to_string());
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                }
+                if matches!(trees.get(j), Some(Tree::Group(g)) if g.open == '(') {
+                    chain.calls.push(Call {
+                        name: name.to_string(),
+                        line: name_line,
+                        turbofish: fish,
+                    });
+                    i = j + 1;
+                } else if chain.calls.is_empty() && fish.is_empty() && !chain.base_called {
+                    chain.base.push(name.to_string());
+                    i = j;
+                } else {
+                    break; // field access after a call: out of scope
+                }
+            }
+            _ => break,
+        }
+    }
+    chain.end = i;
+    Some(chain)
+}
+
+/// The hash-collection type names the classifier recognizes.
+pub const HASH_TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+
+/// Path segments skipped when finding a type's head identifier.
+const PATH_SKIP: [&str; 8] = [
+    "std",
+    "alloc",
+    "core",
+    "collections",
+    "rustc_hash",
+    "crate",
+    "super",
+    "dyn",
+];
+
+/// How an expression or type relates to hash collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashClass {
+    /// *Is* a hash map/set: iterating it is hash-ordered.
+    Outer,
+    /// *Contains* a hash map/set (`Vec<FxHashMap<..>>`): iterating it
+    /// is ordered, but its elements are `Outer`.
+    Bearing,
+}
+
+/// Workspace-wide declarations the classifier resolves against:
+/// struct fields and type aliases whose types involve hash collections.
+/// Built by [`index_file`] over every scanned file, so a field declared
+/// in `slice.rs` is recognized when iterated in `codec.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct SyntaxIndex {
+    /// Field names whose declared type is a hash collection.
+    pub outer_fields: BTreeSet<String>,
+    /// Field names whose declared type contains a hash collection.
+    pub bearing_fields: BTreeSet<String>,
+    /// Field names declared somewhere with a non-hash type. The index
+    /// is keyed by name, not by owning struct, so a name that appears
+    /// with conflicting types (`queries: Vec<Query>` in one struct,
+    /// `queries: FxHashMap<..>` in another) is ambiguous and must never
+    /// classify — see [`SyntaxIndex::field_class`].
+    pub plain_fields: BTreeSet<String>,
+    /// Type aliases that resolve to a hash collection.
+    pub outer_aliases: BTreeSet<String>,
+}
+
+impl SyntaxIndex {
+    /// The workspace-unambiguous class of a field name; `None` when the
+    /// name is unknown or declared with conflicting types anywhere.
+    pub fn field_class(&self, name: &str) -> Option<HashClass> {
+        let outer = self.outer_fields.contains(name);
+        let bearing = self.bearing_fields.contains(name);
+        let plain = self.plain_fields.contains(name);
+        match (outer, bearing, plain) {
+            (true, false, false) => Some(HashClass::Outer),
+            (false, true, false) => Some(HashClass::Bearing),
+            _ => None,
+        }
+    }
+}
+
+/// Classifies a type's token trees. `None` when no hash collection is
+/// involved.
+pub fn classify_type(trees: &[Tree], idx: &SyntaxIndex) -> Option<HashClass> {
+    let mut ids = Vec::new();
+    collect_idents(trees, &mut ids);
+    let ids: Vec<&str> = ids
+        .iter()
+        .map(String::as_str)
+        .filter(|id| !PATH_SKIP.contains(id) && *id != "mut" && *id != "ref")
+        .collect();
+    let is_hash = |id: &str| HASH_TYPES.contains(&id) || idx.outer_aliases.contains(id);
+    match ids.first() {
+        Some(head) if is_hash(head) => Some(HashClass::Outer),
+        _ if ids.iter().any(|id| is_hash(id)) => Some(HashClass::Bearing),
+        _ => None,
+    }
+}
+
+fn collect_idents(trees: &[Tree], out: &mut Vec<String>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) if tok.kind == TokKind::Ident => out.push(tok.text.clone()),
+            Tree::Group(g) => collect_idents(&g.trees, out),
+            _ => {}
+        }
+    }
+}
+
+/// Indexes one file's struct fields and type aliases into `idx`.
+/// Callers run two passes over all files so aliases declared anywhere
+/// are visible when fields are classified.
+pub fn index_file(source: &str, idx: &mut SyntaxIndex) {
+    let toks = crate::lexer::lex(source);
+    let trees = forest(&toks);
+    index_trees(&trees, idx);
+}
+
+fn index_trees(trees: &[Tree], idx: &mut SyntaxIndex) {
+    let mut i = 0;
+    while i < trees.len() {
+        if trees[i].is_ident("type") && trees.get(i + 1).and_then(|t| t.ident()).is_some() {
+            // `type Name<...> = TYPE;`
+            let name = trees[i + 1].ident().unwrap_or_default().to_string();
+            let mut j = i + 2;
+            while j < trees.len() && !trees[j].is_punct('=') && !trees[j].is_punct(';') {
+                j += 1;
+            }
+            if trees.get(j).is_some_and(|t| t.is_punct('=')) {
+                let mut k = j + 1;
+                while k < trees.len() && !trees[k].is_punct(';') {
+                    k += 1;
+                }
+                if classify_type(&trees[j + 1..k], idx) == Some(HashClass::Outer) {
+                    idx.outer_aliases.insert(name);
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        if trees[i].is_ident("struct") && trees.get(i + 1).and_then(|t| t.ident()).is_some() {
+            // Find the record body `{...}` before a terminating `;`
+            // (tuple and unit structs carry no named fields).
+            let mut j = i + 2;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Leaf(t) if t.is_punct(';') => break,
+                    Tree::Group(g) if g.open == '{' => {
+                        index_fields(&g.trees, idx);
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        if let Tree::Group(g) = &trees[i] {
+            // Recurse into `mod`/`impl` bodies (and any other block).
+            index_trees(&g.trees, idx);
+        }
+        i += 1;
+    }
+}
+
+/// Records `name: TYPE` fields of a struct body into the index.
+fn index_fields(trees: &[Tree], idx: &mut SyntaxIndex) {
+    for entry in split_stmts(trees) {
+        let mut i = 0;
+        while i < entry.len() {
+            if entry[i].is_punct('#') {
+                i += 1;
+                if matches!(entry.get(i), Some(Tree::Group(g)) if g.open == '[') {
+                    i += 1;
+                }
+                continue;
+            }
+            if entry[i].is_ident("pub") {
+                i += 1;
+                if matches!(entry.get(i), Some(Tree::Group(g)) if g.open == '(') {
+                    i += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let Some(name) = entry.get(i).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !entry.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            continue;
+        }
+        let ty = &entry[i + 2..];
+        match classify_type(ty, idx) {
+            Some(HashClass::Outer) => {
+                idx.outer_fields.insert(name.to_string());
+            }
+            Some(HashClass::Bearing) => {
+                idx.bearing_fields.insert(name.to_string());
+            }
+            None => {
+                idx.plain_fields.insert(name.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Tree> {
+        forest(&lex(src))
+    }
+
+    #[test]
+    fn forest_nests_groups() {
+        let trees = parse("fn f(a: u32) { g(a); }");
+        // fn, f, (..), {..}
+        assert_eq!(trees.len(), 4);
+        let body = trees[3].group().expect("body group");
+        assert_eq!(body.open, '{');
+        assert!(body.trees[1].group().is_some(), "call args nested");
+    }
+
+    #[test]
+    fn stmts_split_on_semicolons_and_control_flow_blocks() {
+        let trees = parse("let a = 1; for x in v { b(); } let c = Foo { x: 1 };");
+        let stmts = split_stmts(&trees);
+        assert_eq!(stmts.len(), 3, "{stmts:?}");
+        assert!(stmts[1][0].is_ident("for"));
+        // The struct literal's brace did not split the last statement.
+        assert!(stmts[2][0].is_ident("let"));
+        assert!(stmts[2].last().unwrap().is_punct(';'));
+    }
+
+    #[test]
+    fn chains_capture_base_fields_calls_and_turbofish() {
+        let trees = parse("self.frontiers.values().map(f).collect::<Vec<_>>();");
+        let chain = parse_chain(&trees, 0).expect("chain");
+        assert_eq!(chain.base, ["self", "frontiers"]);
+        assert_eq!(
+            chain
+                .calls
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            ["values", "map", "collect"]
+        );
+        assert_eq!(chain.calls[2].turbofish, ["Vec"]);
+        assert!(!chain.indexed);
+    }
+
+    #[test]
+    fn chains_track_indexing_and_called_bases() {
+        let trees = parse("data.per_selection[sel].iter();");
+        let chain = parse_chain(&trees, 0).expect("chain");
+        assert_eq!(chain.base, ["data", "per_selection"]);
+        assert!(chain.indexed);
+        assert_eq!(chain.calls[0].name, "iter");
+
+        let trees = parse("make_map().iter();");
+        let chain = parse_chain(&trees, 0).expect("chain");
+        assert!(chain.base_called);
+    }
+
+    #[test]
+    fn classify_outer_bearing_and_aliases() {
+        let idx = SyntaxIndex::default();
+        let outer = parse("&mut FxHashMap<Key, OperatorBundle>");
+        assert_eq!(classify_type(&outer, &idx), Some(HashClass::Outer));
+        let bearing = parse("Vec<FxHashMap<Key, OperatorBundle>>");
+        assert_eq!(classify_type(&bearing, &idx), Some(HashClass::Bearing));
+        let none = parse("BTreeMap<Key, Vec<u64>>");
+        assert_eq!(classify_type(&none, &idx), None);
+
+        let mut idx = SyntaxIndex::default();
+        index_file(
+            "pub(crate) type KeyedBundles = FxHashMap<Key, OperatorBundle>;",
+            &mut idx,
+        );
+        assert!(idx.outer_aliases.contains("KeyedBundles"));
+        let aliased = parse("&KeyedBundles");
+        assert_eq!(classify_type(&aliased, &idx), Some(HashClass::Outer));
+    }
+
+    #[test]
+    fn index_collects_fields_across_structs() {
+        let src = "pub struct SliceData {\n\
+                       pub per_selection: Vec<FxHashMap<Key, OperatorBundle>>,\n\
+                   }\n\
+                   struct Merger { frontiers: FxHashMap<NodeId, Frontier>, n: usize }\n";
+        let mut idx = SyntaxIndex::default();
+        index_file(src, &mut idx);
+        assert!(idx.bearing_fields.contains("per_selection"));
+        assert!(idx.outer_fields.contains("frontiers"));
+        assert!(!idx.outer_fields.contains("n"));
+        assert_eq!(idx.field_class("per_selection"), Some(HashClass::Bearing));
+        assert_eq!(idx.field_class("frontiers"), Some(HashClass::Outer));
+    }
+
+    /// A field name declared with conflicting types in different
+    /// structs must never classify: converting the Vec-typed one to a
+    /// BTreeMap would be a false-positive fix.
+    #[test]
+    fn conflicting_field_names_are_ambiguous() {
+        let src = "struct A { queries: FxHashMap<QueryId, QueryInfo> }\n\
+                   struct B { queries: Vec<Query> }\n";
+        let mut idx = SyntaxIndex::default();
+        index_file(src, &mut idx);
+        assert!(idx.outer_fields.contains("queries"));
+        assert!(idx.plain_fields.contains("queries"));
+        assert_eq!(idx.field_class("queries"), None);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a drift reference file. Bench reports may inline *declared*
+//! instrument names; inventing one the registry never heard of drifts.
+
+pub fn emit(m: &dyn Fn(&str)) {
+    m(NET_FRAMES);
+    m("engine.bogus.queue");
+}

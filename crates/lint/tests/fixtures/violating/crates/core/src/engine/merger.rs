@@ -1,0 +1,36 @@
+//! Fixture: hash-ordered iteration in a determinism-scoped module,
+//! next to every suppressed idiom the rule must stay quiet about.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Merger {
+    lanes: HashMap<u64, u64>,
+}
+
+impl Merger {
+    pub fn drain_unsorted(&self, out: &mut Vec<u64>) {
+        for (key, val) in &self.lanes {
+            out.push(key + val);
+        }
+    }
+
+    pub fn first_key(&self) -> Option<u64> {
+        self.lanes.keys().next().copied()
+    }
+
+    // Commutative terminals, ordered collects, and collect-then-sort
+    // must not trip the rule.
+    pub fn total(&self) -> u64 {
+        self.lanes.values().sum()
+    }
+
+    pub fn ordered(&self) -> BTreeMap<u64, u64> {
+        self.lanes.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+    }
+
+    pub fn sorted_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.lanes.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}

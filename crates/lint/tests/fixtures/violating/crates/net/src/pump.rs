@@ -1,0 +1,18 @@
+//! Fixture: resource-flow violations in a net hot path.
+
+use std::sync::Mutex;
+
+pub fn start(depth: &Mutex<u64>, data_tx: &crossbeam_channel::Sender<u64>) {
+    let (ctl_tx, ctl_rx) = crossbeam_channel::unbounded();
+    let guard = depth.lock();
+    data_tx.send(1).ok();
+    drop(guard);
+    let _ = (ctl_tx, ctl_rx);
+}
+
+pub fn drop_before_send(depth: &Mutex<u64>, data_tx: &crossbeam_channel::Sender<u64>) {
+    let guard = depth.lock();
+    let snapshot = *guard;
+    drop(guard);
+    data_tx.send(snapshot).ok();
+}

@@ -233,8 +233,9 @@ pub struct ClusterReport {
     /// Total events ingested across locals.
     pub events: u64,
     /// Uplink bytes sent per node (local and intermediate nodes have
-    /// uplinks; the root has none).
-    pub bytes_by_node: FxHashMap<NodeId, u64>,
+    /// uplinks; the root has none). Ordered by node id so report
+    /// iteration is deterministic.
+    pub bytes_by_node: BTreeMap<NodeId, u64>,
     /// Engine metrics summed over local nodes.
     pub local_metrics: EngineMetrics,
     /// Event-time latency samples (ms) of emitted results.
@@ -700,7 +701,8 @@ pub fn run_cluster(
         // byte-for-byte.
         desis_core::query::sort_results(&mut results);
 
-        let bytes_by_node = stats.iter().map(|(node, st)| (*node, st.bytes())).collect();
+        let bytes_by_node: BTreeMap<NodeId, u64> =
+            stats.iter().map(|(node, st)| (*node, st.bytes())).collect();
         let local_metrics = local_metrics.lock().clone();
         local_metrics.publish(&registry, names::CLUSTER_LOCAL_ENGINE_PREFIX);
         registry

@@ -15,7 +15,7 @@ use bytes::{Buf, BufMut};
 
 use desis_core::aggregate::{OperatorBundle, OperatorKind, OperatorSet, OperatorState};
 use desis_core::engine::{SealedSlice, SessionGap, SliceData, WindowEnd};
-use desis_core::event::{Event, Marker, MarkerKind};
+use desis_core::event::{Event, Key, Marker, MarkerKind};
 use desis_core::obs::trace::TraceId;
 use rustc_hash::FxHashMap;
 
@@ -353,9 +353,13 @@ fn put_slice_data<S: Sink>(s: &mut S, data: &SliceData) {
     s.vu64(data.per_selection.len() as u64);
     for map in &data.per_selection {
         s.vu64(map.len() as u64);
-        for (key, bundle) in map {
-            s.vu64(u64::from(*key));
-            put_bundle(s, bundle);
+        // Encode in key order: frame bytes (and thus per-node byte
+        // counts and fault placement) must not vary with hash order.
+        let mut keys: Vec<Key> = map.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            s.vu64(u64::from(key));
+            put_bundle(s, &map[&key]);
         }
     }
 }

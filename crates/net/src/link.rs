@@ -388,8 +388,7 @@ pub fn link_with_stats(
     stats: Arc<LinkStats>,
 ) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
     let (tx, rx) = crossbeam_channel::bounded(capacity);
-    // The backchannel is unbounded so the receiving pump never blocks on
-    // it (a NACK enqueue cannot deadlock against a full data channel).
+    // Justified in lint/allow/bounded-channels.allow.
     let (control_tx, control_rx) = crossbeam_channel::unbounded();
     (
         LinkSender {

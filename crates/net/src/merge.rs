@@ -18,7 +18,7 @@
 //!   per-*window* partials (Section 5, "Disco has to send partial results
 //!   per window").
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use rustc_hash::FxHashMap;
 
@@ -71,11 +71,17 @@ fn finalize_map(
     end_ts: Timestamp,
     out: &mut Vec<QueryResult>,
 ) {
-    for (key, bundle) in merged {
+    // Emit in key order: downstream consumers canonically sort, but the
+    // merger's own output (and anything tracing it) must not depend on
+    // hash order.
+    let mut keys: Vec<Key> = merged.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let bundle = &merged[&key];
         let values = info.functions.iter().map(|f| bundle.finalize(f)).collect();
         out.push(QueryResult {
             query,
-            key: *key,
+            key,
             window_start: start_ts,
             window_end: end_ts,
             values,
@@ -497,13 +503,16 @@ pub struct UnfixedRootMerger {
     expected_children: usize,
     fixed_pending: FxHashMap<(QueryId, Timestamp, Timestamp), (usize, KeyedBundles)>,
     sessions: FxHashMap<QueryId, SessionState>,
-    ud_queues: FxHashMap<QueryId, FxHashMap<NodeId, VecDeque<SpannedBundles>>>,
+    /// B-tree on both levels: completed windows finalize in `QueryId`
+    /// order and contributions merge in `NodeId` order, keeping
+    /// user-defined-window emission independent of hash order.
+    ud_queues: BTreeMap<QueryId, BTreeMap<NodeId, VecDeque<SpannedBundles>>>,
     /// Per-child reorder buffer: the gap-covering protocol (Section
     /// 5.1.2) compares the children's *latest* gaps, which is only
     /// meaningful when partials are consumed in event-time-aligned order;
     /// thread scheduling can otherwise deliver one child's whole stream
     /// first.
-    buffered: FxHashMap<NodeId, VecDeque<SealedSlice>>,
+    buffered: BTreeMap<NodeId, VecDeque<SealedSlice>>,
     /// Event time each child is guaranteed to have passed.
     frontiers: FxHashMap<NodeId, Timestamp>,
     /// Global watermark (min over all covered streams).
@@ -523,8 +532,8 @@ impl UnfixedRootMerger {
             expected_children,
             fixed_pending: FxHashMap::default(),
             sessions: FxHashMap::default(),
-            ud_queues: FxHashMap::default(),
-            buffered: FxHashMap::default(),
+            ud_queues: BTreeMap::default(),
+            buffered: BTreeMap::default(),
             frontiers: FxHashMap::default(),
             global_wm: 0,
             recorder: None,

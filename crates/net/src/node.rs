@@ -14,6 +14,8 @@
 //!   are relayed unchanged.
 //! * The **root** merges, assembles windows, and emits final results.
 
+use std::collections::BTreeMap;
+
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use desis_baselines::Processor;
@@ -519,7 +521,7 @@ pub struct IntermediateWorker {
     id: NodeId,
     /// Covered local streams below this node.
     coverage: u32,
-    slice_groups: FxHashMap<GroupId, IntermediateGroup>,
+    slice_groups: BTreeMap<GroupId, IntermediateGroup>,
     window_merger: Option<WindowPartialMerger>,
     /// Reorders raw event streams of the children so the uplink carries
     /// one timestamp-ordered stream.
@@ -540,7 +542,7 @@ impl IntermediateWorker {
         coverage: u32,
         children: Vec<NodeId>,
     ) -> Self {
-        let mut slice_groups = FxHashMap::default();
+        let mut slice_groups = BTreeMap::new();
         let mut window_merger = None;
         match system {
             DistributedSystem::Desis => {
@@ -770,7 +772,7 @@ impl std::fmt::Debug for RootGroup {
 
 /// The root node: merges partials, terminates windows, emits results.
 pub struct RootWorker {
-    slice_groups: FxHashMap<GroupId, RootGroup>,
+    slice_groups: BTreeMap<GroupId, RootGroup>,
     window_merger: Option<WindowPartialMerger>,
     /// Raw events merged across children and fed to `Raw` groups or the
     /// centralized processor.
@@ -804,7 +806,7 @@ impl RootWorker {
         n_leaves: usize,
         children: Vec<NodeId>,
     ) -> Result<Self, desis_core::DesisError> {
-        let mut slice_groups = FxHashMap::default();
+        let mut slice_groups = BTreeMap::new();
         let mut window_merger = None;
         let mut event_merger = None;
         let mut centralized = None;
@@ -875,7 +877,7 @@ impl RootWorker {
     /// Registers one group's root-side machinery; returns whether the
     /// group needs the raw event stream.
     fn register_group(
-        slice_groups: &mut FxHashMap<GroupId, RootGroup>,
+        slice_groups: &mut BTreeMap<GroupId, RootGroup>,
         system: DistributedSystem,
         g: &QueryGroup,
         n_leaves: usize,

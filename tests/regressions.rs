@@ -11,6 +11,10 @@
 //!   permanently empty shards whose watermark forcing must still release
 //!   merged slices, and batch boundaries landing exactly on a watermark
 //!   must not double-feed or drop the boundary event.
+//! * Hash-order freedom, graduated from desis-lint's `no-unordered-iter`
+//!   sweep: assemblers and mergers emit in key order, frame bytes are a
+//!   pure function of slice content, and cluster reports are node-ordered
+//!   and run-twice identical.
 
 use desis::prelude::*;
 
@@ -412,4 +416,249 @@ fn parallel_empty_stream_finishes_cleanly() {
         assert!(engine.drain_results().is_empty());
         assert_eq!(engine.shard_panics(), 0);
     }
+}
+
+// ---------------------------------------------------------------------
+// Hash-order regressions, graduated from desis-lint's no-unordered-iter
+// sweep: emission, frame bytes, and reports must never depend on hash
+// iteration order. One named test per converted site; each feeds keys
+// in descending order so a hash-ordered emission would (with
+// overwhelming probability) fail.
+// ---------------------------------------------------------------------
+
+/// `core::engine::assembler`: window results come out in ascending key
+/// order straight from the assembler, before any canonical drain sort.
+#[test]
+fn assembler_emits_window_results_in_key_order() {
+    let q = Query::new(
+        1,
+        WindowSpec::tumbling_time(1_000).unwrap(),
+        AggFunction::Sum,
+    );
+    let mut groups = QueryAnalyzer::default().analyze(vec![q]).unwrap();
+    let group = groups.remove(0);
+    let mut slicer = GroupSlicer::new(group.clone());
+    let mut assembler = Assembler::new(&group);
+    let mut slices = Vec::new();
+    let mut results = Vec::new();
+    for i in 0..64u64 {
+        // Keys descend as timestamps ascend: insertion order is 63..0.
+        slicer.on_event(&Event::new(i, 63 - i as u32, 1.0), &mut slices);
+    }
+    slicer.on_watermark(1_000, &mut slices);
+    for s in slices.drain(..) {
+        assembler.on_slice(s, &mut results);
+    }
+    assert_eq!(results.len(), 64, "{results:?}");
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.key, i as u32, "emission is not key-sorted: {results:?}");
+    }
+}
+
+/// `core::engine::parallel` (`FixedAssembler`): the sharded collector's
+/// merged fixed-window emission is key-sorted as well — keys land on
+/// shards by hash and are re-merged, so this pins the collector-side
+/// sort, not the shard order.
+#[test]
+fn parallel_fixed_assembler_emits_in_key_order() {
+    let q = Query::new(
+        1,
+        WindowSpec::tumbling_time(1_000).unwrap(),
+        AggFunction::Sum,
+    );
+    let events: Vec<Event> = (0..64u64)
+        .map(|i| Event::new(i, 63 - i as u32, 1.0))
+        .collect();
+    for shards in [1usize, 4] {
+        let results = run_parallel_engine(vec![q.clone()], &events, shards, 2_000);
+        assert_eq!(results.len(), 64, "shards={shards}");
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.key, i as u32, "shards={shards}: {results:?}");
+        }
+    }
+}
+
+/// `net::merge` (`TimeAssembler`): the root's window assembly over
+/// merged slices emits in ascending key order too.
+#[test]
+fn time_assembler_emits_window_results_in_key_order() {
+    use desis::net::merge::TimeAssembler;
+    let q = Query::new(
+        1,
+        WindowSpec::tumbling_time(1_000).unwrap(),
+        AggFunction::Sum,
+    );
+    let mut groups = QueryAnalyzer::default().analyze(vec![q]).unwrap();
+    let group = groups.remove(0);
+    let mut slicer = GroupSlicer::new(group.clone());
+    let mut assembler = TimeAssembler::new(&group);
+    let mut slices = Vec::new();
+    let mut results = Vec::new();
+    for i in 0..64u64 {
+        slicer.on_event(&Event::new(i, 63 - i as u32, 1.0), &mut slices);
+    }
+    slicer.on_watermark(1_000, &mut slices);
+    for s in slices.drain(..) {
+        assembler.on_slice(s, &mut results);
+    }
+    assert_eq!(results.len(), 64, "{results:?}");
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.key, i as u32, "emission is not key-sorted: {results:?}");
+    }
+}
+
+/// `net::codec`: frame bytes are a pure function of slice *content* —
+/// two maps holding the same keys and bundles encode identically no
+/// matter what insertion/removal history shaped their bucket layout.
+/// (Fault placement and per-node byte counts depend on frame bytes, so
+/// hash-ordered encoding would make chaos runs irreproducible.)
+#[test]
+fn slice_frame_bytes_are_insertion_order_independent() {
+    use desis::core::engine::slice::{SessionGap, SliceData};
+
+    fn bundle(v: f64) -> OperatorBundle {
+        let mut b = OperatorBundle::new(AggFunction::Sum.operators());
+        b.update(v);
+        b.seal();
+        b
+    }
+    fn slice_with(data: SliceData) -> SealedSlice {
+        SealedSlice {
+            id: 7,
+            start_ts: 0,
+            end_ts: 1_000,
+            data,
+            ends: vec![WindowEnd {
+                query: 1,
+                first_slice: 7,
+                last_slice: 7,
+                start_ts: 0,
+                end_ts: 1_000,
+            }],
+            session_gaps: vec![SessionGap {
+                query: 1,
+                gap_start: 900,
+                gap_end: 1_000,
+            }],
+            low_watermark: 7,
+            low_watermark_ts: 500,
+            trace: None,
+        }
+    }
+
+    // Same logical content, three different map histories: ascending
+    // insertion, descending insertion, and descending after a batch of
+    // inserted-then-removed dummies (perturbs capacity/bucket layout).
+    let mut ascending = SliceData::new(1);
+    for k in 0..32u32 {
+        ascending.per_selection[0].insert(k, bundle(f64::from(k)));
+    }
+    let mut descending = SliceData::new(1);
+    for k in (0..32u32).rev() {
+        descending.per_selection[0].insert(k, bundle(f64::from(k)));
+    }
+    let mut churned = SliceData::new(1);
+    for k in 1_000..1_200u32 {
+        churned.per_selection[0].insert(k, bundle(0.0));
+    }
+    for k in 1_000..1_200u32 {
+        churned.per_selection[0].remove(&k);
+    }
+    for k in (0..32u32).rev() {
+        churned.per_selection[0].insert(k, bundle(f64::from(k)));
+    }
+
+    let encode = |data: SliceData| {
+        CodecKind::Binary.encode(&Message::Slice {
+            group: 0,
+            origin: 3,
+            coverage: 1,
+            partial: slice_with(data),
+        })
+    };
+    let reference = encode(ascending);
+    assert_eq!(reference, encode(descending), "insertion order leaked");
+    assert_eq!(reference, encode(churned), "bucket history leaked");
+}
+
+/// `net::cluster` (`ClusterReport`): `bytes_by_node` iterates in node-id
+/// order and the whole report is identical across two runs of the same
+/// plan — byte counts included, which also pins the intermediate/root
+/// frame emission order (`net::node` B-tree groups).
+#[test]
+fn cluster_report_is_node_ordered_and_run_twice_identical() {
+    let queries = vec![
+        Query::new(1, WindowSpec::tumbling_time(500).unwrap(), AggFunction::Sum),
+        Query::new(2, WindowSpec::session(300).unwrap(), AggFunction::Count),
+    ];
+    let feeds: Vec<Vec<Event>> = (0..2u64)
+        .map(|i| {
+            DataGenerator::new(DataGenConfig {
+                keys: 8,
+                events_per_second: 1_000,
+                seed: 40 + i,
+                ..Default::default()
+            })
+            .take(4_000)
+            .collect()
+        })
+        .collect();
+    let run = || {
+        let cfg = ClusterConfig::new(
+            DistributedSystem::Desis,
+            queries.clone(),
+            Topology::three_tier(1, 2),
+        );
+        run_cluster(cfg, feeds.clone()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.results.is_empty());
+    let nodes: Vec<NodeId> = a.bytes_by_node.keys().copied().collect();
+    let mut sorted = nodes.clone();
+    sorted.sort_unstable();
+    assert_eq!(nodes, sorted, "bytes_by_node not in node order");
+    assert_eq!(a.results, b.results, "results differ across runs");
+    assert_eq!(
+        a.bytes_by_node, b.bytes_by_node,
+        "per-node byte counts differ across runs: frame bytes are not \
+         content-deterministic"
+    );
+}
+
+/// `net::merge` (`UnfixedRootMerger` B-tree queues): session windows
+/// merged at the root across children emit identically (results *and*
+/// bytes) across two runs of the same plan.
+#[test]
+fn unfixed_root_merge_is_run_twice_identical() {
+    let queries = vec![Query::new(
+        1,
+        WindowSpec::session(400).unwrap(),
+        AggFunction::Max,
+    )];
+    let feeds: Vec<Vec<Event>> = (0..3u64)
+        .map(|i| {
+            DataGenerator::new(DataGenConfig {
+                keys: 6,
+                events_per_second: 1_000,
+                bursts: Some(desis::gen::BurstConfig {
+                    burst_ms: 800,
+                    gap_ms: 600,
+                }),
+                seed: 70 + i,
+                ..Default::default()
+            })
+            .take(3_000)
+            .collect()
+        })
+        .collect();
+    let run = || {
+        let cfg = ClusterConfig::new(DistributedSystem::Desis, queries.clone(), Topology::star(3));
+        run_cluster(cfg, feeds.clone()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.results.is_empty());
+    assert_eq!(a.results, b.results, "session results differ across runs");
+    assert_eq!(a.bytes_by_node, b.bytes_by_node);
 }
